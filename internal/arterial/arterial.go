@@ -1,0 +1,177 @@
+// Package arterial computes spanning paths and arterial edges of
+// (4×4)-cell grid regions (paper §2, Definition 1), and measures the
+// arterial dimension of a road network (paper Figure 3).
+//
+// Given a region B of 4×4 cells, a spanning path is a local shortest path
+// whose endpoints lie in opposite strips of B (the outermost cell columns
+// or rows, which are exactly the cells not adjacent to the corresponding
+// bisector), and an arterial edge is any edge of a spanning path that
+// crosses the bisector. The arterial dimension λ is the maximum number of
+// arterial edges over all regions of all grid resolutions; AH's complexity
+// bounds hold when λ is a small constant, which §2 of the paper verifies
+// empirically and which we re-verify on the synthetic datasets.
+package arterial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/gridindex"
+)
+
+// Engine computes arterial edges over one graph with reusable scratch
+// space. Not safe for concurrent use.
+type Engine struct {
+	g      *graph.Graph
+	search *dijkstra.Search
+	mark   []uint32 // region-membership stamps
+	cur    uint32
+}
+
+// NewEngine returns an engine for g.
+func NewEngine(g *graph.Graph) *Engine {
+	return &Engine{
+		g:      g,
+		search: dijkstra.NewSearch(g),
+		mark:   make([]uint32, g.NumNodes()),
+	}
+}
+
+// Spec tunes a region computation.
+type Spec struct {
+	// MaxSourcesPerStrip caps the number of strip nodes used as traversal
+	// roots (0 = unlimited). Capping trades a slight undercount of
+	// arterial edges for tractability on coarse grids; Figure 3's shape
+	// (near-constant small maxima) is insensitive to it.
+	MaxSourcesPerStrip int
+	// Expand, when non-nil, restricts path interiors: a node with
+	// Expand(v) == false may terminate a path but never be an interior
+	// node. Used by AH's pseudo-arterial computation where interiors must
+	// be cores.
+	Expand func(graph.NodeID) bool
+}
+
+// orientation describes one bisector direction of a region.
+type orientation struct {
+	vertical bool // true: west↔east across the vertical bisector
+}
+
+// RegionArterials returns the distinct arterial edges (forward EdgeIDs) of
+// region r, considering both bisectors and both travel directions.
+func (e *Engine) RegionArterials(hier *gridindex.Hierarchy, b *gridindex.Buckets, r gridindex.Region, spec Spec) []graph.EdgeID {
+	nodes := b.RegionNodes(r)
+	if len(nodes) < 2 {
+		return nil
+	}
+	e.cur++
+	if e.cur == 0 {
+		for i := range e.mark {
+			e.mark[i] = 0
+		}
+		e.cur = 1
+	}
+	for _, v := range nodes {
+		e.mark[v] = e.cur
+	}
+	inRegion := func(v graph.NodeID) bool { return e.mark[v] == e.cur }
+	allow := inRegion
+	if spec.Expand != nil {
+		ex := spec.Expand
+		allow = func(v graph.NodeID) bool { return inRegion(v) && ex(v) }
+	}
+
+	found := make(map[graph.EdgeID]struct{})
+	for _, o := range []orientation{{vertical: true}, {vertical: false}} {
+		e.collect(hier, r, nodes, o, spec, allow, found)
+	}
+	out := make([]graph.EdgeID, 0, len(found))
+	for eid := range found {
+		out = append(out, eid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stripIndex returns the strip coordinate of v for the orientation:
+// column for vertical bisectors, row for horizontal ones; -1 outside.
+func (e *Engine) stripIndex(hier *gridindex.Hierarchy, r gridindex.Region, o orientation, v graph.NodeID) int {
+	if o.vertical {
+		return hier.Column(r, e.g.Point(v))
+	}
+	return hier.Row(r, e.g.Point(v))
+}
+
+func (e *Engine) collect(hier *gridindex.Hierarchy, r gridindex.Region, nodes []graph.NodeID, o orientation, spec Spec, allow func(graph.NodeID) bool, found map[graph.EdgeID]struct{}) {
+	var lo, hi []graph.NodeID // strip 0 and strip 3 nodes
+	for _, v := range nodes {
+		switch e.stripIndex(hier, r, o, v) {
+		case 0:
+			lo = append(lo, v)
+		case 3:
+			hi = append(hi, v)
+		}
+	}
+	if len(lo) == 0 || len(hi) == 0 {
+		return
+	}
+	lo = capSources(lo, spec.MaxSourcesPerStrip)
+	hi = capSources(hi, spec.MaxSourcesPerStrip)
+
+	// Forward traversals from the low strip reach high-strip targets;
+	// forward traversals from the high strip cover the opposite travel
+	// direction. (A backward sweep would find the same paths.)
+	e.sweep(hier, r, o, lo, hi, allow, found)
+	e.sweep(hier, r, o, hi, lo, allow, found)
+}
+
+func capSources(s []graph.NodeID, max int) []graph.NodeID {
+	if max <= 0 || len(s) <= max {
+		return s
+	}
+	// Deterministic stride subsample keeps geographic spread.
+	out := make([]graph.NodeID, 0, max)
+	step := float64(len(s)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, s[int(float64(i)*step)])
+	}
+	return out
+}
+
+func (e *Engine) sweep(hier *gridindex.Hierarchy, r gridindex.Region, o orientation, sources, targets []graph.NodeID, allow func(graph.NodeID) bool, found map[graph.EdgeID]struct{}) {
+	for _, src := range sources {
+		// The traversal exempts its source from the expand filter, so
+		// endpoints that are not cores may still root spanning paths,
+		// matching the paper's border-condition semantics.
+		e.search.RunFiltered(src, allow, math.Inf(1))
+		for _, dst := range targets {
+			if dst == src || !e.search.Reached(dst) {
+				continue
+			}
+			// Walk the shortest-path tree from dst back to src, recording
+			// every tree edge that crosses the bisector.
+			for v := dst; v != src; v = e.search.Parent(v) {
+				p := e.search.Parent(v)
+				if e.crosses(hier, r, o, p, v) {
+					found[e.search.ParentEdge(v)] = struct{}{}
+				}
+			}
+		}
+	}
+}
+
+// crosses reports whether the directed edge (u,v) crosses the region's
+// bisector for the given orientation: its endpoints lie on opposite sides.
+func (e *Engine) crosses(hier *gridindex.Hierarchy, r gridindex.Region, o orientation, u, v graph.NodeID) bool {
+	iu := e.stripIndex(hier, r, o, u)
+	iv := e.stripIndex(hier, r, o, v)
+	if iu < 0 || iv < 0 {
+		// An endpoint outside the region: classify by geometry against
+		// the bisector line (local paths may have one boundary-crossing
+		// edge; such an edge can also cross the bisector extension, which
+		// Definition 1 does not count, so reject it).
+		return false
+	}
+	return (iu <= 1) != (iv <= 1)
+}

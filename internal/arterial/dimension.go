@@ -1,0 +1,78 @@
+package arterial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/gridindex"
+)
+
+// DimensionStats summarises the arterial-edge counts of all non-empty
+// (4×4)-cell regions at one grid resolution — one point of Figure 3.
+type DimensionStats struct {
+	Resolution int     // r: the grid has 2^r × 2^r cells
+	Regions    int     // number of non-empty regions examined
+	Mean       float64 // mean arterial edges per region
+	Q90        float64 // 90% quantile
+	Q99        float64 // 99% quantile
+	Max        int     // maximum over all regions
+}
+
+// String renders one row of the Figure 3 data series.
+func (d DimensionStats) String() string {
+	return fmt.Sprintf("r=%2d regions=%7d mean=%6.2f q90=%5.0f q99=%5.0f max=%4d",
+		d.Resolution, d.Regions, d.Mean, d.Q90, d.Q99, d.Max)
+}
+
+// MeasureDimension imposes a 2^r × 2^r square grid on g and computes the
+// arterial-edge count of every non-empty 4×4-cell region, exactly as the
+// Figure 3 experiment does. Requires r >= 2 (so the grid has at least 4
+// cells per side).
+func MeasureDimension(g *graph.Graph, r int, spec Spec) (DimensionStats, error) {
+	if r < 2 {
+		return DimensionStats{}, fmt.Errorf("arterial: resolution r=%d below minimum 2", r)
+	}
+	// A hierarchy with h = r-1 levels has CellsPerSide(1) = 2^r; we use
+	// its finest level as the single measurement grid.
+	bbox := g.BBox()
+	side := bbox.Side() * (1 + 1e-9)
+	if side <= 0 {
+		side = 1
+	}
+	hier := gridindex.BuildWithExtent(geom.Point{X: bbox.MinX, Y: bbox.MinY}, side, r-1)
+
+	buckets := hier.BucketNodes(g, 1, nil)
+	eng := NewEngine(g)
+	var counts []int
+	buckets.Regions(func(region gridindex.Region) {
+		counts = append(counts, len(eng.RegionArterials(hier, buckets, region, spec)))
+	})
+	return summarise(r, counts), nil
+}
+
+func summarise(r int, counts []int) DimensionStats {
+	st := DimensionStats{Resolution: r, Regions: len(counts)}
+	if len(counts) == 0 {
+		return st
+	}
+	sort.Ints(counts)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	st.Mean = float64(sum) / float64(len(counts))
+	st.Q90 = float64(counts[quantileIndex(len(counts), 0.90)])
+	st.Q99 = float64(counts[quantileIndex(len(counts), 0.99)])
+	st.Max = counts[len(counts)-1]
+	return st
+}
+
+func quantileIndex(n int, q float64) int {
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

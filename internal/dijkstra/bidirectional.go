@@ -1,0 +1,178 @@
+package dijkstra
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// BiSearch is a reusable bidirectional Dijkstra workspace. The forward
+// search grows from the source over out-edges, the backward search grows
+// from the destination over in-edges, and the two frontiers are advanced
+// in a round-robin fashion exactly as §3.2 of the paper describes for FC's
+// traversal scheduling. The search stops when the best meeting value θ is
+// no larger than the smaller frontier minimum.
+type BiSearch struct {
+	g *graph.Graph
+
+	distF, distB     []float64
+	parentF, parentB []graph.NodeID
+	stampF, stampB   []uint32
+	cur              uint32
+	pqF, pqB         *pqueue.Queue
+	settled          int
+}
+
+// NewBiSearch returns a bidirectional workspace for g.
+func NewBiSearch(g *graph.Graph) *BiSearch {
+	n := g.NumNodes()
+	return &BiSearch{
+		g:       g,
+		distF:   make([]float64, n),
+		distB:   make([]float64, n),
+		parentF: make([]graph.NodeID, n),
+		parentB: make([]graph.NodeID, n),
+		stampF:  make([]uint32, n),
+		stampB:  make([]uint32, n),
+		pqF:     pqueue.New(n),
+		pqB:     pqueue.New(n),
+	}
+}
+
+// Settled returns how many nodes the last query settled across both sides.
+func (b *BiSearch) Settled() int { return b.settled }
+
+// Distance returns dist(src, dst) or +Inf if unreachable.
+func (b *BiSearch) Distance(src, dst graph.NodeID) float64 {
+	d, _ := b.run(src, dst)
+	return d
+}
+
+// Path returns a shortest path from src to dst and its length, or
+// (nil, +Inf) if unreachable.
+func (b *BiSearch) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+	d, meet := b.run(src, dst)
+	if math.IsInf(d, 1) {
+		return nil, Inf
+	}
+	// Forward half: meet back to src, then reversed.
+	var fwd []graph.NodeID
+	for v := meet; ; v = b.parentF[v] {
+		fwd = append(fwd, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	// Backward half: successors of meet toward dst.
+	for v := meet; v != dst; {
+		v = b.parentB[v]
+		fwd = append(fwd, v)
+	}
+	return fwd, d
+}
+
+func (b *BiSearch) begin() {
+	b.cur++
+	if b.cur == 0 {
+		for i := range b.stampF {
+			b.stampF[i] = 0
+			b.stampB[i] = 0
+		}
+		b.cur = 1
+	}
+	b.pqF.Reset()
+	b.pqB.Reset()
+	b.settled = 0
+}
+
+// run executes the bidirectional search, returning the best distance and
+// the meeting node (valid only when the distance is finite).
+func (b *BiSearch) run(src, dst graph.NodeID) (float64, graph.NodeID) {
+	if src == dst {
+		return 0, src
+	}
+	b.begin()
+	theta := Inf
+	meet := graph.NodeID(-1)
+
+	relaxF := func(v graph.NodeID, d float64, parent graph.NodeID) {
+		if b.stampF[v] == b.cur && d >= b.distF[v] {
+			return
+		}
+		b.stampF[v] = b.cur
+		b.distF[v] = d
+		b.parentF[v] = parent
+		b.pqF.Push(v, d)
+		if b.stampB[v] == b.cur {
+			if t := d + b.distB[v]; t < theta {
+				theta = t
+				meet = v
+			}
+		}
+	}
+	relaxB := func(v graph.NodeID, d float64, parent graph.NodeID) {
+		if b.stampB[v] == b.cur && d >= b.distB[v] {
+			return
+		}
+		b.stampB[v] = b.cur
+		b.distB[v] = d
+		b.parentB[v] = parent
+		b.pqB.Push(v, d)
+		if b.stampF[v] == b.cur {
+			if t := d + b.distF[v]; t < theta {
+				theta = t
+				meet = v
+			}
+		}
+	}
+
+	relaxF(src, 0, src)
+	relaxB(dst, 0, dst)
+	forward := true
+	for b.pqF.Len() > 0 || b.pqB.Len() > 0 {
+		// Terminate once neither frontier can improve θ.
+		minF, minB := Inf, Inf
+		if b.pqF.Len() > 0 {
+			_, minF = b.pqF.Peek()
+		}
+		if b.pqB.Len() > 0 {
+			_, minB = b.pqB.Peek()
+		}
+		if theta <= math.Min(minF, minB) {
+			break
+		}
+		useF := forward
+		if b.pqF.Len() == 0 {
+			useF = false
+		} else if b.pqB.Len() == 0 {
+			useF = true
+		}
+		forward = !forward
+		if useF {
+			v, d := b.pqF.Pop()
+			b.settled++
+			if d > theta {
+				continue
+			}
+			b.g.OutEdges(v, func(_ graph.EdgeID, to graph.NodeID, w float64) bool {
+				relaxF(to, d+w, v)
+				return true
+			})
+		} else {
+			v, d := b.pqB.Pop()
+			b.settled++
+			if d > theta {
+				continue
+			}
+			b.g.InEdges(v, func(_ graph.EdgeID, from graph.NodeID, w float64) bool {
+				relaxB(from, d+w, v)
+				return true
+			})
+		}
+	}
+	return theta, meet
+}

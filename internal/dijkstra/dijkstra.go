@@ -1,0 +1,202 @@
+// Package dijkstra implements the classic shortest-path algorithm
+// (Dijkstra 1959) over the road-network graph, in the variants the rest of
+// the system needs:
+//
+//   - one-to-all search with reusable workspaces (stamp-versioned arrays,
+//     so back-to-back searches cost O(visited) rather than O(n)),
+//   - point-to-point search with early termination,
+//   - bidirectional search (the query baseline in the paper's experiments),
+//   - bounded and node-filtered searches used by arterial-edge extraction
+//     and witness searches.
+//
+// All searches tolerate unreachable targets by returning +Inf distances.
+package dijkstra
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// Search is a reusable one-to-all / point-to-point Dijkstra workspace over
+// a fixed graph. It is not safe for concurrent use.
+type Search struct {
+	g       *graph.Graph
+	dist    []float64
+	parent  []graph.NodeID
+	pedge   []graph.EdgeID
+	stamp   []uint32
+	cur     uint32
+	pq      *pqueue.Queue
+	settled int
+}
+
+// NewSearch returns a workspace for g.
+func NewSearch(g *graph.Graph) *Search {
+	n := g.NumNodes()
+	return &Search{
+		g:      g,
+		dist:   make([]float64, n),
+		parent: make([]graph.NodeID, n),
+		pedge:  make([]graph.EdgeID, n),
+		stamp:  make([]uint32, n),
+		pq:     pqueue.New(n),
+	}
+}
+
+func (s *Search) begin() {
+	s.cur++
+	if s.cur == 0 { // stamp wrapped: clear and restart
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.pq.Reset()
+	s.settled = 0
+}
+
+func (s *Search) relax(v graph.NodeID, d float64, parent graph.NodeID, eid graph.EdgeID) {
+	if s.stamp[v] == s.cur && d >= s.dist[v] {
+		return
+	}
+	s.stamp[v] = s.cur
+	s.dist[v] = d
+	s.parent[v] = parent
+	s.pedge[v] = eid
+	s.pq.Push(v, d)
+}
+
+// Settled returns how many nodes the last search settled (popped).
+func (s *Search) Settled() int { return s.settled }
+
+// Dist returns the distance to v computed by the last search, or +Inf if v
+// was not reached.
+func (s *Search) Dist(v graph.NodeID) float64 {
+	if s.stamp[v] != s.cur {
+		return Inf
+	}
+	return s.dist[v]
+}
+
+// Reached reports whether the last search labelled v.
+func (s *Search) Reached(v graph.NodeID) bool { return s.stamp[v] == s.cur }
+
+// Run computes shortest paths from src to every reachable node.
+func (s *Search) Run(src graph.NodeID) {
+	s.RunFiltered(src, nil, Inf)
+}
+
+// RunFiltered runs a one-to-all search that only expands nodes for which
+// allow returns true (allow == nil permits all), and stops once the next
+// node to settle is farther than maxDist. The source is always expanded.
+func (s *Search) RunFiltered(src graph.NodeID, allow func(graph.NodeID) bool, maxDist float64) {
+	s.begin()
+	s.relax(src, 0, src, -1)
+	for s.pq.Len() > 0 {
+		v, d := s.pq.Pop()
+		if d > maxDist {
+			return
+		}
+		s.settled++
+		if allow != nil && v != src && !allow(v) {
+			continue // labelled but not expanded
+		}
+		s.g.OutEdges(v, func(eid graph.EdgeID, to graph.NodeID, w float64) bool {
+			s.relax(to, d+w, v, eid)
+			return true
+		})
+	}
+}
+
+// RunReverse computes, for every node v, the distance from v to dst
+// (a backward search over reversed edges).
+func (s *Search) RunReverse(dst graph.NodeID) {
+	s.RunReverseFiltered(dst, nil, Inf)
+}
+
+// RunReverseFiltered is RunFiltered over the reverse graph.
+func (s *Search) RunReverseFiltered(dst graph.NodeID, allow func(graph.NodeID) bool, maxDist float64) {
+	s.begin()
+	s.relax(dst, 0, dst, -1)
+	for s.pq.Len() > 0 {
+		v, d := s.pq.Pop()
+		if d > maxDist {
+			return
+		}
+		s.settled++
+		if allow != nil && v != dst && !allow(v) {
+			continue
+		}
+		s.g.InEdges(v, func(eid graph.EdgeID, from graph.NodeID, w float64) bool {
+			s.relax(from, d+w, v, eid)
+			return true
+		})
+	}
+}
+
+// Distance runs a point-to-point search and returns dist(src, dst),
+// or +Inf when dst is unreachable.
+func (s *Search) Distance(src, dst graph.NodeID) float64 {
+	s.begin()
+	s.relax(src, 0, src, -1)
+	for s.pq.Len() > 0 {
+		v, d := s.pq.Pop()
+		s.settled++
+		if v == dst {
+			return d
+		}
+		s.g.OutEdges(v, func(eid graph.EdgeID, to graph.NodeID, w float64) bool {
+			s.relax(to, d+w, v, eid)
+			return true
+		})
+	}
+	return Inf
+}
+
+// Path runs a point-to-point search and returns the node sequence of a
+// shortest path from src to dst (inclusive) plus its length. The path is
+// nil when dst is unreachable.
+func (s *Search) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+	d := s.Distance(src, dst)
+	if math.IsInf(d, 1) {
+		return nil, Inf
+	}
+	return s.extractPath(src, dst), d
+}
+
+// PathTo extracts the path to v after a Run/RunFiltered from src. It
+// returns nil if v was not reached.
+func (s *Search) PathTo(src, v graph.NodeID) []graph.NodeID {
+	if s.stamp[v] != s.cur {
+		return nil
+	}
+	return s.extractPath(src, v)
+}
+
+func (s *Search) extractPath(src, dst graph.NodeID) []graph.NodeID {
+	var rev []graph.NodeID
+	for v := dst; ; v = s.parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Parent returns the predecessor of v on the shortest-path tree of the
+// last forward search (or the successor for reverse searches). The result
+// is only meaningful when Reached(v).
+func (s *Search) Parent(v graph.NodeID) graph.NodeID { return s.parent[v] }
+
+// ParentEdge returns the forward EdgeID of the tree edge into v, or -1 at
+// the root. Only meaningful when Reached(v).
+func (s *Search) ParentEdge(v graph.NodeID) graph.EdgeID { return s.pedge[v] }

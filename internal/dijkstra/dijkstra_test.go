@@ -1,0 +1,251 @@
+package dijkstra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// line builds a path graph 0-1-2-...-(n-1) with unit weights.
+func line(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, 2*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(geom.Point{X: float64(i)})
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddBidirectional(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// diamond has two s->t routes: s-a-t (3) and s-b-t (2).
+func diamond(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4, 8)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: float64(i % 2), Y: float64(i / 2)})
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddEdge(0, 1, 1)) // s->a
+	must(b.AddEdge(1, 3, 2)) // a->t
+	must(b.AddEdge(0, 2, 1)) // s->b
+	must(b.AddEdge(2, 3, 1)) // b->t
+	return b.Build()
+}
+
+func TestDistanceSimple(t *testing.T) {
+	g := diamond(t)
+	s := NewSearch(g)
+	if d := s.Distance(0, 3); d != 2 {
+		t.Errorf("Distance = %v, want 2", d)
+	}
+	if d := s.Distance(0, 0); d != 0 {
+		t.Errorf("Distance(s,s) = %v, want 0", d)
+	}
+	// t cannot reach s (directed).
+	if d := s.Distance(3, 0); !math.IsInf(d, 1) {
+		t.Errorf("Distance(t,s) = %v, want +Inf", d)
+	}
+}
+
+func TestPathSimple(t *testing.T) {
+	g := diamond(t)
+	s := NewSearch(g)
+	p, d := s.Path(0, 3)
+	if d != 2 {
+		t.Fatalf("dist = %v, want 2", d)
+	}
+	want := []graph.NodeID{0, 2, 3}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if p, d := s.Path(3, 0); p != nil || !math.IsInf(d, 1) {
+		t.Error("unreachable Path should be (nil, +Inf)")
+	}
+}
+
+func TestRunOneToAll(t *testing.T) {
+	g := line(t, 10)
+	s := NewSearch(g)
+	s.Run(3)
+	for v := graph.NodeID(0); v < 10; v++ {
+		want := math.Abs(float64(v - 3))
+		if d := s.Dist(v); d != want {
+			t.Errorf("Dist(%d) = %v, want %v", v, d, want)
+		}
+	}
+}
+
+func TestRunReverse(t *testing.T) {
+	g := diamond(t)
+	s := NewSearch(g)
+	s.RunReverse(3)
+	if d := s.Dist(0); d != 2 {
+		t.Errorf("reverse Dist(s) = %v, want 2", d)
+	}
+	if d := s.Dist(1); d != 2 {
+		t.Errorf("reverse Dist(a) = %v, want 2", d)
+	}
+	s.Run(3)
+	if d := s.Dist(0); !math.IsInf(d, 1) {
+		t.Errorf("forward from t should not reach s, got %v", d)
+	}
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	g := line(t, 20)
+	s := NewSearch(g)
+	for i := 0; i < 50; i++ {
+		src := graph.NodeID(i % 20)
+		s.Run(src)
+		if d := s.Dist(src); d != 0 {
+			t.Fatalf("run %d: Dist(src) = %v", i, d)
+		}
+	}
+	// Stale labels from previous runs must not leak.
+	s2 := NewSearch(g)
+	s2.Run(0)
+	s2.RunFiltered(19, nil, 0.5) // reaches only node 19
+	if s2.Reached(0) {
+		t.Error("stale label leaked across runs")
+	}
+}
+
+func TestRunFilteredRespectsAllowAndBound(t *testing.T) {
+	g := line(t, 10)
+	s := NewSearch(g)
+	// Block node 5: nothing beyond it is reachable.
+	s.RunFiltered(0, func(v graph.NodeID) bool { return v != 5 }, Inf)
+	if !s.Reached(5) {
+		t.Error("blocked node should still be labelled")
+	}
+	if s.Reached(6) {
+		t.Error("nodes beyond blocked node should be unreachable")
+	}
+	// Distance bound.
+	s.RunFiltered(0, nil, 3)
+	if !s.Reached(3) {
+		t.Error("node within bound should be reached")
+	}
+	if s.Reached(9) {
+		t.Error("node beyond bound should not be settled")
+	}
+}
+
+func TestPathToAfterRun(t *testing.T) {
+	g := line(t, 6)
+	s := NewSearch(g)
+	s.Run(0)
+	p := s.PathTo(0, 4)
+	if len(p) != 5 || p[0] != 0 || p[4] != 4 {
+		t.Errorf("PathTo = %v", p)
+	}
+	s.RunFiltered(0, nil, 1.5)
+	if p := s.PathTo(0, 5); p != nil {
+		t.Errorf("PathTo unreachable = %v, want nil", p)
+	}
+}
+
+func TestBidirectionalMatchesUnidirectional(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 20, Rows: 20, ArterialEvery: 5, HighwayEvery: 10,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := NewSearch(g)
+	bi := NewBiSearch(g)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		want := uni.Distance(s, d)
+		got := bi.Distance(s, d)
+		if math.Abs(want-got) > 1e-9*(1+want) {
+			t.Fatalf("query %d->%d: bi=%v uni=%v", s, d, got, want)
+		}
+	}
+}
+
+func TestBidirectionalPathIsValidWalk(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 15, Rows: 15, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := NewBiSearch(g)
+	uni := NewSearch(g)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		p, dist := bi.Path(s, d)
+		if math.IsInf(dist, 1) {
+			continue
+		}
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("path endpoints wrong: %v for %d->%d", p, s, d)
+		}
+		sum := 0.0
+		for j := 0; j+1 < len(p); j++ {
+			_, w, ok := g.FindEdge(p[j], p[j+1])
+			if !ok {
+				t.Fatalf("path step %d->%d is not an edge", p[j], p[j+1])
+			}
+			sum += w
+		}
+		if math.Abs(sum-dist) > 1e-9*(1+dist) {
+			t.Fatalf("path length %v != reported %v", sum, dist)
+		}
+		if want := uni.Distance(s, d); math.Abs(want-dist) > 1e-9*(1+want) {
+			t.Fatalf("bi path dist %v != dijkstra %v", dist, want)
+		}
+	}
+}
+
+func TestBidirectionalSameNode(t *testing.T) {
+	g := line(t, 3)
+	bi := NewBiSearch(g)
+	if d := bi.Distance(1, 1); d != 0 {
+		t.Errorf("Distance(v,v) = %v, want 0", d)
+	}
+	p, d := bi.Path(1, 1)
+	if d != 0 || len(p) != 1 || p[0] != 1 {
+		t.Errorf("Path(v,v) = %v,%v", p, d)
+	}
+}
+
+func TestSettledCounters(t *testing.T) {
+	g := line(t, 50)
+	s := NewSearch(g)
+	s.Distance(0, 5)
+	near := s.Settled()
+	s.Distance(0, 49)
+	far := s.Settled()
+	if near >= far {
+		t.Errorf("settled counts should grow with distance: near=%d far=%d", near, far)
+	}
+	bi := NewBiSearch(g)
+	bi.Distance(0, 49)
+	if bi.Settled() == 0 {
+		t.Error("bidirectional Settled should be positive")
+	}
+}

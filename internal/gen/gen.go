@@ -1,0 +1,295 @@
+// Package gen produces deterministic synthetic road networks that stand in
+// for the paper's US DIMACS datasets (which are not available offline).
+//
+// The generators are built to preserve the property AH exploits: a small
+// arterial dimension. GridCity emulates a real road hierarchy — dense
+// local streets, spaced arterial roads, and sparse highways with higher
+// travel speeds — so that local shortest paths between distant regions
+// concentrate on a handful of fast edges crossing any bisector, exactly
+// the structure Figure 3 of the paper measures on real data. Edge weights
+// are travel times (length/speed), matching the paper's datasets.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// GridCityConfig parameterises GridCity.
+type GridCityConfig struct {
+	// Cols and Rows give the intersection lattice dimensions.
+	Cols, Rows int
+	// ArterialEvery marks every k-th row/column as an arterial road
+	// (faster). Zero disables arterials.
+	ArterialEvery int
+	// HighwayEvery marks every k-th row/column as a highway (fastest).
+	// Zero disables highways. Should be a multiple of ArterialEvery for a
+	// realistic nesting.
+	HighwayEvery int
+	// RemoveFrac removes this fraction of non-arterial street segments to
+	// make the lattice irregular. Removal never disconnects the network
+	// (arterial/highway segments are kept).
+	RemoveFrac float64
+	// Jitter displaces each intersection by up to this fraction of the
+	// unit spacing, guaranteeing at most one node per fine grid cell while
+	// keeping the network planar-looking.
+	Jitter float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Speeds (distance units per time unit) for the three road classes. Local
+// streets are slow; highways are 5× faster, which concentrates long
+// shortest paths on them.
+const (
+	speedStreet   = 1.0
+	speedArterial = 2.5
+	speedHighway  = 5.0
+)
+
+// GridCity generates an irregular lattice road network with a built-in
+// road hierarchy. Edges are bidirectional with travel-time weights.
+func GridCity(cfg GridCityConfig) (*graph.Graph, error) {
+	if cfg.Cols < 2 || cfg.Rows < 2 {
+		return nil, fmt.Errorf("gen: GridCity needs at least a 2x2 lattice, got %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if cfg.RemoveFrac < 0 || cfg.RemoveFrac >= 1 {
+		return nil, fmt.Errorf("gen: RemoveFrac must be in [0,1), got %v", cfg.RemoveFrac)
+	}
+	if cfg.Jitter < 0 || cfg.Jitter > 0.45 {
+		return nil, fmt.Errorf("gen: Jitter must be in [0,0.45], got %v", cfg.Jitter)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	id := func(c, r int) graph.NodeID { return graph.NodeID(r*cfg.Cols + c) }
+	b := graph.NewBuilder(cfg.Cols*cfg.Rows, 4*cfg.Cols*cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter
+			b.AddNode(geom.Point{X: float64(c) + jx, Y: float64(r) + jy})
+		}
+	}
+
+	classOf := func(idx int) float64 {
+		if cfg.HighwayEvery > 0 && idx%cfg.HighwayEvery == 0 {
+			return speedHighway
+		}
+		if cfg.ArterialEvery > 0 && idx%cfg.ArterialEvery == 0 {
+			return speedArterial
+		}
+		return speedStreet
+	}
+	addSeg := func(u, v graph.NodeID, speed float64, removable bool) error {
+		if removable && rng.Float64() < cfg.RemoveFrac {
+			return nil
+		}
+		// Travel time with a deterministic ±2% perturbation that keeps
+		// shortest paths unique in practice (Appendix A spirit).
+		pu, pv := builderPoint(b, u), builderPoint(b, v)
+		length := pu.L2(pv)
+		w := length / speed * (1 + 0.02*rng.Float64())
+		return b.AddBidirectional(u, v, w)
+	}
+
+	// Horizontal segments: row r has speed classOf(r).
+	for r := 0; r < cfg.Rows; r++ {
+		sp := classOf(r)
+		for c := 0; c+1 < cfg.Cols; c++ {
+			if err := addSeg(id(c, r), id(c+1, r), sp, sp == speedStreet); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Vertical segments: column c has speed classOf(c).
+	for c := 0; c < cfg.Cols; c++ {
+		sp := classOf(c)
+		for r := 0; r+1 < cfg.Rows; r++ {
+			if err := addSeg(id(c, r), id(c, r+1), sp, sp == speedStreet); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := b.Build()
+	return ensureConnected(g)
+}
+
+// builderPoint reads back a point added to the builder. The builder stores
+// nodes densely in insertion order, so this is a plain index.
+func builderPoint(b *graph.Builder, v graph.NodeID) geom.Point {
+	return b.PointOf(v)
+}
+
+// RandomGeometricConfig parameterises RandomGeometric.
+type RandomGeometricConfig struct {
+	N    int // number of nodes
+	K    int // edges per node toward nearest neighbours (default 3)
+	Seed int64
+}
+
+// RandomGeometric scatters N points uniformly in a square and connects
+// each to its K nearest neighbours (bidirectionally, weight = distance).
+// The result is degree-bounded and made strongly connected by linking
+// leftover components along nearest pairs. It models rural/exurban road
+// fabric with no pronounced hierarchy — a stress test for AH's ordering.
+func RandomGeometric(cfg RandomGeometricConfig) (*graph.Graph, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gen: RandomGeometric needs N >= 2, got %d", cfg.N)
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := math.Sqrt(float64(cfg.N))
+	pts := make([]geom.Point, cfg.N)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+
+	// Spatial hash with unit cells for neighbour lookups.
+	cellKey := func(p geom.Point) uint64 {
+		return uint64(uint32(int32(p.X)))<<32 | uint64(uint32(int32(p.Y)))
+	}
+	buckets := make(map[uint64][]graph.NodeID, cfg.N)
+	for i, p := range pts {
+		buckets[cellKey(p)] = append(buckets[cellKey(p)], graph.NodeID(i))
+	}
+
+	b := graph.NewBuilder(cfg.N, cfg.N*k*2)
+	for _, p := range pts {
+		b.AddNode(p)
+	}
+	type cand struct {
+		id graph.NodeID
+		d  float64
+	}
+	added := make(map[uint64]struct{})
+	edgeKey := func(u, v graph.NodeID) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(uint32(u))<<32 | uint64(uint32(v))
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := pts[i]
+		var cands []cand
+		for radius := int32(1); len(cands) < k+1 && radius < int32(side)+2; radius++ {
+			cands = cands[:0]
+			cx, cy := int32(p.X), int32(p.Y)
+			for dx := -radius; dx <= radius; dx++ {
+				for dy := -radius; dy <= radius; dy++ {
+					key := uint64(uint32(cx+dx))<<32 | uint64(uint32(cy+dy))
+					for _, j := range buckets[key] {
+						if int(j) == i {
+							continue
+						}
+						cands = append(cands, cand{id: j, d: p.L2(pts[j])})
+					}
+				}
+			}
+		}
+		// Partial selection sort for the k nearest.
+		for a := 0; a < k && a < len(cands); a++ {
+			min := a
+			for bi := a + 1; bi < len(cands); bi++ {
+				if cands[bi].d < cands[min].d {
+					min = bi
+				}
+			}
+			cands[a], cands[min] = cands[min], cands[a]
+			ek := edgeKey(graph.NodeID(i), cands[a].id)
+			if _, dup := added[ek]; dup {
+				continue
+			}
+			added[ek] = struct{}{}
+			w := cands[a].d * (1 + 0.01*rng.Float64())
+			if w <= 0 {
+				w = 1e-9
+			}
+			if err := b.AddBidirectional(graph.NodeID(i), cands[a].id, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ensureConnected(b.Build())
+}
+
+// ensureConnected links weakly separated components with bidirectional
+// edges between their closest representative pair, then rebuilds.
+func ensureConnected(g *graph.Graph) (*graph.Graph, error) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var roots []graph.NodeID
+	for v := graph.NodeID(0); v < graph.NodeID(n); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		c := int32(len(roots))
+		roots = append(roots, v)
+		stack := []graph.NodeID{v}
+		comp[v] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(_ graph.EdgeID, w graph.NodeID, _ float64) bool {
+				if comp[w] < 0 {
+					comp[w] = c
+					stack = append(stack, w)
+				}
+				return true
+			}
+			g.OutEdges(u, visit)
+			g.InEdges(u, visit)
+		}
+	}
+	if len(roots) == 1 {
+		return g, nil
+	}
+	// Rebuild with bridge edges from each extra component to component 0's
+	// nearest node (linear scan; component counts are tiny in practice).
+	b := graph.NewBuilder(n, g.NumEdges()+4*len(roots))
+	for v := graph.NodeID(0); v < graph.NodeID(n); v++ {
+		b.AddNode(g.Point(v))
+	}
+	for _, e := range g.Edges() {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	for c := 1; c < len(roots); c++ {
+		// Closest pair between component c and component 0.
+		bestD := math.Inf(1)
+		var bu, bv graph.NodeID
+		for v := graph.NodeID(0); v < graph.NodeID(n); v++ {
+			if comp[v] != int32(c) {
+				continue
+			}
+			for u := graph.NodeID(0); u < graph.NodeID(n); u++ {
+				if comp[u] != 0 {
+					continue
+				}
+				if d := g.Point(v).L2(g.Point(u)); d < bestD {
+					bestD, bu, bv = d, u, v
+				}
+			}
+		}
+		w := bestD
+		if w <= 0 {
+			w = 1e-9
+		}
+		if err := b.AddBidirectional(bu, bv, w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

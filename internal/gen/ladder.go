@@ -1,0 +1,54 @@
+package gen
+
+import "repro/internal/graph"
+
+// Dataset names a synthetic counterpart of one of the paper's ten US road
+// networks (Table 2), scaled to laptop-friendly sizes. The apostrophe
+// marks them as synthetic stand-ins.
+type Dataset struct {
+	Name   string // e.g. "DE'" mirroring the paper's DE (Delaware)
+	Region string // the paper dataset it mirrors
+	Config GridCityConfig
+}
+
+// Ladder returns the dataset ladder used by every experiment, ordered by
+// size exactly like Table 2 of the paper. Sizes grow roughly 2× per rung,
+// mirroring the paper's 48k→24M progression at reduced scale.
+func Ladder() []Dataset {
+	mk := func(name, region string, cols, rows int, seed int64) Dataset {
+		return Dataset{
+			Name:   name,
+			Region: region,
+			Config: GridCityConfig{
+				Cols: cols, Rows: rows,
+				ArterialEvery: 8, HighwayEvery: 32,
+				RemoveFrac: 0.15, Jitter: 0.3,
+				Seed: seed,
+			},
+		}
+	}
+	return []Dataset{
+		mk("DE'", "Delaware", 70, 70, 1),        // ~4.9k nodes
+		mk("NH'", "New Hampshire", 100, 100, 2), // ~10k
+		mk("ME'", "Maine", 130, 130, 3),         // ~17k
+		mk("CO'", "Colorado", 180, 180, 4),      // ~32k
+		mk("FL'", "Florida", 260, 260, 5),       // ~68k
+		mk("CA'", "California", 350, 350, 6),    // ~122k
+		mk("E-US'", "Eastern US", 440, 440, 7),  // ~194k
+		mk("W-US'", "Western US", 550, 550, 8),  // ~302k
+	}
+}
+
+// SmallLadder returns the first k rungs, for tests and quick runs.
+func SmallLadder(k int) []Dataset {
+	l := Ladder()
+	if k < len(l) {
+		l = l[:k]
+	}
+	return l
+}
+
+// Build materialises the dataset's graph.
+func (d Dataset) Build() (*graph.Graph, error) {
+	return GridCity(d.Config)
+}

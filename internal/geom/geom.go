@@ -1,0 +1,96 @@
+// Package geom provides the small set of planar-geometry primitives used
+// throughout the Arterial Hierarchy implementation: points in the plane,
+// L∞ and L2 metrics, and axis-aligned bounding boxes.
+//
+// The paper measures road-network extent with the L∞ (Chebyshev) metric:
+// the grid hierarchy depth h is bounded by log2(dmax/dmin) where dmax and
+// dmin are the largest and smallest L∞ distances between any two nodes.
+package geom
+
+import "math"
+
+// Point is a location in the plane. Road-network datasets store node
+// coordinates as projected integers (DIMACS) or floats; we normalise to
+// float64 on load.
+type Point struct {
+	X, Y float64
+}
+
+// LInf returns the L∞ (Chebyshev) distance between p and q.
+func (p Point) LInf(q Point) float64 {
+	return math.Max(math.Abs(p.X-q.X), math.Abs(p.Y-q.Y))
+}
+
+// L2 returns the Euclidean distance between p and q.
+func (p Point) L2(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// L1 returns the Manhattan distance between p and q.
+func (p Point) L1(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// BBox is an axis-aligned bounding box. The zero value is an "empty" box
+// ready for extension with Extend.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+	nonEmpty               bool
+}
+
+// NewBBox returns a box covering exactly the given corners.
+func NewBBox(minX, minY, maxX, maxY float64) BBox {
+	return BBox{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY, nonEmpty: true}
+}
+
+// Empty reports whether the box covers no points.
+func (b BBox) Empty() bool { return !b.nonEmpty }
+
+// Extend grows the box to include p.
+func (b *BBox) Extend(p Point) {
+	if !b.nonEmpty {
+		b.MinX, b.MinY, b.MaxX, b.MaxY = p.X, p.Y, p.X, p.Y
+		b.nonEmpty = true
+		return
+	}
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+}
+
+// Contains reports whether p lies inside the box (boundary inclusive).
+func (b BBox) Contains(p Point) bool {
+	return b.nonEmpty &&
+		p.X >= b.MinX && p.X <= b.MaxX &&
+		p.Y >= b.MinY && p.Y <= b.MaxY
+}
+
+// Width returns the horizontal extent of the box.
+func (b BBox) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns the vertical extent of the box.
+func (b BBox) Height() float64 { return b.MaxY - b.MinY }
+
+// Side returns the L∞ extent of the box: max(width, height). This is the
+// dmax of the paper when the box tightly covers all nodes.
+func (b BBox) Side() float64 { return math.Max(b.Width(), b.Height()) }
+
+// Center returns the box midpoint.
+func (b BBox) Center() Point {
+	return Point{X: (b.MinX + b.MaxX) / 2, Y: (b.MinY + b.MaxY) / 2}
+}
+
+// Union returns the smallest box covering both b and o.
+func (b BBox) Union(o BBox) BBox {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return NewBBox(
+		math.Min(b.MinX, o.MinX), math.Min(b.MinY, o.MinY),
+		math.Max(b.MaxX, o.MaxX), math.Max(b.MaxY, o.MaxY),
+	)
+}

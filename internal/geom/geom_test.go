@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLInf(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 4},
+		{Point{0, 0}, Point{-3, 2}, 3},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, -2}, Point{2, 2}, 4},
+	}
+	for _, tc := range tests {
+		if got := tc.p.LInf(tc.q); got != tc.want {
+			t.Errorf("LInf(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestL2AndL1(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, 4}
+	if got := p.L2(q); got != 5 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := p.L1(q); got != 7 {
+		t.Errorf("L1 = %v, want 7", got)
+	}
+}
+
+func TestMetricsAreSymmetricAndOrdered(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		linf, l2, l1 := p.LInf(q), p.L2(q), p.L1(q)
+		// Symmetry.
+		if linf != q.LInf(p) || l2 != q.L2(p) || l1 != q.L1(p) {
+			return false
+		}
+		// LInf <= L2 <= L1 for finite inputs.
+		if math.IsInf(l1, 1) {
+			return true
+		}
+		const slack = 1e-9
+		return linf <= l2*(1+slack) && l2 <= l1*(1+slack)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxExtendContains(t *testing.T) {
+	var b BBox
+	if !b.Empty() {
+		t.Fatal("zero BBox should be empty")
+	}
+	if b.Contains(Point{0, 0}) {
+		t.Error("empty box should contain nothing")
+	}
+	b.Extend(Point{1, 2})
+	if b.Empty() {
+		t.Fatal("box should be non-empty after Extend")
+	}
+	if !b.Contains(Point{1, 2}) {
+		t.Error("box should contain its only point")
+	}
+	b.Extend(Point{-1, 5})
+	for _, p := range []Point{{1, 2}, {-1, 5}, {0, 3}} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	if b.Contains(Point{2, 2}) {
+		t.Error("box should not contain (2,2)")
+	}
+	if b.Width() != 2 || b.Height() != 3 {
+		t.Errorf("Width/Height = %v/%v, want 2/3", b.Width(), b.Height())
+	}
+	if b.Side() != 3 {
+		t.Errorf("Side = %v, want 3", b.Side())
+	}
+}
+
+func TestBBoxCenterUnion(t *testing.T) {
+	a := NewBBox(0, 0, 2, 2)
+	if c := a.Center(); c != (Point{1, 1}) {
+		t.Errorf("Center = %v, want (1,1)", c)
+	}
+	b := NewBBox(1, -1, 3, 1)
+	u := a.Union(b)
+	want := NewBBox(0, -1, 3, 2)
+	if u != want {
+		t.Errorf("Union = %+v, want %+v", u, want)
+	}
+	var empty BBox
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union(a) = %+v, want a", got)
+	}
+	if got := a.Union(empty); got != a {
+		t.Errorf("a.Union(empty) = %+v, want a", got)
+	}
+}
+
+func TestBBoxExtendProperty(t *testing.T) {
+	f := func(pts [][2]float64) bool {
+		var b BBox
+		for _, xy := range pts {
+			if math.IsNaN(xy[0]) || math.IsNaN(xy[1]) {
+				return true
+			}
+			b.Extend(Point{xy[0], xy[1]})
+		}
+		for _, xy := range pts {
+			if !b.Contains(Point{xy[0], xy[1]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

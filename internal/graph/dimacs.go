@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// This file implements readers and writers for the DIMACS 9th
+// Implementation Challenge format used by the paper's datasets
+// (http://www.dis.uniroma1.it/~challenge9/): a ".gr" file carries the arc
+// list and a ".co" file carries node coordinates. Node ids in the files
+// are 1-based; we convert to dense 0-based ids.
+
+// ReadDIMACS parses a graph from gr (arcs) and co (coordinates) streams.
+func ReadDIMACS(gr, co io.Reader) (*Graph, error) {
+	points, err := readDIMACSCoordinates(co)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(len(points), 0)
+	for _, p := range points {
+		b.AddNode(p)
+	}
+	if err := readDIMACSArcs(gr, b); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+func readDIMACSCoordinates(r io.Reader) ([]geom.Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var points []geom.Point
+	seen := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "c":
+			// comment
+		case "p":
+			// "p aux sp co <n>"
+			if len(f) < 2 {
+				return nil, fmt.Errorf("dimacs co line %d: malformed problem line", line)
+			}
+			n, err := strconv.Atoi(f[len(f)-1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs co line %d: bad node count %q", line, f[len(f)-1])
+			}
+			points = make([]geom.Point, n)
+		case "v":
+			// "v <id> <x> <y>"
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dimacs co line %d: want 4 fields, got %d", line, len(f))
+			}
+			id, err1 := strconv.Atoi(f[1])
+			x, err2 := strconv.ParseFloat(f[2], 64)
+			y, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dimacs co line %d: malformed vertex line", line)
+			}
+			if points == nil {
+				return nil, fmt.Errorf("dimacs co line %d: vertex before problem line", line)
+			}
+			if id < 1 || id > len(points) {
+				return nil, fmt.Errorf("dimacs co line %d: vertex id %d out of range [1,%d]", line, id, len(points))
+			}
+			points[id-1] = geom.Point{X: x, Y: y}
+			seen++
+		default:
+			return nil, fmt.Errorf("dimacs co line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs co: %w", err)
+	}
+	if points == nil {
+		return nil, fmt.Errorf("dimacs co: missing problem line")
+	}
+	if seen != len(points) {
+		return nil, fmt.Errorf("dimacs co: problem line declares %d nodes but %d vertex lines present", len(points), seen)
+	}
+	return points, nil
+}
+
+func readDIMACSArcs(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	declared := -1
+	added := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "c":
+		case "p":
+			// "p sp <n> <m>"
+			if len(f) != 4 {
+				return fmt.Errorf("dimacs gr line %d: malformed problem line", line)
+			}
+			n, err1 := strconv.Atoi(f[2])
+			m, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("dimacs gr line %d: malformed problem line", line)
+			}
+			if n != b.NumNodes() {
+				return fmt.Errorf("dimacs gr: declares %d nodes but coordinate file has %d", n, b.NumNodes())
+			}
+			declared = m
+		case "a":
+			// "a <from> <to> <weight>"
+			if len(f) != 4 {
+				return fmt.Errorf("dimacs gr line %d: want 4 fields, got %d", line, len(f))
+			}
+			from, err1 := strconv.Atoi(f[1])
+			to, err2 := strconv.Atoi(f[2])
+			w, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("dimacs gr line %d: malformed arc line", line)
+			}
+			if err := b.AddEdge(NodeID(from-1), NodeID(to-1), w); err != nil {
+				return fmt.Errorf("dimacs gr line %d: %w", line, err)
+			}
+			added++
+		default:
+			return fmt.Errorf("dimacs gr line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dimacs gr: %w", err)
+	}
+	if declared >= 0 && declared != added {
+		return fmt.Errorf("dimacs gr: problem line declares %d arcs but %d arc lines present", declared, added)
+	}
+	return nil
+}
+
+// WriteDIMACS writes the graph in DIMACS challenge format. Weights are
+// written with full float precision (the official format is integral, but
+// our loader round-trips floats).
+func WriteDIMACS(g *Graph, gr, co io.Writer) error {
+	bw := bufio.NewWriter(co)
+	fmt.Fprintf(bw, "p aux sp co %d\n", g.NumNodes())
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		p := g.Point(v)
+		fmt.Fprintf(bw, "v %d %g %g\n", v+1, p.X, p.Y)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	bw = bufio.NewWriter(gr)
+	fmt.Fprintf(bw, "p sp %d %d\n", g.NumNodes(), g.NumEdges())
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		var err error
+		g.OutEdges(v, func(_ EdgeID, to NodeID, w float64) bool {
+			_, err = fmt.Fprintf(bw, "a %d %d %g\n", v+1, to+1, w)
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

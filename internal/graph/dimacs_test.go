@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const (
+	sampleCO = `c coordinates
+p aux sp co 3
+v 1 0 0
+v 2 10 0
+v 3 10 10
+`
+	sampleGR = `c arcs
+p sp 3 4
+a 1 2 5
+a 2 1 5
+a 2 3 7
+a 3 1 20
+`
+)
+
+func TestReadDIMACS(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(sampleGR), strings.NewReader(sampleCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges, want 3/4", g.NumNodes(), g.NumEdges())
+	}
+	if p := g.Point(2); p.X != 10 || p.Y != 10 {
+		t.Errorf("node 3 point = %v", p)
+	}
+	if _, w, ok := g.FindEdge(1, 2); !ok || w != 7 {
+		t.Errorf("edge 2->3 = %v,%v, want 7,true", w, ok)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g, err := ReadDIMACS(strings.NewReader(sampleGR), strings.NewReader(sampleCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr, co bytes.Buffer
+	if err := WriteDIMACS(g, &gr, &co); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACS(&gr, &co)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		if g.Point(v) != g2.Point(v) {
+			t.Errorf("node %d point changed: %v vs %v", v, g.Point(v), g2.Point(v))
+		}
+	}
+}
+
+func TestReadDIMACSMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		gr, co string
+	}{
+		{"missing problem line in co", sampleGR, "v 1 0 0\n"},
+		{"vertex id out of range", sampleGR, "p aux sp co 1\nv 2 0 0\n"},
+		{"vertex count mismatch", sampleGR, "p aux sp co 5\nv 1 0 0\n"},
+		{"bad vertex fields", sampleGR, "p aux sp co 1\nv 1 0\n"},
+		{"unknown record co", sampleGR, "p aux sp co 1\nz 1 0 0\n"},
+		{"arc to unknown node", "p sp 3 1\na 1 9 5\n", sampleCO},
+		{"arc bad weight", "p sp 3 1\na 1 2 -5\n", sampleCO},
+		{"arc count mismatch", "p sp 3 9\na 1 2 5\n", sampleCO},
+		{"node count mismatch", "p sp 7 1\na 1 2 5\n", sampleCO},
+		{"unknown record gr", "p sp 3 0\nq 1 2 3\n", sampleCO},
+		{"bad arc fields", "p sp 3 1\na 1 2\n", sampleCO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadDIMACS(strings.NewReader(tc.gr), strings.NewReader(tc.co)); err == nil {
+				t.Errorf("expected error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadDIMACSIgnoresComments(t *testing.T) {
+	co := "c hi\nc there\n" + strings.TrimPrefix(sampleCO, "c coordinates\n")
+	gr := "c hi\n" + strings.TrimPrefix(sampleGR, "c arcs\n")
+	if _, err := ReadDIMACS(strings.NewReader(gr), strings.NewReader(co)); err != nil {
+		t.Fatal(err)
+	}
+}

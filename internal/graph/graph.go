@@ -1,0 +1,351 @@
+// Package graph implements the road-network substrate: a directed,
+// positively-weighted graph whose nodes are embedded in the plane.
+//
+// The representation is a compressed sparse row (CSR) adjacency in both
+// directions, which gives cache-friendly scans during the millions of edge
+// relaxations performed by index construction. Graphs are immutable once
+// built; use Builder to assemble one.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node; ids are dense in [0, NumNodes).
+type NodeID = int32
+
+// EdgeID identifies a directed edge in the forward CSR arrays.
+type EdgeID = int32
+
+// Edge is a materialised directed edge.
+type Edge struct {
+	From, To NodeID
+	Weight   float64
+}
+
+// Graph is an immutable directed road network.
+type Graph struct {
+	points []geom.Point
+
+	// Forward CSR: edges leaving each node.
+	outStart  []int32 // len NumNodes+1
+	outTo     []NodeID
+	outWeight []float64
+
+	// Reverse CSR: edges entering each node. inEdge maps each reverse slot
+	// back to the forward EdgeID so metadata lookups stay O(1).
+	inStart  []int32
+	inFrom   []NodeID
+	inWeight []float64
+	inEdge   []EdgeID
+
+	bbox geom.BBox
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.points) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.outTo) }
+
+// Point returns the planar position of node v.
+func (g *Graph) Point(v NodeID) geom.Point { return g.points[v] }
+
+// Points returns the backing coordinate slice; callers must not modify it.
+func (g *Graph) Points() []geom.Point { return g.points }
+
+// BBox returns the tight bounding box of all node positions.
+func (g *Graph) BBox() geom.BBox { return g.bbox }
+
+// OutDegree returns the number of edges leaving v.
+func (g *Graph) OutDegree(v NodeID) int {
+	return int(g.outStart[v+1] - g.outStart[v])
+}
+
+// InDegree returns the number of edges entering v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inStart[v+1] - g.inStart[v])
+}
+
+// OutEdges calls fn for every edge (v -> to, w). The eid is the forward
+// edge id. Iteration stops early if fn returns false.
+func (g *Graph) OutEdges(v NodeID, fn func(eid EdgeID, to NodeID, w float64) bool) {
+	for i := g.outStart[v]; i < g.outStart[v+1]; i++ {
+		if !fn(i, g.outTo[i], g.outWeight[i]) {
+			return
+		}
+	}
+}
+
+// InEdges calls fn for every edge (from -> v, w). The eid is the forward
+// edge id of the underlying edge. Iteration stops early if fn returns false.
+func (g *Graph) InEdges(v NodeID, fn func(eid EdgeID, from NodeID, w float64) bool) {
+	for i := g.inStart[v]; i < g.inStart[v+1]; i++ {
+		if !fn(g.inEdge[i], g.inFrom[i], g.inWeight[i]) {
+			return
+		}
+	}
+}
+
+// EdgeEndpoints returns the endpoints of forward edge eid.
+func (g *Graph) EdgeEndpoints(eid EdgeID) (from, to NodeID) {
+	return g.edgeFrom(eid), g.outTo[eid]
+}
+
+// EdgeWeight returns the weight of forward edge eid.
+func (g *Graph) EdgeWeight(eid EdgeID) float64 { return g.outWeight[eid] }
+
+// edgeFrom recovers the tail of a forward edge by binary search over the
+// CSR offsets.
+func (g *Graph) edgeFrom(eid EdgeID) NodeID {
+	lo, hi := 0, len(g.outStart)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.outStart[mid+1] <= eid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return NodeID(lo)
+}
+
+// FindEdge returns the id and weight of the minimum-weight edge from u to
+// v, or ok=false if none exists.
+func (g *Graph) FindEdge(u, v NodeID) (eid EdgeID, w float64, ok bool) {
+	w = math.Inf(1)
+	g.OutEdges(u, func(e EdgeID, to NodeID, ew float64) bool {
+		if to == v && ew < w {
+			eid, w, ok = e, ew, true
+		}
+		return true
+	})
+	return eid, w, ok
+}
+
+// Edges returns all directed edges in forward-CSR order. It allocates; use
+// OutEdges for hot paths.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		g.OutEdges(v, func(_ EdgeID, to NodeID, w float64) bool {
+			out = append(out, Edge{From: v, To: to, Weight: w})
+			return true
+		})
+	}
+	return out
+}
+
+// MaxDegree returns the largest total (in+out) degree of any node; the
+// paper assumes degree-bounded graphs.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		if d := g.OutDegree(v) + g.InDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks the structural invariants expected by the rest of the
+// system: positive finite weights and in-range endpoints.
+func (g *Graph) Validate() error {
+	n := NodeID(g.NumNodes())
+	for v := NodeID(0); v < n; v++ {
+		var err error
+		g.OutEdges(v, func(eid EdgeID, to NodeID, w float64) bool {
+			if to < 0 || to >= n {
+				err = fmt.Errorf("edge %d: head %d out of range [0,%d)", eid, to, n)
+				return false
+			}
+			if !(w > 0) || math.IsInf(w, 1) {
+				err = fmt.Errorf("edge %d (%d->%d): non-positive or non-finite weight %v", eid, v, to, w)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builder assembles a Graph. Add nodes first, then edges; Build finalises
+// the CSR arrays and may be called once.
+type Builder struct {
+	points []geom.Point
+	edges  []Edge
+}
+
+// NewBuilder returns a builder with capacity hints.
+func NewBuilder(nodeHint, edgeHint int) *Builder {
+	return &Builder{
+		points: make([]geom.Point, 0, nodeHint),
+		edges:  make([]Edge, 0, edgeHint),
+	}
+}
+
+// AddNode appends a node at p and returns its id.
+func (b *Builder) AddNode(p geom.Point) NodeID {
+	b.points = append(b.points, p)
+	return NodeID(len(b.points) - 1)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.points) }
+
+// PointOf returns the position of an already-added node.
+func (b *Builder) PointOf(v NodeID) geom.Point { return b.points[v] }
+
+// AddEdge appends a directed edge. It returns an error for out-of-range
+// endpoints or a non-positive weight.
+func (b *Builder) AddEdge(from, to NodeID, w float64) error {
+	n := NodeID(len(b.points))
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("graph: edge (%d->%d) endpoint out of range [0,%d)", from, to, n)
+	}
+	if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
+		return fmt.Errorf("graph: edge (%d->%d) has invalid weight %v", from, to, w)
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to, Weight: w})
+	return nil
+}
+
+// AddBidirectional adds both directions with the same weight.
+func (b *Builder) AddBidirectional(u, v NodeID, w float64) error {
+	if err := b.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u, w)
+}
+
+// Build finalises the graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.points)
+	m := len(b.edges)
+	g := &Graph{
+		points:    b.points,
+		outStart:  make([]int32, n+1),
+		outTo:     make([]NodeID, m),
+		outWeight: make([]float64, m),
+		inStart:   make([]int32, n+1),
+		inFrom:    make([]NodeID, m),
+		inWeight:  make([]float64, m),
+		inEdge:    make([]EdgeID, m),
+	}
+	for _, p := range b.points {
+		g.bbox.Extend(p)
+	}
+
+	// Counting sort into forward CSR.
+	for _, e := range b.edges {
+		g.outStart[e.From+1]++
+		g.inStart[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+		g.inStart[i+1] += g.inStart[i]
+	}
+	outNext := make([]int32, n)
+	copy(outNext, g.outStart[:n])
+	for _, e := range b.edges {
+		slot := outNext[e.From]
+		outNext[e.From]++
+		g.outTo[slot] = e.To
+		g.outWeight[slot] = e.Weight
+	}
+	inNext := make([]int32, n)
+	copy(inNext, g.inStart[:n])
+	for v := NodeID(0); v < NodeID(n); v++ {
+		for eid := g.outStart[v]; eid < g.outStart[v+1]; eid++ {
+			to := g.outTo[eid]
+			slot := inNext[to]
+			inNext[to]++
+			g.inFrom[slot] = v
+			g.inWeight[slot] = g.outWeight[eid]
+			g.inEdge[slot] = eid
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from points and an edge list.
+func FromEdges(points []geom.Point, edges []Edge) (*Graph, error) {
+	b := NewBuilder(len(points), len(edges))
+	for _, p := range points {
+		b.AddNode(p)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Stats summarises a graph for reporting (Table 2).
+type Stats struct {
+	Nodes, Edges          int
+	MinWeight, MaxWeight  float64
+	MaxDegree             int
+	Width, Height, LInfD  float64 // bounding-box extents; LInfD = dmax
+	StronglyConnectedHint bool    // true if a forward+backward sweep from node 0 reaches all nodes
+}
+
+// ComputeStats derives summary statistics.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		MinWeight: math.Inf(1),
+		MaxDegree: g.MaxDegree(),
+		Width:     g.bbox.Width(),
+		Height:    g.bbox.Height(),
+		LInfD:     g.bbox.Side(),
+	}
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		g.OutEdges(v, func(_ EdgeID, _ NodeID, w float64) bool {
+			if w < s.MinWeight {
+				s.MinWeight = w
+			}
+			if w > s.MaxWeight {
+				s.MaxWeight = w
+			}
+			return true
+		})
+	}
+	if g.NumNodes() > 0 {
+		s.StronglyConnectedHint = reachesAll(g, 0, false) && reachesAll(g, 0, true)
+	}
+	return s
+}
+
+func reachesAll(g *Graph, src NodeID, reverse bool) bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{src}
+	seen[src] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(_ EdgeID, u NodeID, _ float64) bool {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+			return true
+		}
+		if reverse {
+			g.InEdges(v, visit)
+		} else {
+			g.OutEdges(v, visit)
+		}
+	}
+	return count == g.NumNodes()
+}

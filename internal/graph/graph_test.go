@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// paperGraph builds the 11-node running example of Figure 1. Edges are
+// bidirectional; thick edges (weight 2) and thin edges (weight 1) follow
+// the figure's legend as closely as the prose allows.
+func paperGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(11, 32)
+	pts := []geom.Point{
+		{X: 0.5, Y: 0.5},  // v1
+		{X: 0.5, Y: 2.5},  // v2
+		{X: 3.5, Y: 2.75}, // v3
+		{X: 3.5, Y: 0.75}, // v4
+		{X: 1.25, Y: 3.2}, // v5
+		{X: 1.5, Y: 2.2},  // v6
+		{X: 1.2, Y: 1.0},  // v7
+		{X: 2.75, Y: 3.3}, // v8
+		{X: 0.8, Y: 2.9},  // v9
+		{X: 2.3, Y: 2.4},  // v10
+		{X: 0.9, Y: 0.3},  // v11
+	}
+	for _, p := range pts {
+		b.AddNode(p)
+	}
+	bi := func(u, v NodeID, w float64) {
+		if err := b.AddBidirectional(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 0-based ids: v1=0 ... v11=10.
+	bi(0, 10, 1)  // v1-v11
+	bi(10, 6, 1)  // v11-v7
+	bi(6, 3, 2)   // v7-v4
+	bi(6, 7, 2)   // v7-v8
+	bi(3, 2, 1)   // v4-v3
+	bi(2, 7, 1)   // v3-v8
+	bi(7, 9, 1)   // v8-v10
+	bi(9, 5, 1)   // v10-v6
+	bi(5, 8, 1)   // v6-v9
+	bi(8, 4, 1)   // v9-v5
+	bi(4, 1, 1)   // v5-v2
+	bi(1, 8, 1)   // v2-v9
+	bi(8, 10, 2)  // v9-v11
+	return b.Build()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	g := paperGraph(t)
+	if g.NumNodes() != 11 {
+		t.Fatalf("NumNodes = %d, want 11", g.NumNodes())
+	}
+	if g.NumEdges() != 26 {
+		t.Fatalf("NumEdges = %d, want 26", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// v1 (id 0) has exactly one neighbour: v11 (id 10).
+	if g.OutDegree(0) != 1 || g.InDegree(0) != 1 {
+		t.Errorf("v1 degree = out %d in %d, want 1/1", g.OutDegree(0), g.InDegree(0))
+	}
+	_, w, ok := g.FindEdge(0, 10)
+	if !ok || w != 1 {
+		t.Errorf("FindEdge(v1,v11) = %v,%v, want 1,true", w, ok)
+	}
+	if _, _, ok := g.FindEdge(0, 5); ok {
+		t.Error("FindEdge(v1,v6) should not exist")
+	}
+}
+
+func TestOutInEdgesAgree(t *testing.T) {
+	g := paperGraph(t)
+	// Every forward edge must appear exactly once in the reverse CSR of
+	// its head, with the same weight and edge id.
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		g.OutEdges(v, func(eid EdgeID, to NodeID, w float64) bool {
+			found := false
+			g.InEdges(to, func(reid EdgeID, from NodeID, rw float64) bool {
+				if reid == eid {
+					if from != v || rw != w {
+						t.Errorf("reverse edge %d mismatch: from=%d w=%v, want from=%d w=%v", eid, from, rw, v, w)
+					}
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Errorf("edge %d (%d->%d) missing from reverse CSR", eid, v, to)
+			}
+			return true
+		})
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	g := paperGraph(t)
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		g.OutEdges(v, func(eid EdgeID, to NodeID, w float64) bool {
+			f, tt := g.EdgeEndpoints(eid)
+			if f != v || tt != to {
+				t.Errorf("EdgeEndpoints(%d) = (%d,%d), want (%d,%d)", eid, f, tt, v, to)
+			}
+			if g.EdgeWeight(eid) != w {
+				t.Errorf("EdgeWeight(%d) = %v, want %v", eid, g.EdgeWeight(eid), w)
+			}
+			return true
+		})
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddNode(geom.Point{})
+	b.AddNode(geom.Point{X: 1})
+	if err := b.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range head should fail")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("out-of-range tail should fail")
+	}
+	if err := b.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := b.AddEdge(0, 1, -2); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := b.AddEdge(0, 1, math.Inf(1)); err == nil {
+		t.Error("infinite weight should fail")
+	}
+	if err := b.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	edges := []Edge{{0, 1, 1}, {1, 2, 2}, {2, 0, 3}}
+	g, err := FromEdges(pts, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if _, err := FromEdges(pts, []Edge{{0, 9, 1}}); err == nil {
+		t.Error("FromEdges should reject bad edge")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := paperGraph(t)
+	s := ComputeStats(g)
+	if s.Nodes != 11 || s.Edges != 26 {
+		t.Errorf("stats nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 2 {
+		t.Errorf("weights = [%v,%v], want [1,2]", s.MinWeight, s.MaxWeight)
+	}
+	if !s.StronglyConnectedHint {
+		t.Error("paper graph should be strongly connected")
+	}
+	if s.MaxDegree <= 0 {
+		t.Error("MaxDegree should be positive")
+	}
+}
+
+func TestBBoxCoversAllNodes(t *testing.T) {
+	g := paperGraph(t)
+	bb := g.BBox()
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		if !bb.Contains(g.Point(v)) {
+			t.Errorf("bbox misses node %d", v)
+		}
+	}
+}
+
+func TestCSRRandomizedAgainstAdjacencyMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n, 0)
+		for i := 0; i < n; i++ {
+			b.AddNode(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+		}
+		type key struct{ u, v NodeID }
+		want := make(map[key][]float64)
+		m := rng.Intn(100)
+		for i := 0; i < m; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			w := rng.Float64() + 0.01
+			if err := b.AddEdge(u, v, w); err != nil {
+				return false
+			}
+			want[key{u, v}] = append(want[key{u, v}], w)
+		}
+		g := b.Build()
+		got := make(map[key][]float64)
+		for u := NodeID(0); u < NodeID(n); u++ {
+			g.OutEdges(u, func(_ EdgeID, v NodeID, w float64) bool {
+				got[key{u, v}] = append(got[key{u, v}], w)
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, ws := range want {
+			if len(got[k]) != len(ws) {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

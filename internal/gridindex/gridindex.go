@@ -1,0 +1,305 @@
+// Package gridindex implements the hierarchy of square grids R1..Rh that
+// underlies the Arterial Hierarchy (paper §3.1).
+//
+// The hierarchy starts from a (4×4)-cell grid Rh tightly covering all
+// nodes and recursively splits each cell into 2×2 until every cell of the
+// finest grid R1 holds at most one node (or a depth cap is reached). Grid
+// Ri therefore has 2^(h+2-i) cells per side. The package provides cell
+// arithmetic, node bucketing, 4×4-region enumeration with strips and
+// bisectors, and the (3×3)/(5×5) region-containment predicates used by the
+// proximity constraint.
+package gridindex
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// DefaultMaxLevels caps the hierarchy depth; the paper observes h ≤ 26 for
+// any realistic road network, and level assignment cost grows with h.
+const DefaultMaxLevels = 22
+
+// Cell addresses a grid cell by column and row.
+type Cell struct {
+	X, Y int32
+}
+
+// Hierarchy is the grid pyramid over a fixed square extent.
+type Hierarchy struct {
+	origin   geom.Point // lower-left corner of the square extent
+	side     float64    // side length of the square extent
+	h        int        // number of grids; Ri for i in [1..h]
+	cellSize []float64  // cellSize[i] = side / CellsPerSide(i), index 0 unused
+}
+
+// Build constructs the hierarchy for graph g: it finds the smallest h such
+// that every R1 cell holds at most one node, capped at maxLevels
+// (DefaultMaxLevels if <= 0).
+func Build(g *graph.Graph, maxLevels int) *Hierarchy {
+	if maxLevels <= 0 {
+		maxLevels = DefaultMaxLevels
+	}
+	bbox := g.BBox()
+	side := bbox.Side()
+	if side <= 0 {
+		side = 1 // degenerate single-point networks
+	}
+	// Inflate slightly so boundary points map strictly inside.
+	side *= 1 + 1e-9
+	hier := &Hierarchy{origin: geom.Point{X: bbox.MinX, Y: bbox.MinY}, side: side}
+
+	points := g.Points()
+	for h := 1; ; h++ {
+		hier.initLevels(h)
+		if h == maxLevels || hier.atMostOnePerCell(points) {
+			return hier
+		}
+	}
+}
+
+// BuildWithExtent constructs a hierarchy with an explicit square extent and
+// depth, used by tests and by reduced-overlay level assignment where the
+// extent must match the original network's.
+func BuildWithExtent(origin geom.Point, side float64, h int) *Hierarchy {
+	if h < 1 {
+		h = 1
+	}
+	if side <= 0 {
+		side = 1
+	}
+	hier := &Hierarchy{origin: origin, side: side}
+	hier.initLevels(h)
+	return hier
+}
+
+func (hi *Hierarchy) initLevels(h int) {
+	hi.h = h
+	hi.cellSize = make([]float64, h+1)
+	for i := 1; i <= h; i++ {
+		hi.cellSize[i] = hi.side / float64(hi.CellsPerSide(i))
+	}
+}
+
+func (hi *Hierarchy) atMostOnePerCell(points []geom.Point) bool {
+	seen := make(map[uint64]struct{}, len(points))
+	for _, p := range points {
+		k := hi.CellOf(1, p).key()
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+	}
+	return true
+}
+
+func (c Cell) key() uint64 { return uint64(uint32(c.X))<<32 | uint64(uint32(c.Y)) }
+
+// Levels returns h, the number of grids.
+func (hi *Hierarchy) Levels() int { return hi.h }
+
+// Side returns the side length of the square extent.
+func (hi *Hierarchy) Side() float64 { return hi.side }
+
+// Origin returns the lower-left corner of the extent.
+func (hi *Hierarchy) Origin() geom.Point { return hi.origin }
+
+// CellsPerSide returns the number of cells per side of grid Ri:
+// 2^(h+2-i), so Rh is 4×4 and R1 is the finest.
+func (hi *Hierarchy) CellsPerSide(i int) int32 {
+	return int32(1) << uint(hi.h+2-i)
+}
+
+// CellSize returns the side length of a cell of Ri.
+func (hi *Hierarchy) CellSize(i int) float64 { return hi.cellSize[i] }
+
+// CellOf returns the Ri cell containing p, clamped to the grid.
+func (hi *Hierarchy) CellOf(i int, p geom.Point) Cell {
+	cs := hi.cellSize[i]
+	n := hi.CellsPerSide(i)
+	cx := int32(math.Floor((p.X - hi.origin.X) / cs))
+	cy := int32(math.Floor((p.Y - hi.origin.Y) / cs))
+	return Cell{X: clamp(cx, 0, n-1), Y: clamp(cy, 0, n-1)}
+}
+
+func clamp(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SameRegion3 reports whether some (3×3)-cell region of grid Ri covers
+// both p and q: true iff their cell coordinates differ by at most 2 on
+// both axes. This is the proximity-constraint predicate (§3.2).
+func (hi *Hierarchy) SameRegion3(i int, p, q geom.Point) bool {
+	cp, cq := hi.CellOf(i, p), hi.CellOf(i, q)
+	return abs32(cp.X-cq.X) <= 2 && abs32(cp.Y-cq.Y) <= 2
+}
+
+// InCenteredRegion5 reports whether q lies in the (5×5)-cell region of Ri
+// centered at p's cell.
+func (hi *Hierarchy) InCenteredRegion5(i int, p, q geom.Point) bool {
+	cp, cq := hi.CellOf(i, p), hi.CellOf(i, q)
+	return abs32(cp.X-cq.X) <= 2 && abs32(cp.Y-cq.Y) <= 2
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Region is a (4×4)-cell region of grid Ri anchored at its lowest-indexed
+// (south-west) cell.
+type Region struct {
+	Level  int
+	Anchor Cell // south-west cell of the 4×4 block
+}
+
+// Contains reports whether cell c lies inside the region.
+func (r Region) Contains(c Cell) bool {
+	return c.X >= r.Anchor.X && c.X < r.Anchor.X+4 &&
+		c.Y >= r.Anchor.Y && c.Y < r.Anchor.Y+4
+}
+
+// ContainsRegion reports whether the 4×4 region o (on a finer grid of the
+// same hierarchy) is geometrically contained in r. Both regions must come
+// from the same hierarchy.
+func (hi *Hierarchy) ContainsRegion(r, o Region) bool {
+	rb := hi.RegionBounds(r)
+	ob := hi.RegionBounds(o)
+	const eps = 1e-9
+	return ob.MinX >= rb.MinX-eps && ob.MinY >= rb.MinY-eps &&
+		ob.MaxX <= rb.MaxX+eps && ob.MaxY <= rb.MaxY+eps
+}
+
+// RegionBounds returns the planar bounding box of the region.
+func (hi *Hierarchy) RegionBounds(r Region) geom.BBox {
+	cs := hi.cellSize[r.Level]
+	minX := hi.origin.X + float64(r.Anchor.X)*cs
+	minY := hi.origin.Y + float64(r.Anchor.Y)*cs
+	return geom.NewBBox(minX, minY, minX+4*cs, minY+4*cs)
+}
+
+// VerticalBisector returns the x-coordinate of the region's vertical
+// bisector (between columns 1 and 2 of the block).
+func (hi *Hierarchy) VerticalBisector(r Region) float64 {
+	cs := hi.cellSize[r.Level]
+	return hi.origin.X + float64(r.Anchor.X+2)*cs
+}
+
+// HorizontalBisector returns the y-coordinate of the region's horizontal
+// bisector.
+func (hi *Hierarchy) HorizontalBisector(r Region) float64 {
+	cs := hi.cellSize[r.Level]
+	return hi.origin.Y + float64(r.Anchor.Y+2)*cs
+}
+
+// Column returns p's column within the region (0..3), or -1 if p is
+// outside the region.
+func (hi *Hierarchy) Column(r Region, p geom.Point) int {
+	c := hi.CellOf(r.Level, p)
+	if !r.Contains(c) {
+		return -1
+	}
+	return int(c.X - r.Anchor.X)
+}
+
+// Row returns p's row within the region (0..3), or -1 if outside.
+func (hi *Hierarchy) Row(r Region, p geom.Point) int {
+	c := hi.CellOf(r.Level, p)
+	if !r.Contains(c) {
+		return -1
+	}
+	return int(c.Y - r.Anchor.Y)
+}
+
+// Buckets maps occupied Ri cells to the node ids inside them for one grid
+// level.
+type Buckets struct {
+	hier  *Hierarchy
+	level int
+	cells map[uint64][]graph.NodeID
+}
+
+// BucketNodes buckets the given nodes (all nodes if ids == nil) of g into
+// Ri cells.
+func (hi *Hierarchy) BucketNodes(g *graph.Graph, i int, ids []graph.NodeID) *Buckets {
+	b := &Buckets{hier: hi, level: i, cells: make(map[uint64][]graph.NodeID)}
+	add := func(v graph.NodeID) {
+		k := hi.CellOf(i, g.Point(v)).key()
+		b.cells[k] = append(b.cells[k], v)
+	}
+	if ids == nil {
+		for v := graph.NodeID(0); v < graph.NodeID(g.NumNodes()); v++ {
+			add(v)
+		}
+	} else {
+		for _, v := range ids {
+			add(v)
+		}
+	}
+	return b
+}
+
+// NodesIn returns the node ids in cell c (nil if empty).
+func (b *Buckets) NodesIn(c Cell) []graph.NodeID { return b.cells[c.key()] }
+
+// OccupiedCells calls fn for every non-empty cell.
+func (b *Buckets) OccupiedCells(fn func(Cell)) {
+	for k := range b.cells {
+		fn(Cell{X: int32(k >> 32), Y: int32(uint32(k))})
+	}
+}
+
+// NumOccupied returns the number of non-empty cells.
+func (b *Buckets) NumOccupied() int { return len(b.cells) }
+
+// Regions enumerates every distinct 4×4 region (all sliding anchor
+// positions) that contains at least one bucketed node, invoking fn once
+// per region. Anchors are clipped to the grid, so regions near the border
+// are still full 4×4 blocks inside the grid.
+func (b *Buckets) Regions(fn func(Region)) {
+	n := b.hier.CellsPerSide(b.level)
+	seen := make(map[uint64]struct{})
+	b.OccupiedCells(func(c Cell) {
+		loX := clamp(c.X-3, 0, maxAnchor(n))
+		hiX := clamp(c.X, 0, maxAnchor(n))
+		loY := clamp(c.Y-3, 0, maxAnchor(n))
+		hiY := clamp(c.Y, 0, maxAnchor(n))
+		for ax := loX; ax <= hiX; ax++ {
+			for ay := loY; ay <= hiY; ay++ {
+				a := Cell{X: ax, Y: ay}
+				if _, dup := seen[a.key()]; dup {
+					continue
+				}
+				seen[a.key()] = struct{}{}
+				fn(Region{Level: b.level, Anchor: a})
+			}
+		}
+	})
+}
+
+func maxAnchor(n int32) int32 {
+	if n < 4 {
+		return 0
+	}
+	return n - 4
+}
+
+// RegionNodes collects all bucketed nodes inside the region.
+func (b *Buckets) RegionNodes(r Region) []graph.NodeID {
+	var out []graph.NodeID
+	for dx := int32(0); dx < 4; dx++ {
+		for dy := int32(0); dy < 4; dy++ {
+			out = append(out, b.cells[Cell{X: r.Anchor.X + dx, Y: r.Anchor.Y + dy}.key()]...)
+		}
+	}
+	return out
+}

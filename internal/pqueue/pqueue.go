@@ -1,0 +1,130 @@
+// Package pqueue implements the indexed binary min-heap that powers every
+// Dijkstra variant in this repository.
+//
+// The queue maps int32 item ids (graph node ids) to float64 keys (tentative
+// distances) and supports DecreaseKey in O(log n), which classic
+// container/heap cannot do without an external position map. Positions are
+// tracked in a dense slice sized to the id universe, so operations are
+// allocation-free after construction; a queue is reusable across many
+// searches via Reset.
+package pqueue
+
+// Queue is an indexed min-heap over ids in [0, capacity). The zero value is
+// not usable; construct with New.
+type Queue struct {
+	heap []int32 // heap[i] = id at heap slot i
+	keys []float64
+	pos  []int32 // pos[id] = slot in heap, or notInHeap
+}
+
+const notInHeap = int32(-1)
+
+// New returns a queue able to hold ids in [0, capacity).
+func New(capacity int) *Queue {
+	q := &Queue{
+		heap: make([]int32, 0, 64),
+		keys: make([]float64, capacity),
+		pos:  make([]int32, capacity),
+	}
+	for i := range q.pos {
+		q.pos[i] = notInHeap
+	}
+	return q
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Capacity returns the size of the id universe.
+func (q *Queue) Capacity() int { return len(q.pos) }
+
+// Reset empties the queue in O(len) time, leaving capacity intact.
+func (q *Queue) Reset() {
+	for _, id := range q.heap {
+		q.pos[id] = notInHeap
+	}
+	q.heap = q.heap[:0]
+}
+
+// Contains reports whether id is currently queued.
+func (q *Queue) Contains(id int32) bool { return q.pos[id] != notInHeap }
+
+// Key returns the current key of a queued id. The result is undefined if
+// id is not queued.
+func (q *Queue) Key(id int32) float64 { return q.keys[id] }
+
+// Push inserts id with the given key, or lowers the key if id is already
+// queued with a larger one (a no-op if the existing key is not larger).
+// It reports whether the queue changed.
+func (q *Queue) Push(id int32, key float64) bool {
+	if p := q.pos[id]; p != notInHeap {
+		if key >= q.keys[id] {
+			return false
+		}
+		q.keys[id] = key
+		q.up(int(p))
+		return true
+	}
+	q.keys[id] = key
+	q.pos[id] = int32(len(q.heap))
+	q.heap = append(q.heap, id)
+	q.up(len(q.heap) - 1)
+	return true
+}
+
+// Pop removes and returns the id with the smallest key, along with the key.
+// It panics if the queue is empty.
+func (q *Queue) Pop() (int32, float64) {
+	top := q.heap[0]
+	key := q.keys[top]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap = q.heap[:last]
+	q.pos[top] = notInHeap
+	if last > 0 {
+		q.down(0)
+	}
+	return top, key
+}
+
+// Peek returns the smallest-keyed id and its key without removing it.
+// It panics if the queue is empty.
+func (q *Queue) Peek() (int32, float64) {
+	return q.heap[0], q.keys[q.heap[0]]
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.keys[q.heap[parent]] <= q.keys[q.heap[i]] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.keys[q.heap[l]] < q.keys[q.heap[smallest]] {
+			smallest = l
+		}
+		if r < n && q.keys[q.heap[r]] < q.keys[q.heap[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = int32(i)
+	q.pos[q.heap[j]] = int32(j)
+}

@@ -1,0 +1,147 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdering(t *testing.T) {
+	q := New(10)
+	keys := []float64{5, 3, 8, 1, 9, 2}
+	for i, k := range keys {
+		q.Push(int32(i), k)
+	}
+	if q.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(keys))
+	}
+	var got []float64
+	for q.Len() > 0 {
+		_, k := q.Pop()
+		got = append(got, k)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("pop order not sorted: %v", got)
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	q := New(4)
+	q.Push(0, 10)
+	q.Push(1, 5)
+	if changed := q.Push(0, 20); changed {
+		t.Error("raising a key should be a no-op")
+	}
+	if changed := q.Push(0, 1); !changed {
+		t.Error("lowering a key should succeed")
+	}
+	id, k := q.Pop()
+	if id != 0 || k != 1 {
+		t.Errorf("Pop = (%d,%v), want (0,1)", id, k)
+	}
+	id, k = q.Pop()
+	if id != 1 || k != 5 {
+		t.Errorf("Pop = (%d,%v), want (1,5)", id, k)
+	}
+}
+
+func TestContainsKeyPeekReset(t *testing.T) {
+	q := New(3)
+	if q.Contains(1) {
+		t.Error("fresh queue should contain nothing")
+	}
+	q.Push(1, 7)
+	if !q.Contains(1) || q.Key(1) != 7 {
+		t.Error("Contains/Key after Push failed")
+	}
+	id, k := q.Peek()
+	if id != 1 || k != 7 || q.Len() != 1 {
+		t.Error("Peek should not remove")
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Contains(1) {
+		t.Error("Reset should empty the queue")
+	}
+	// Queue must be reusable after Reset.
+	q.Push(2, 1)
+	if id, _ := q.Pop(); id != 2 {
+		t.Error("queue unusable after Reset")
+	}
+}
+
+func TestHeapPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	q := New(n)
+	want := make(map[int32]float64)
+	for i := 0; i < 3000; i++ {
+		id := int32(rng.Intn(n))
+		key := rng.Float64() * 100
+		if cur, ok := want[id]; !ok || key < cur {
+			want[id] = key
+		}
+		q.Push(id, key)
+	}
+	prev := -1.0
+	for q.Len() > 0 {
+		id, k := q.Pop()
+		if k < prev {
+			t.Fatalf("pop keys went backward: %v after %v", k, prev)
+		}
+		prev = k
+		if want[id] != k {
+			t.Fatalf("id %d popped with key %v, want %v", id, k, want[id])
+		}
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d ids never popped", len(want))
+	}
+}
+
+func TestQuickMinimumAlwaysFirst(t *testing.T) {
+	f := func(keys []float64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		if len(keys) > 256 {
+			keys = keys[:256]
+		}
+		q := New(len(keys))
+		min := keys[0]
+		for i, k := range keys {
+			if k != k { // NaN keys are out of contract
+				return true
+			}
+			q.Push(int32(i), k)
+			if k < min {
+				min = k
+			}
+		}
+		_, k := q.Pop()
+		return k == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	const n = 1024
+	q := New(n)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			q.Push(int32(j), keys[j])
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
