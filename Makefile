@@ -1,0 +1,31 @@
+# Verify pipeline for the AH reproduction. `make check` is the documented
+# tier-1 gate: formatting, vet, build, and the full test suite.
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test bench bench-record
+
+check: fmt-check vet build test
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Query benchmarks: AH index vs unidirectional vs bidirectional Dijkstra
+# on the ~10k-node GridCity graph (settled/op is the machine-independent
+# cost metric).
+bench:
+	$(GO) test ./internal/ah/ -run '^$$' -bench . -benchtime 300x
+
+# Rewrites BENCH_ah.json at the repo root from a fresh measurement run.
+bench-record:
+	AH_BENCH_RECORD=1 $(GO) test ./internal/ah/ -run TestRecordBench -v

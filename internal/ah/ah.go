@@ -1,0 +1,141 @@
+// Package ah implements the Arterial Hierarchy index (paper §3), the
+// system's contribution: an exact shortest-path and distance oracle whose
+// queries settle far fewer nodes than (bidirectional) Dijkstra by
+// exploiting the small arterial dimension of road networks.
+//
+// Preprocessing works level-by-level over the gridindex.Hierarchy. At each
+// level it computes pseudo-arterial edges per 4×4-cell region with
+// arterial.Engine, restricting path interiors to the surviving core nodes
+// of the previous level (Spec.Expand); nodes that stop appearing on
+// arterial edges are frozen at that elevation. The elevations induce a
+// total contraction order (rank): nodes are removed lowest-rank first, and
+// whenever removing a node v would break a shortest path u -> v -> t, a
+// shortcut edge u -> t is added to a graph.Overlay with a skip-edge
+// payload referencing the two replaced edges. A witness search bounds the
+// work; when it is inconclusive the shortcut is added anyway, so the
+// overlay always preserves exact distances: every shortest path is covered
+// by an up-down rank-monotone path.
+//
+// Queries run a rank-pruned bidirectional search that only relaxes edges
+// toward higher-ranked nodes, meeting at the path's peak. Reported
+// distances are computed by unpacking the winning up-down path to its
+// original-graph edge sequence and re-summing weights in travel order, so
+// they are bit-identical to unidirectional Dijkstra whenever shortest
+// paths are unique.
+package ah
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// Options tunes index construction. The zero value gives sensible
+// defaults.
+type Options struct {
+	// MaxLevels caps the grid hierarchy depth (0 = gridindex default).
+	MaxLevels int
+	// MaxSourcesPerStrip caps traversal roots per strip during the
+	// pseudo-arterial sweeps (0 = default 4, negative = unlimited). Lower
+	// caps speed up preprocessing at a small cost in rank quality; query
+	// results stay exact regardless.
+	MaxSourcesPerStrip int
+	// WitnessSettleLimit caps nodes settled per witness search
+	// (0 = default 1000). When the limit is hit the shortcut is added
+	// unconditionally, preserving exactness.
+	WitnessSettleLimit int
+}
+
+func (o Options) sourcesPerStrip() int {
+	switch {
+	case o.MaxSourcesPerStrip > 0:
+		return o.MaxSourcesPerStrip
+	case o.MaxSourcesPerStrip < 0:
+		return 0 // arterial.Spec: 0 means unlimited
+	default:
+		return 4
+	}
+}
+
+func (o Options) witnessLimit() int {
+	if o.WitnessSettleLimit > 0 {
+		return o.WitnessSettleLimit
+	}
+	return 1000
+}
+
+// Index is a built Arterial Hierarchy over a fixed graph. Queries reuse
+// internal workspaces, so an Index is not safe for concurrent use; clone
+// one per goroutine with NewQuerier in a future revision.
+type Index struct {
+	g    *graph.Graph
+	ov   *graph.Overlay
+	rank []int32 // rank[v] = contraction position, ascending = less important
+	elev []int32 // grid-level elevation that produced the rank
+	h    int     // grid hierarchy depth used
+
+	// Upward adjacency in CSR form: the forward search relaxes only
+	// out-edges toward higher ranks, the backward search only in-edges
+	// from higher ranks. Every overlay edge lands in exactly one of them.
+	upOutStart []int32
+	upOutTo    []graph.NodeID
+	upOutW     []float64
+	upOutEid   []graph.EdgeID
+	upInStart  []int32
+	upInFrom   []graph.NodeID
+	upInW      []float64
+	upInEid    []graph.EdgeID
+
+	// Query workspace (stamp-versioned, reusable across queries).
+	distF, distB   []float64
+	peF, peB       []graph.EdgeID // overlay tree edge into the node, -1 at roots
+	stampF, stampB []uint32
+	cur            uint32
+	pqF, pqB       *pqueue.Queue
+	theta          float64 // best meeting value of the in-flight query
+	meet           graph.NodeID
+	settled        int
+	scratch        []graph.EdgeID // overlay-path buffer
+	unpacked       []graph.EdgeID // base-edge unpack buffer
+}
+
+// Graph returns the base graph the index answers queries on.
+func (x *Index) Graph() *graph.Graph { return x.g }
+
+// Overlay returns the shortcut overlay built during preprocessing.
+func (x *Index) Overlay() *graph.Overlay { return x.ov }
+
+// Rank returns v's position in the contraction order (0 = first
+// contracted / least important).
+func (x *Index) Rank(v graph.NodeID) int32 { return x.rank[v] }
+
+// Elevation returns the grid level at which v stopped being a core node
+// during the pseudo-arterial sweeps (higher = more arterial).
+func (x *Index) Elevation(v graph.NodeID) int32 { return x.elev[v] }
+
+// Settled returns how many nodes the last query popped across both
+// directions, the paper's machine-independent cost metric.
+func (x *Index) Settled() int { return x.settled }
+
+// Stats summarises a built index.
+type Stats struct {
+	Nodes, BaseEdges, Shortcuts int
+	GridLevels                  int
+	MaxElevation                int32
+}
+
+// Stats reports construction summary numbers.
+func (x *Index) Stats() Stats {
+	maxElev := int32(0)
+	for _, e := range x.elev {
+		if e > maxElev {
+			maxElev = e
+		}
+	}
+	return Stats{
+		Nodes:        x.g.NumNodes(),
+		BaseEdges:    x.g.NumEdges(),
+		Shortcuts:    x.ov.NumShortcuts(),
+		GridLevels:   x.h,
+		MaxElevation: maxElev,
+	}
+}

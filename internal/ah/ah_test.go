@@ -1,0 +1,267 @@
+package ah
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// topologies returns the graphs every equivalence test runs over: a
+// GridCity lattice with road hierarchy, a hierarchy-free RandomGeometric
+// network, and the first rung of the dataset ladder (DE'). All seeds are
+// fixed, so failures reproduce.
+func topologies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+
+	gc, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["GridCity"] = gc
+
+	rg, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 800, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["RandomGeometric"] = rg
+
+	ladder := gen.SmallLadder(1)[0]
+	lg, err := ladder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["Ladder/"+ladder.Name] = lg
+
+	return out
+}
+
+// TestDistanceMatchesDijkstra is the headline equivalence harness: on every
+// topology, 200 random source/target pairs must get bit-identical
+// distances from the AH index and unidirectional Dijkstra.
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := Build(g, Options{})
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(1))
+			n := g.NumNodes()
+			for i := 0; i < 200; i++ {
+				s := graph.NodeID(rng.Intn(n))
+				d := graph.NodeID(rng.Intn(n))
+				want := uni.Distance(s, d)
+				got := idx.Distance(s, d)
+				if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("pair %d (%d->%d): ah=%v dijkstra=%v (diff %g)",
+						i, s, d, got, want, got-want)
+				}
+			}
+		})
+	}
+}
+
+// TestPathMatchesDijkstra checks that Path returns a valid original-graph
+// walk whose re-summed length equals both its reported distance and
+// Dijkstra's.
+func TestPathMatchesDijkstra(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := Build(g, Options{})
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(2))
+			n := g.NumNodes()
+			for i := 0; i < 200; i++ {
+				s := graph.NodeID(rng.Intn(n))
+				d := graph.NodeID(rng.Intn(n))
+				p, dist := idx.Path(s, d)
+				want := uni.Distance(s, d)
+				if math.IsInf(want, 1) {
+					if p != nil || !math.IsInf(dist, 1) {
+						t.Fatalf("pair %d (%d->%d): want (nil, +Inf), got (%v, %v)", i, s, d, p, dist)
+					}
+					continue
+				}
+				if dist != want {
+					t.Fatalf("pair %d (%d->%d): path dist %v != dijkstra %v", i, s, d, dist, want)
+				}
+				if p[0] != s || p[len(p)-1] != d {
+					t.Fatalf("pair %d: path endpoints %d..%d, want %d..%d", i, p[0], p[len(p)-1], s, d)
+				}
+				sum := 0.0
+				for j := 0; j+1 < len(p); j++ {
+					_, w, ok := g.FindEdge(p[j], p[j+1])
+					if !ok {
+						t.Fatalf("pair %d: step %d->%d is not a base edge", i, p[j], p[j+1])
+					}
+					sum += w
+				}
+				if math.Abs(sum-dist) > 1e-9*(1+dist) {
+					t.Fatalf("pair %d: walk length %v != reported %v", i, sum, dist)
+				}
+			}
+		})
+	}
+}
+
+// TestSameNode covers the src == dst short-circuit on every topology.
+func TestSameNode(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := Build(g, Options{})
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 20; i++ {
+				v := graph.NodeID(rng.Intn(g.NumNodes()))
+				if d := idx.Distance(v, v); d != 0 {
+					t.Fatalf("Distance(%d,%d) = %v, want 0", v, v, d)
+				}
+				p, d := idx.Path(v, v)
+				if d != 0 || len(p) != 1 || p[0] != v {
+					t.Fatalf("Path(%d,%d) = %v,%v", v, v, p, d)
+				}
+			}
+		})
+	}
+}
+
+// TestUnreachable builds two disjoint lattices in one graph and checks
+// cross-component queries report +Inf / nil on the index too.
+func TestUnreachable(t *testing.T) {
+	b := graph.NewBuilder(8, 20)
+	// Component A: square 0-1-2-3 at the origin.
+	// Component B: square 4-5-6-7 far away.
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: float64(i % 2), Y: float64(i / 2)})
+	}
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: 100 + float64(i%2), Y: 100 + float64(i/2)})
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, base := range []graph.NodeID{0, 4} {
+		must(b.AddBidirectional(base, base+1, 1))
+		must(b.AddBidirectional(base, base+2, 1.5))
+		must(b.AddBidirectional(base+1, base+3, 1.25))
+		must(b.AddBidirectional(base+2, base+3, 1))
+	}
+	g := b.Build()
+
+	idx := Build(g, Options{})
+	uni := dijkstra.NewSearch(g)
+	for s := graph.NodeID(0); s < 8; s++ {
+		for d := graph.NodeID(0); d < 8; d++ {
+			want := uni.Distance(s, d)
+			got := idx.Distance(s, d)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("%d->%d: ah=%v dijkstra=%v", s, d, got, want)
+			}
+			if math.IsInf(want, 1) {
+				if p, pd := idx.Path(s, d); p != nil || !math.IsInf(pd, 1) {
+					t.Fatalf("%d->%d: want (nil, +Inf), got (%v, %v)", s, d, p, pd)
+				}
+			}
+		}
+	}
+}
+
+// TestDirectedAsymmetry uses one-way edges to make sure the upward split
+// respects edge direction: dist(a,b) and dist(b,a) differ.
+func TestDirectedAsymmetry(t *testing.T) {
+	b := graph.NewBuilder(4, 8)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: float64(i % 2), Y: float64(i / 2)})
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cheap one-way ring 0->1->3->2->0 plus an expensive reverse ring.
+	must(b.AddEdge(0, 1, 1))
+	must(b.AddEdge(1, 3, 1))
+	must(b.AddEdge(3, 2, 1))
+	must(b.AddEdge(2, 0, 1))
+	must(b.AddEdge(1, 0, 10))
+	must(b.AddEdge(3, 1, 10))
+	must(b.AddEdge(2, 3, 10))
+	must(b.AddEdge(0, 2, 10))
+	g := b.Build()
+
+	idx := Build(g, Options{})
+	uni := dijkstra.NewSearch(g)
+	for s := graph.NodeID(0); s < 4; s++ {
+		for d := graph.NodeID(0); d < 4; d++ {
+			if got, want := idx.Distance(s, d), uni.Distance(s, d); got != want {
+				t.Fatalf("%d->%d: ah=%v dijkstra=%v", s, d, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossQueries interleaves many queries on one index to
+// catch stale stamp/label leaks between runs.
+func TestWorkspaceReuseAcrossQueries(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 12, Rows: 12, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.2, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Build(g, Options{})
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(4))
+	n := g.NumNodes()
+	for i := 0; i < 500; i++ {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if got, want := idx.Distance(s, d), uni.Distance(s, d); got != want &&
+			!(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("query %d (%d->%d): ah=%v dijkstra=%v", i, s, d, got, want)
+		}
+	}
+}
+
+// TestStatsAndRanks sanity-checks construction artifacts: ranks are a
+// permutation, elevations are bounded by the grid depth, and highway
+// nodes outrank their local-street neighbours on average.
+func TestStatsAndRanks(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 24, Rows: 24, ArterialEvery: 6, HighwayEvery: 12,
+		RemoveFrac: 0.15, Jitter: 0.25, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Build(g, Options{})
+	st := idx.Stats()
+	if st.Nodes != g.NumNodes() || st.BaseEdges != g.NumEdges() {
+		t.Errorf("stats mismatch: %+v", st)
+	}
+	if st.GridLevels < 1 || st.MaxElevation > int32(st.GridLevels) {
+		t.Errorf("elevation out of range: %+v", st)
+	}
+	seen := make([]bool, g.NumNodes())
+	for v := graph.NodeID(0); v < graph.NodeID(g.NumNodes()); v++ {
+		r := idx.Rank(v)
+		if r < 0 || int(r) >= g.NumNodes() || seen[r] {
+			t.Fatalf("rank of %d is %d: not a permutation", v, r)
+		}
+		seen[r] = true
+		if e := idx.Elevation(v); e < 0 || e > int32(st.GridLevels) {
+			t.Fatalf("elevation of %d is %d", v, e)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package ah
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// benchState holds the ~10k-node NH'-sized GridCity graph, its AH index,
+// and a fixed query workload, built once and shared by every benchmark.
+var benchState struct {
+	once     sync.Once
+	g        *graph.Graph
+	idx      *Index
+	buildDur time.Duration
+	pairs    [][2]graph.NodeID
+}
+
+func benchSetup(tb testing.TB) {
+	benchState.once.Do(func() {
+		g, err := gen.GridCity(gen.GridCityConfig{
+			Cols: 100, Rows: 100, ArterialEvery: 8, HighwayEvery: 32,
+			RemoveFrac: 0.15, Jitter: 0.3, Seed: 2, // the ladder's NH' configuration
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		benchState.g = g
+		start := time.Now()
+		benchState.idx = Build(g, Options{})
+		benchState.buildDur = time.Since(start)
+		rng := rand.New(rand.NewSource(77))
+		benchState.pairs = make([][2]graph.NodeID, 512)
+		for i := range benchState.pairs {
+			benchState.pairs[i] = [2]graph.NodeID{
+				graph.NodeID(rng.Intn(g.NumNodes())),
+				graph.NodeID(rng.Intn(g.NumNodes())),
+			}
+		}
+	})
+}
+
+func BenchmarkAHDistance(b *testing.B) {
+	benchSetup(b)
+	idx, pairs := benchState.idx, benchState.pairs
+	settled := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		idx.Distance(p[0], p[1])
+		settled += idx.Settled()
+	}
+	b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+}
+
+func BenchmarkDijkstraDistance(b *testing.B) {
+	benchSetup(b)
+	s := dijkstra.NewSearch(benchState.g)
+	pairs := benchState.pairs
+	settled := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		s.Distance(p[0], p[1])
+		settled += s.Settled()
+	}
+	b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+}
+
+func BenchmarkBiSearchDistance(b *testing.B) {
+	benchSetup(b)
+	s := dijkstra.NewBiSearch(benchState.g)
+	pairs := benchState.pairs
+	settled := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		s.Distance(p[0], p[1])
+		settled += s.Settled()
+	}
+	b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+}
+
+// TestAHSettlesFewerThanBiSearch enforces the PR's acceptance criterion on
+// the 10k-node GridCity graph: across the benchmark workload, the AH query
+// must settle fewer nodes on average than bidirectional Dijkstra (and the
+// two must agree on every distance while we're at it).
+func TestAHSettlesFewerThanBiSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node index build")
+	}
+	benchSetup(t)
+	idx := benchState.idx
+	bi := dijkstra.NewBiSearch(benchState.g)
+	uni := dijkstra.NewSearch(benchState.g)
+	ahSettled, biSettled := 0, 0
+	for i, p := range benchState.pairs[:128] {
+		got := idx.Distance(p[0], p[1])
+		ahSettled += idx.Settled()
+		bi.Distance(p[0], p[1])
+		biSettled += bi.Settled()
+		want := uni.Distance(p[0], p[1])
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("pair %d (%d->%d): ah=%v dijkstra=%v", i, p[0], p[1], got, want)
+		}
+	}
+	if ahSettled >= biSettled {
+		t.Errorf("AH settled %d nodes vs BiSearch %d over 128 queries; want strictly fewer",
+			ahSettled, biSettled)
+	}
+	t.Logf("avg settled: AH=%.0f BiSearch=%.0f (%.1fx fewer), %d shortcuts, build %v",
+		float64(ahSettled)/128, float64(biSettled)/128,
+		float64(biSettled)/float64(ahSettled),
+		benchState.idx.Stats().Shortcuts, benchState.buildDur)
+}
+
+// benchReport is the schema of BENCH_ah.json.
+type benchReport struct {
+	Graph struct {
+		Generator string `json:"generator"`
+		Nodes     int    `json:"nodes"`
+		Edges     int    `json:"edges"`
+	} `json:"graph"`
+	Index struct {
+		Shortcuts    int     `json:"shortcuts"`
+		GridLevels   int     `json:"grid_levels"`
+		MaxElevation int32   `json:"max_elevation"`
+		BuildSeconds float64 `json:"build_seconds"`
+	} `json:"index"`
+	Queries int                    `json:"queries"`
+	Methods map[string]benchMethod `json:"methods"`
+}
+
+type benchMethod struct {
+	AvgNsPerQuery  float64 `json:"avg_ns_per_query"`
+	AvgSettledPerQ float64 `json:"avg_settled_per_query"`
+}
+
+// TestRecordBench regenerates BENCH_ah.json at the repo root when
+// AH_BENCH_RECORD=1 (e.g. via `make bench-record`). It is a test rather
+// than a main so it can reuse the shared benchmark state.
+func TestRecordBench(t *testing.T) {
+	if os.Getenv("AH_BENCH_RECORD") == "" {
+		t.Skip("set AH_BENCH_RECORD=1 to rewrite BENCH_ah.json")
+	}
+	benchSetup(t)
+	g, idx := benchState.g, benchState.idx
+	pairs := benchState.pairs
+
+	var rep benchReport
+	rep.Graph.Generator = "GridCity 100x100 (NH' ladder config, seed 2)"
+	rep.Graph.Nodes = g.NumNodes()
+	rep.Graph.Edges = g.NumEdges()
+	st := idx.Stats()
+	rep.Index.Shortcuts = st.Shortcuts
+	rep.Index.GridLevels = st.GridLevels
+	rep.Index.MaxElevation = st.MaxElevation
+	rep.Index.BuildSeconds = benchState.buildDur.Seconds()
+	rep.Queries = len(pairs)
+	rep.Methods = make(map[string]benchMethod)
+
+	measure := func(name string, run func(s, d graph.NodeID), settledFn func() int) {
+		// Warm up caches and workspaces once.
+		for _, p := range pairs {
+			run(p[0], p[1])
+		}
+		settled := 0
+		start := time.Now()
+		for _, p := range pairs {
+			run(p[0], p[1])
+			settled += settledFn()
+		}
+		dur := time.Since(start)
+		rep.Methods[name] = benchMethod{
+			AvgNsPerQuery:  float64(dur.Nanoseconds()) / float64(len(pairs)),
+			AvgSettledPerQ: float64(settled) / float64(len(pairs)),
+		}
+	}
+	measure("ah", func(s, d graph.NodeID) { idx.Distance(s, d) }, idx.Settled)
+	uni := dijkstra.NewSearch(g)
+	measure("dijkstra", func(s, d graph.NodeID) { uni.Distance(s, d) }, uni.Settled)
+	bi := dijkstra.NewBiSearch(g)
+	measure("bisearch", func(s, d graph.NodeID) { bi.Distance(s, d) }, bi.Settled)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_ah.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_ah.json: %s", out)
+}

@@ -1,0 +1,242 @@
+package ah
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/gridindex"
+	"repro/internal/pqueue"
+)
+
+// Build constructs the Arterial Hierarchy for g.
+func Build(g *graph.Graph, opts Options) *Index {
+	hier := gridindex.Build(g, opts.MaxLevels)
+	elev := elevations(g, hier, opts)
+	order := contractionOrder(elev)
+
+	n := g.NumNodes()
+	rank := make([]int32, n)
+	for k, v := range order {
+		rank[v] = int32(k)
+	}
+
+	ov := graph.NewOverlay(g)
+	contract(ov, order, opts)
+
+	x := &Index{
+		g:      g,
+		ov:     ov,
+		rank:   rank,
+		elev:   elev,
+		h:      hier.Levels(),
+		distF:  make([]float64, n),
+		distB:  make([]float64, n),
+		peF:    make([]graph.EdgeID, n),
+		peB:    make([]graph.EdgeID, n),
+		stampF: make([]uint32, n),
+		stampB: make([]uint32, n),
+		pqF:    pqueue.New(n),
+		pqB:    pqueue.New(n),
+	}
+	x.buildUpwardCSR()
+	// The CSRs now hold every overlay edge; only the edge store is still
+	// needed (for unpacking), so the construction-time adjacency can go.
+	ov.DropAdjacency()
+	return x
+}
+
+// half is one side of a potential shortcut around the node being
+// contracted: an uncontracted neighbour, the connecting overlay edge, and
+// its weight.
+type half struct {
+	node graph.NodeID
+	w    float64
+	eid  graph.EdgeID
+}
+
+// addMin appends (v, w, eid) to s, keeping only the minimum-weight entry
+// per neighbour (parallel edges collapse).
+func addMin(s []half, v graph.NodeID, w float64, eid graph.EdgeID) []half {
+	for i := range s {
+		if s[i].node == v {
+			if w < s[i].w {
+				s[i].w, s[i].eid = w, eid
+			}
+			return s
+		}
+	}
+	return append(s, half{node: v, w: w, eid: eid})
+}
+
+// contract removes nodes in rank order, adding a shortcut u -> t for every
+// in/out pair around the removed node v unless a witness search proves a
+// path of length <= w(u,v)+w(v,t) survives without v. Inconclusive witness
+// searches (settle limit hit) fall back to adding the shortcut, which
+// keeps the overlay distance-preserving unconditionally.
+func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) {
+	contracted := make([]bool, ov.NumNodes())
+	wit := newWitness(ov)
+	limit := opts.witnessLimit()
+
+	var ins, outs []half
+	for _, v := range order {
+		ins, outs = ins[:0], outs[:0]
+		ov.InEdges(v, func(eid graph.EdgeID, from graph.NodeID, w float64) bool {
+			if !contracted[from] && from != v {
+				ins = addMin(ins, from, w, eid)
+			}
+			return true
+		})
+		ov.OutEdges(v, func(eid graph.EdgeID, to graph.NodeID, w float64) bool {
+			if !contracted[to] && to != v {
+				outs = addMin(outs, to, w, eid)
+			}
+			return true
+		})
+		if len(ins) > 0 && len(outs) > 0 {
+			maxOut := 0.0
+			for _, o := range outs {
+				if o.w > maxOut {
+					maxOut = o.w
+				}
+			}
+			for _, in := range ins {
+				if len(outs) == 1 && outs[0].node == in.node {
+					continue // dead end: no pair to shortcut, skip the witness run
+				}
+				wit.run(in.node, v, contracted, in.w+maxOut, limit)
+				for _, out := range outs {
+					if out.node == in.node {
+						continue
+					}
+					need := in.w + out.w
+					if wit.dist(out.node) <= need {
+						continue // a surviving path covers this pair
+					}
+					ov.AddShortcut(in.node, out.node, need, in.eid, out.eid)
+				}
+			}
+		}
+		contracted[v] = true
+	}
+}
+
+// witness is a bounded Dijkstra over the evolving overlay restricted to
+// uncontracted nodes, excluding the node being contracted.
+type witness struct {
+	ov    *graph.Overlay
+	d     []float64
+	stamp []uint32
+	cur   uint32
+	pq    *pqueue.Queue
+}
+
+func newWitness(ov *graph.Overlay) *witness {
+	n := ov.NumNodes()
+	return &witness{
+		ov:    ov,
+		d:     make([]float64, n),
+		stamp: make([]uint32, n),
+		pq:    pqueue.New(n),
+	}
+}
+
+// run searches from src, never entering excluded or contracted nodes,
+// stopping once the frontier exceeds maxDist or settleLimit pops.
+func (w *witness) run(src, excluded graph.NodeID, contracted []bool, maxDist float64, settleLimit int) {
+	w.cur++
+	if w.cur == 0 {
+		for i := range w.stamp {
+			w.stamp[i] = 0
+		}
+		w.cur = 1
+	}
+	w.pq.Reset()
+	w.label(src, 0)
+	settledCount := 0
+	for w.pq.Len() > 0 {
+		v, d := w.pq.Pop()
+		if d > maxDist {
+			return
+		}
+		settledCount++
+		if settledCount > settleLimit {
+			return
+		}
+		w.ov.OutEdges(v, func(_ graph.EdgeID, to graph.NodeID, ew float64) bool {
+			if to != excluded && !contracted[to] {
+				w.label(to, d+ew)
+			}
+			return true
+		})
+	}
+}
+
+func (w *witness) label(v graph.NodeID, d float64) {
+	if w.stamp[v] == w.cur && d >= w.d[v] {
+		return
+	}
+	w.stamp[v] = w.cur
+	w.d[v] = d
+	w.pq.Push(v, d)
+}
+
+// dist returns the distance found by the last run, or +Inf.
+func (w *witness) dist(v graph.NodeID) float64 {
+	if w.stamp[v] != w.cur {
+		return math.Inf(1)
+	}
+	return w.d[v]
+}
+
+// buildUpwardCSR splits every overlay edge into the upward-out adjacency
+// of its tail (head ranked higher) or the upward-in adjacency of its head
+// (tail ranked higher). Ranks are distinct, so the split is exhaustive and
+// disjoint; the two CSRs together cover the whole overlay.
+func (x *Index) buildUpwardCSR() {
+	n := x.ov.NumNodes()
+	m := x.ov.NumEdges()
+	x.upOutStart = make([]int32, n+1)
+	x.upInStart = make([]int32, n+1)
+	for eid := 0; eid < m; eid++ {
+		a, b := x.ov.Endpoints(graph.EdgeID(eid))
+		if x.rank[b] > x.rank[a] {
+			x.upOutStart[a+1]++
+		} else {
+			x.upInStart[b+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		x.upOutStart[i+1] += x.upOutStart[i]
+		x.upInStart[i+1] += x.upInStart[i]
+	}
+	nOut := x.upOutStart[n]
+	nIn := x.upInStart[n]
+	x.upOutTo = make([]graph.NodeID, nOut)
+	x.upOutW = make([]float64, nOut)
+	x.upOutEid = make([]graph.EdgeID, nOut)
+	x.upInFrom = make([]graph.NodeID, nIn)
+	x.upInW = make([]float64, nIn)
+	x.upInEid = make([]graph.EdgeID, nIn)
+	outNext := make([]int32, n)
+	inNext := make([]int32, n)
+	copy(outNext, x.upOutStart[:n])
+	copy(inNext, x.upInStart[:n])
+	for eid := 0; eid < m; eid++ {
+		a, b := x.ov.Endpoints(graph.EdgeID(eid))
+		w := x.ov.Weight(graph.EdgeID(eid))
+		if x.rank[b] > x.rank[a] {
+			s := outNext[a]
+			outNext[a]++
+			x.upOutTo[s] = b
+			x.upOutW[s] = w
+			x.upOutEid[s] = graph.EdgeID(eid)
+		} else {
+			s := inNext[b]
+			inNext[b]++
+			x.upInFrom[s] = a
+			x.upInW[s] = w
+			x.upInEid[s] = graph.EdgeID(eid)
+		}
+	}
+}

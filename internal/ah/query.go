@@ -1,0 +1,194 @@
+package ah
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Inf is the distance reported for unreachable pairs.
+var Inf = math.Inf(1)
+
+// Distance returns the exact shortest-path distance from src to dst, or
+// +Inf when dst is unreachable. The value is re-summed over the unpacked
+// original-graph edge sequence in travel order, matching unidirectional
+// Dijkstra's accumulation bit for bit when shortest paths are unique.
+func (x *Index) Distance(src, dst graph.NodeID) float64 {
+	if src == dst {
+		x.settled = 0
+		return 0
+	}
+	theta, meet := x.run(src, dst)
+	if math.IsInf(theta, 1) {
+		return Inf
+	}
+	x.scratch = x.overlayPath(src, dst, meet, x.scratch[:0])
+	x.unpacked = x.unpacked[:0]
+	for _, oe := range x.scratch {
+		x.unpacked = x.ov.Unpack(oe, x.unpacked)
+	}
+	d := 0.0
+	for _, be := range x.unpacked {
+		d += x.g.EdgeWeight(be)
+	}
+	return d
+}
+
+// Path returns a shortest path from src to dst as an original-graph node
+// sequence (inclusive of both endpoints) plus its exact length, or
+// (nil, +Inf) when dst is unreachable.
+func (x *Index) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+	if src == dst {
+		x.settled = 0
+		return []graph.NodeID{src}, 0
+	}
+	theta, meet := x.run(src, dst)
+	if math.IsInf(theta, 1) {
+		return nil, Inf
+	}
+	x.scratch = x.overlayPath(src, dst, meet, x.scratch[:0])
+	var base []graph.EdgeID
+	for _, oe := range x.scratch {
+		base = x.ov.Unpack(oe, base)
+	}
+	nodes := make([]graph.NodeID, 0, len(base)+1)
+	nodes = append(nodes, src)
+	d := 0.0
+	for _, be := range base {
+		_, to := x.g.EdgeEndpoints(be)
+		nodes = append(nodes, to)
+		d += x.g.EdgeWeight(be)
+	}
+	return nodes, d
+}
+
+// run executes the rank-pruned bidirectional search: the forward frontier
+// relaxes only upward out-edges, the backward frontier only upward
+// in-edges, so both climb toward the path's peak. A direction is advanced
+// while its queue minimum can still beat the best meeting value θ; both
+// exhausted means θ is final (paper §3.2's scheduling, adapted to the
+// rank-monotone overlay).
+func (x *Index) run(src, dst graph.NodeID) (float64, graph.NodeID) {
+	x.begin()
+	x.relaxF(src, 0, -1)
+	x.relaxB(dst, 0, -1)
+	forward := true
+	for {
+		minF, minB := Inf, Inf
+		if x.pqF.Len() > 0 {
+			_, minF = x.pqF.Peek()
+		}
+		if x.pqB.Len() > 0 {
+			_, minB = x.pqB.Peek()
+		}
+		// Unlike plain bidirectional Dijkstra, an upward frontier may
+		// still improve θ after the other side stalls, so each direction
+		// runs until its own minimum reaches θ.
+		fOK := minF < x.theta
+		bOK := minB < x.theta
+		if !fOK && !bOK {
+			break
+		}
+		useF := forward
+		if !fOK {
+			useF = false
+		} else if !bOK {
+			useF = true
+		}
+		forward = !forward
+		if useF {
+			v, d := x.pqF.Pop()
+			x.settled++
+			if d >= x.theta {
+				continue
+			}
+			for i := x.upOutStart[v]; i < x.upOutStart[v+1]; i++ {
+				x.relaxF(x.upOutTo[i], d+x.upOutW[i], x.upOutEid[i])
+			}
+		} else {
+			v, d := x.pqB.Pop()
+			x.settled++
+			if d >= x.theta {
+				continue
+			}
+			for i := x.upInStart[v]; i < x.upInStart[v+1]; i++ {
+				x.relaxB(x.upInFrom[i], d+x.upInW[i], x.upInEid[i])
+			}
+		}
+	}
+	return x.theta, x.meet
+}
+
+func (x *Index) relaxF(v graph.NodeID, d float64, eid graph.EdgeID) {
+	if x.stampF[v] == x.cur && d >= x.distF[v] {
+		return
+	}
+	x.stampF[v] = x.cur
+	x.distF[v] = d
+	x.peF[v] = eid
+	x.pqF.Push(v, d)
+	if x.stampB[v] == x.cur {
+		if t := d + x.distB[v]; t < x.theta {
+			x.theta = t
+			x.meet = v
+		}
+	}
+}
+
+func (x *Index) relaxB(v graph.NodeID, d float64, eid graph.EdgeID) {
+	if x.stampB[v] == x.cur && d >= x.distB[v] {
+		return
+	}
+	x.stampB[v] = x.cur
+	x.distB[v] = d
+	x.peB[v] = eid
+	x.pqB.Push(v, d)
+	if x.stampF[v] == x.cur {
+		if t := d + x.distF[v]; t < x.theta {
+			x.theta = t
+			x.meet = v
+		}
+	}
+}
+
+func (x *Index) begin() {
+	x.cur++
+	if x.cur == 0 {
+		for i := range x.stampF {
+			x.stampF[i] = 0
+			x.stampB[i] = 0
+		}
+		x.cur = 1
+	}
+	x.pqF.Reset()
+	x.pqB.Reset()
+	x.theta = Inf
+	x.meet = -1
+	x.settled = 0
+}
+
+// overlayPath reconstructs the winning up-down path as a sequence of
+// overlay edge ids from src to dst through the meeting node, appending to
+// dst0.
+func (x *Index) overlayPath(src, dst, meet graph.NodeID, dst0 []graph.EdgeID) []graph.EdgeID {
+	mark := len(dst0)
+	// Ascent: walk forward tree edges from meet back to src, then reverse.
+	for v := meet; v != src; {
+		eid := x.peF[v]
+		dst0 = append(dst0, eid)
+		from, _ := x.ov.Endpoints(eid)
+		v = from
+	}
+	for i, j := mark, len(dst0)-1; i < j; i, j = i+1, j-1 {
+		dst0[i], dst0[j] = dst0[j], dst0[i]
+	}
+	// Descent: backward tree edges lead from meet toward dst in travel
+	// order already.
+	for v := meet; v != dst; {
+		eid := x.peB[v]
+		dst0 = append(dst0, eid)
+		_, to := x.ov.Endpoints(eid)
+		v = to
+	}
+	return dst0
+}

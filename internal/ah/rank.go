@@ -1,0 +1,86 @@
+package ah
+
+import (
+	"sort"
+
+	"repro/internal/arterial"
+	"repro/internal/graph"
+	"repro/internal/gridindex"
+)
+
+// elevations runs the level-by-level pseudo-arterial sweep (paper §3.3,
+// step 1): every node starts as a core; at each grid level, the arterial
+// edges of every occupied 4×4 region are computed with path interiors
+// restricted to the current cores, and only their endpoints survive to the
+// next (coarser) level. A node's elevation is the number of sweeps it
+// survived — the grid level at which it was last arterial.
+func elevations(g *graph.Graph, hier *gridindex.Hierarchy, opts Options) []int32 {
+	n := g.NumNodes()
+	elev := make([]int32, n)
+	isCore := make([]bool, n)
+	core := make([]graph.NodeID, n)
+	for v := range core {
+		core[v] = graph.NodeID(v)
+		isCore[v] = true
+	}
+
+	eng := arterial.NewEngine(g)
+	spec := arterial.Spec{
+		MaxSourcesPerStrip: opts.sourcesPerStrip(),
+		Expand:             func(v graph.NodeID) bool { return isCore[v] },
+	}
+	survivor := make([]bool, n)
+
+	for level := 1; level <= hier.Levels() && len(core) > 1; level++ {
+		buckets := hier.BucketNodes(g, level, core)
+		for i := range survivor {
+			survivor[i] = false
+		}
+		buckets.Regions(func(r gridindex.Region) {
+			for _, eid := range eng.RegionArterials(hier, buckets, r, spec) {
+				u, t := g.EdgeEndpoints(eid)
+				survivor[u] = true
+				survivor[t] = true
+			}
+		})
+		next := core[:0]
+		for _, v := range core {
+			if survivor[v] {
+				next = append(next, v)
+				elev[v] = int32(level)
+			} else {
+				isCore[v] = false
+			}
+		}
+		core = next
+	}
+	return elev
+}
+
+// contractionOrder turns elevations into a total order: ascending
+// elevation, with a deterministic hash scrambling ties so same-elevation
+// nodes are contracted in a spatially spread order rather than the
+// generators' row-major id order (which would pile shortcut chains onto a
+// few late nodes).
+func contractionOrder(elev []int32) []graph.NodeID {
+	order := make([]graph.NodeID, len(elev))
+	for v := range order {
+		order[v] = graph.NodeID(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if elev[a] != elev[b] {
+			return elev[a] < elev[b]
+		}
+		ha, hb := scramble(a), scramble(b)
+		if ha != hb {
+			return ha < hb
+		}
+		return a < b
+	})
+	return order
+}
+
+// scramble is a fixed odd-multiplier hash (Knuth) used only for
+// tie-breaking; any deterministic mixing works.
+func scramble(v graph.NodeID) uint32 { return uint32(v) * 2654435761 }

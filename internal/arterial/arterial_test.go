@@ -1,0 +1,121 @@
+package arterial
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/gridindex"
+)
+
+// lineAcross builds a 4-node bidirectional path laid out horizontally at
+// y=1 across the [0,8)² extent, one node per column of the 4×4 grid:
+//
+//	n0 (0.5,1) — n1 (2.5,1) — n2 (4.5,1) — n3 (6.5,1)
+//
+// The vertical bisector of the full-extent region sits at x=4, so the only
+// bisector-crossing edges are n1 <-> n2.
+func lineAcross(t *testing.T) (*graph.Graph, *gridindex.Hierarchy) {
+	t.Helper()
+	b := graph.NewBuilder(4, 6)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: 0.5 + 2*float64(i), Y: 1})
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.AddBidirectional(graph.NodeID(i), graph.NodeID(i+1), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(), gridindex.BuildWithExtent(geom.Point{X: 0, Y: 0}, 8, 1)
+}
+
+func fullRegion() gridindex.Region {
+	return gridindex.Region{Level: 1, Anchor: gridindex.Cell{X: 0, Y: 0}}
+}
+
+// TestHandCheckedArterialEdges verifies Definition 1 on a case small
+// enough to check by hand: exactly the two directed edges n1 <-> n2 cross
+// the vertical bisector, and nothing crosses the horizontal one.
+func TestHandCheckedArterialEdges(t *testing.T) {
+	g, hier := lineAcross(t)
+	buckets := hier.BucketNodes(g, 1, nil)
+	eng := NewEngine(g)
+
+	eids := eng.RegionArterials(hier, buckets, fullRegion(), Spec{})
+	if len(eids) != 2 {
+		t.Fatalf("got %d arterial edges, want 2 (n1->n2 and n2->n1): %v", len(eids), eids)
+	}
+	for _, eid := range eids {
+		from, to := g.EdgeEndpoints(eid)
+		if !(from == 1 && to == 2) && !(from == 2 && to == 1) {
+			t.Errorf("edge %d (%d->%d) is not a bisector crossing", eid, from, to)
+		}
+	}
+}
+
+// TestExpandRestrictsInteriors blocks n2 from serving as a path interior:
+// every west-east spanning path needs it strictly inside, so no arterial
+// edge survives. This is the hook AH preprocessing relies on to restrict
+// spanning paths to core nodes.
+func TestExpandRestrictsInteriors(t *testing.T) {
+	g, hier := lineAcross(t)
+	buckets := hier.BucketNodes(g, 1, nil)
+	eng := NewEngine(g)
+
+	spec := Spec{Expand: func(v graph.NodeID) bool { return v != 2 }}
+	if eids := eng.RegionArterials(hier, buckets, fullRegion(), spec); len(eids) != 0 {
+		t.Errorf("blocking n2 should eliminate all spanning paths, got %v", eids)
+	}
+
+	// Blocking the strip endpoint n0 instead changes nothing: traversal
+	// roots are exempt from Expand, so n0 still roots the spanning path
+	// n0 -> n1 -> n2 -> n3 whose interiors n1, n2 remain allowed.
+	spec = Spec{Expand: func(v graph.NodeID) bool { return v != 0 }}
+	if eids := eng.RegionArterials(hier, buckets, fullRegion(), spec); len(eids) != 2 {
+		t.Errorf("blocking source n0 should keep the crossing via source exemption, got %v", eids)
+	}
+}
+
+// TestEmptyStripsYieldNoArterials puts all nodes in the west half: with no
+// east-strip nodes there is no spanning path and no arterial edge.
+func TestEmptyStripsYieldNoArterials(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNode(geom.Point{X: 0.5, Y: 1})
+	b.AddNode(geom.Point{X: 2.5, Y: 1})
+	if err := b.AddBidirectional(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	hier := gridindex.BuildWithExtent(geom.Point{X: 0, Y: 0}, 8, 1)
+	buckets := hier.BucketNodes(g, 1, nil)
+	eng := NewEngine(g)
+	if eids := eng.RegionArterials(hier, buckets, fullRegion(), Spec{}); len(eids) != 0 {
+		t.Errorf("half-empty region should have no arterial edges, got %v", eids)
+	}
+}
+
+// TestMeasureDimensionSane runs the Figure 3 measurement on a small city
+// and checks the summary invariants.
+func TestMeasureDimensionSane(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.25, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MeasureDimension(g, 4, Spec{MaxSourcesPerStrip: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regions == 0 {
+		t.Fatal("no regions measured")
+	}
+	if st.Max < int(st.Q99) || st.Q99 < st.Q90 || float64(st.Max) < st.Mean {
+		t.Errorf("quantile ordering violated: %+v", st)
+	}
+	if _, err := MeasureDimension(g, 1, Spec{}); err == nil {
+		t.Error("resolution below 2 should be rejected")
+	}
+}

@@ -37,19 +37,19 @@ func paperGraph(t testing.TB) *Graph {
 		}
 	}
 	// 0-based ids: v1=0 ... v11=10.
-	bi(0, 10, 1)  // v1-v11
-	bi(10, 6, 1)  // v11-v7
-	bi(6, 3, 2)   // v7-v4
-	bi(6, 7, 2)   // v7-v8
-	bi(3, 2, 1)   // v4-v3
-	bi(2, 7, 1)   // v3-v8
-	bi(7, 9, 1)   // v8-v10
-	bi(9, 5, 1)   // v10-v6
-	bi(5, 8, 1)   // v6-v9
-	bi(8, 4, 1)   // v9-v5
-	bi(4, 1, 1)   // v5-v2
-	bi(1, 8, 1)   // v2-v9
-	bi(8, 10, 2)  // v9-v11
+	bi(0, 10, 1) // v1-v11
+	bi(10, 6, 1) // v11-v7
+	bi(6, 3, 2)  // v7-v4
+	bi(6, 7, 2)  // v7-v8
+	bi(3, 2, 1)  // v4-v3
+	bi(2, 7, 1)  // v3-v8
+	bi(7, 9, 1)  // v8-v10
+	bi(9, 5, 1)  // v10-v6
+	bi(5, 8, 1)  // v6-v9
+	bi(8, 4, 1)  // v9-v5
+	bi(4, 1, 1)  // v5-v2
+	bi(1, 8, 1)  // v2-v9
+	bi(8, 10, 2) // v9-v11
 	return b.Build()
 }
 

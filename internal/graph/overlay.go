@@ -1,0 +1,167 @@
+package graph
+
+import "fmt"
+
+// Overlay augments an immutable base Graph with shortcut edges added
+// during index construction (AH preprocessing, paper §3.3). A shortcut
+// (u -> t) replaces a two-edge detour u -> v -> t through a node v that has
+// been assigned a lower rank; its payload records the overlay edge ids of
+// the two replaced edges so paths over the overlay can be unpacked back to
+// original-graph edge sequences.
+//
+// Overlay edge ids extend the base forward-CSR id space: ids in
+// [0, base.NumEdges()) are base edges, larger ids are shortcuts. The
+// replaced edges may themselves be shortcuts, so unpacking is recursive.
+//
+// Unlike Graph, an Overlay is mutable: AddShortcut may be called at any
+// time, and adjacency iteration reflects all edges added so far. It is not
+// safe for concurrent mutation.
+type Overlay struct {
+	base *Graph
+
+	// Shortcut edge store, parallel slices indexed by eid - base.NumEdges().
+	sFrom, sTo []NodeID
+	sWeight    []float64
+	sLeft      []EdgeID // overlay id of the replaced edge u -> v
+	sRight     []EdgeID // overlay id of the replaced edge v -> t
+
+	// Shortcut adjacency: per-node lists of shortcut overlay edge ids.
+	sOut, sIn [][]EdgeID
+}
+
+// NewOverlay returns an overlay over g with no shortcuts yet.
+func NewOverlay(g *Graph) *Overlay {
+	n := g.NumNodes()
+	return &Overlay{
+		base: g,
+		sOut: make([][]EdgeID, n),
+		sIn:  make([][]EdgeID, n),
+	}
+}
+
+// Base returns the underlying graph.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// NumNodes returns the node count (identical to the base graph's).
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() }
+
+// NumEdges returns the total overlay edge count (base + shortcuts).
+func (o *Overlay) NumEdges() int { return o.base.NumEdges() + len(o.sTo) }
+
+// NumShortcuts returns the number of shortcuts added so far.
+func (o *Overlay) NumShortcuts() int { return len(o.sTo) }
+
+// IsShortcut reports whether eid denotes a shortcut rather than a base
+// edge.
+func (o *Overlay) IsShortcut(eid EdgeID) bool {
+	return int(eid) >= o.base.NumEdges()
+}
+
+// AddShortcut records a shortcut from -> to of the given weight replacing
+// the overlay edges left (from -> via) and right (via -> to), and returns
+// its overlay edge id. The replaced edge ids must already exist in the
+// overlay.
+func (o *Overlay) AddShortcut(from, to NodeID, w float64, left, right EdgeID) EdgeID {
+	if int(left) >= o.NumEdges() || int(right) >= o.NumEdges() || left < 0 || right < 0 {
+		panic(fmt.Sprintf("graph: shortcut (%d->%d) references unknown edges (%d,%d)", from, to, left, right))
+	}
+	eid := EdgeID(o.NumEdges())
+	o.sFrom = append(o.sFrom, from)
+	o.sTo = append(o.sTo, to)
+	o.sWeight = append(o.sWeight, w)
+	o.sLeft = append(o.sLeft, left)
+	o.sRight = append(o.sRight, right)
+	o.sOut[from] = append(o.sOut[from], eid)
+	o.sIn[to] = append(o.sIn[to], eid)
+	return eid
+}
+
+// Arms returns the two overlay edge ids a shortcut replaces. It panics if
+// eid is a base edge.
+func (o *Overlay) Arms(eid EdgeID) (left, right EdgeID) {
+	i := int(eid) - o.base.NumEdges()
+	return o.sLeft[i], o.sRight[i]
+}
+
+// Endpoints returns the endpoints of any overlay edge.
+func (o *Overlay) Endpoints(eid EdgeID) (from, to NodeID) {
+	if i := int(eid) - o.base.NumEdges(); i >= 0 {
+		return o.sFrom[i], o.sTo[i]
+	}
+	return o.base.EdgeEndpoints(eid)
+}
+
+// Weight returns the weight of any overlay edge.
+func (o *Overlay) Weight(eid EdgeID) float64 {
+	if i := int(eid) - o.base.NumEdges(); i >= 0 {
+		return o.sWeight[i]
+	}
+	return o.base.EdgeWeight(eid)
+}
+
+// DropAdjacency releases the per-node shortcut adjacency lists. Call it
+// once every overlay edge has been copied into an external adjacency
+// structure (as AH's upward CSRs are) and only edge lookups and unpacking
+// are still needed: the lists are one slice header per node plus an entry
+// per shortcut, pure dead weight for a query-serving index. Subsequent
+// OutEdges/InEdges calls enumerate base edges only; AddShortcut must not
+// be called afterwards.
+func (o *Overlay) DropAdjacency() {
+	o.sOut, o.sIn = nil, nil
+}
+
+// OutEdges calls fn for every overlay edge leaving v (base edges first,
+// then shortcuts). Iteration stops early if fn returns false.
+func (o *Overlay) OutEdges(v NodeID, fn func(eid EdgeID, to NodeID, w float64) bool) {
+	stopped := false
+	o.base.OutEdges(v, func(eid EdgeID, to NodeID, w float64) bool {
+		if !fn(eid, to, w) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || o.sOut == nil {
+		return
+	}
+	for _, eid := range o.sOut[v] {
+		i := int(eid) - o.base.NumEdges()
+		if !fn(eid, o.sTo[i], o.sWeight[i]) {
+			return
+		}
+	}
+}
+
+// InEdges calls fn for every overlay edge entering v (base edges first,
+// then shortcuts). Iteration stops early if fn returns false.
+func (o *Overlay) InEdges(v NodeID, fn func(eid EdgeID, from NodeID, w float64) bool) {
+	stopped := false
+	o.base.InEdges(v, func(eid EdgeID, from NodeID, w float64) bool {
+		if !fn(eid, from, w) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || o.sIn == nil {
+		return
+	}
+	for _, eid := range o.sIn[v] {
+		i := int(eid) - o.base.NumEdges()
+		if !fn(eid, o.sFrom[i], o.sWeight[i]) {
+			return
+		}
+	}
+}
+
+// Unpack expands an overlay edge into the base edge ids it covers, in
+// travel order, appending to dst (which may be nil) and returning the
+// extended slice. Base edges expand to themselves.
+func (o *Overlay) Unpack(eid EdgeID, dst []EdgeID) []EdgeID {
+	if !o.IsShortcut(eid) {
+		return append(dst, eid)
+	}
+	left, right := o.Arms(eid)
+	dst = o.Unpack(left, dst)
+	return o.Unpack(right, dst)
+}

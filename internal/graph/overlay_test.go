@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// chain builds the path 0 -> 1 -> 2 -> 3 with weights 1, 2, 3.
+func chain(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 3)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: float64(i)})
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID(i+1), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestOverlayAddAndLookup(t *testing.T) {
+	g := chain(t)
+	o := NewOverlay(g)
+	if o.NumEdges() != 3 || o.NumShortcuts() != 0 {
+		t.Fatalf("fresh overlay: NumEdges=%d NumShortcuts=%d", o.NumEdges(), o.NumShortcuts())
+	}
+
+	// Shortcut 0 -> 2 over edges (0->1)=eid 0 and (1->2)=eid 1.
+	s1 := o.AddShortcut(0, 2, 3, 0, 1)
+	if s1 != 3 {
+		t.Fatalf("first shortcut id = %d, want 3", s1)
+	}
+	if !o.IsShortcut(s1) || o.IsShortcut(0) {
+		t.Error("IsShortcut misclassifies edges")
+	}
+	if from, to := o.Endpoints(s1); from != 0 || to != 2 {
+		t.Errorf("Endpoints(s1) = %d,%d", from, to)
+	}
+	if w := o.Weight(s1); w != 3 {
+		t.Errorf("Weight(s1) = %v, want 3", w)
+	}
+	if w := o.Weight(2); w != 3 { // base edge 2->3
+		t.Errorf("Weight(base 2) = %v, want 3", w)
+	}
+	if l, r := o.Arms(s1); l != 0 || r != 1 {
+		t.Errorf("Arms(s1) = %d,%d, want 0,1", l, r)
+	}
+}
+
+func TestOverlayAdjacencyMergesBaseAndShortcuts(t *testing.T) {
+	g := chain(t)
+	o := NewOverlay(g)
+	s1 := o.AddShortcut(0, 2, 3, 0, 1)
+
+	var outs []NodeID
+	o.OutEdges(0, func(_ EdgeID, to NodeID, _ float64) bool {
+		outs = append(outs, to)
+		return true
+	})
+	if len(outs) != 2 || outs[0] != 1 || outs[1] != 2 {
+		t.Errorf("OutEdges(0) heads = %v, want [1 2]", outs)
+	}
+
+	var ins []NodeID
+	o.InEdges(2, func(_ EdgeID, from NodeID, _ float64) bool {
+		ins = append(ins, from)
+		return true
+	})
+	if len(ins) != 2 || ins[0] != 1 || ins[1] != 0 {
+		t.Errorf("InEdges(2) tails = %v, want [1 0]", ins)
+	}
+
+	// Early stop must not visit the shortcut.
+	count := 0
+	o.OutEdges(0, func(_ EdgeID, _ NodeID, _ float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-stopped OutEdges visited %d edges", count)
+	}
+	_ = s1
+}
+
+func TestOverlayDropAdjacency(t *testing.T) {
+	g := chain(t)
+	o := NewOverlay(g)
+	s1 := o.AddShortcut(0, 2, 3, 0, 1)
+	o.DropAdjacency()
+
+	// Edge lookups and unpacking survive; adjacency reverts to base only.
+	if w := o.Weight(s1); w != 3 {
+		t.Errorf("Weight after drop = %v, want 3", w)
+	}
+	if got := o.Unpack(s1, nil); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Unpack after drop = %v, want [0 1]", got)
+	}
+	var outs []NodeID
+	o.OutEdges(0, func(_ EdgeID, to NodeID, _ float64) bool {
+		outs = append(outs, to)
+		return true
+	})
+	if len(outs) != 1 || outs[0] != 1 {
+		t.Errorf("OutEdges after drop heads = %v, want [1]", outs)
+	}
+	var ins []NodeID
+	o.InEdges(2, func(_ EdgeID, from NodeID, _ float64) bool {
+		ins = append(ins, from)
+		return true
+	})
+	if len(ins) != 1 || ins[0] != 1 {
+		t.Errorf("InEdges after drop tails = %v, want [1]", ins)
+	}
+}
+
+func TestOverlayUnpackRecursive(t *testing.T) {
+	g := chain(t)
+	o := NewOverlay(g)
+	s1 := o.AddShortcut(0, 2, 3, 0, 1)  // covers base 0,1
+	s2 := o.AddShortcut(0, 3, 6, s1, 2) // covers s1 then base 2
+
+	got := o.Unpack(s2, nil)
+	want := []EdgeID{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Unpack(s2) = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Unpack(s2) = %v, want %v", got, want)
+		}
+	}
+	// A base edge unpacks to itself.
+	if got := o.Unpack(1, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Unpack(base) = %v, want [1]", got)
+	}
+}

@@ -1,0 +1,181 @@
+package gridindex
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// smallHier returns a 1-level hierarchy over the square [0,8)²: its single
+// measurement grid R1 is 4×4 cells of side 2.
+func smallHier() *Hierarchy {
+	return BuildWithExtent(geom.Point{X: 0, Y: 0}, 8, 1)
+}
+
+func TestCellOfClamping(t *testing.T) {
+	hi := smallHier()
+	if n := hi.CellsPerSide(1); n != 4 {
+		t.Fatalf("CellsPerSide(1) = %d, want 4", n)
+	}
+	cases := []struct {
+		p    geom.Point
+		want Cell
+	}{
+		{geom.Point{X: 1, Y: 1}, Cell{0, 0}},
+		{geom.Point{X: 3, Y: 5}, Cell{1, 2}},
+		{geom.Point{X: 7.9, Y: 7.9}, Cell{3, 3}},
+		// Out-of-extent points clamp onto the border cells.
+		{geom.Point{X: -5, Y: -5}, Cell{0, 0}},
+		{geom.Point{X: 100, Y: 3}, Cell{3, 1}},
+		{geom.Point{X: 4, Y: -0.1}, Cell{2, 0}},
+		{geom.Point{X: 8.0001, Y: 8.0001}, Cell{3, 3}},
+	}
+	for _, c := range cases {
+		if got := hi.CellOf(1, c.p); got != c.want {
+			t.Errorf("CellOf(1, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBuildFindsInjectiveFinestGrid(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 12, Rows: 12, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Build(g, 0)
+	if hi.Levels() < 1 {
+		t.Fatalf("Levels = %d", hi.Levels())
+	}
+	b := hi.BucketNodes(g, 1, nil)
+	b.OccupiedCells(func(c Cell) {
+		if nodes := b.NodesIn(c); len(nodes) != 1 {
+			t.Errorf("R1 cell %v holds %d nodes, want 1", c, len(nodes))
+		}
+	})
+}
+
+func TestRegionsEnumeration(t *testing.T) {
+	// A 2-level hierarchy: R1 has 8 cells per side, so anchors range over
+	// [0,4] on both axes. A single node in cell (5,5) is covered by the
+	// 3×3 = 9 anchor positions in [2,4]².
+	hi := BuildWithExtent(geom.Point{X: 0, Y: 0}, 8, 2)
+	if n := hi.CellsPerSide(1); n != 8 {
+		t.Fatalf("CellsPerSide(1) = %d, want 8", n)
+	}
+	b := graph.NewBuilder(1, 0)
+	b.AddNode(geom.Point{X: 5.5, Y: 5.5}) // cell (5,5), cell size 1
+	g := b.Build()
+	buckets := hi.BucketNodes(g, 1, nil)
+
+	var regions []Region
+	buckets.Regions(func(r Region) { regions = append(regions, r) })
+	if len(regions) != 9 {
+		t.Fatalf("got %d regions, want 9: %v", len(regions), regions)
+	}
+	seen := make(map[Cell]bool)
+	for _, r := range regions {
+		if r.Level != 1 {
+			t.Errorf("region level %d, want 1", r.Level)
+		}
+		if r.Anchor.X < 2 || r.Anchor.X > 4 || r.Anchor.Y < 2 || r.Anchor.Y > 4 {
+			t.Errorf("anchor %v outside [2,4]²", r.Anchor)
+		}
+		if !r.Contains(Cell{5, 5}) {
+			t.Errorf("region %v does not contain the occupied cell", r)
+		}
+		if seen[r.Anchor] {
+			t.Errorf("duplicate region anchor %v", r.Anchor)
+		}
+		seen[r.Anchor] = true
+	}
+}
+
+func TestRegionsClipAtBorder(t *testing.T) {
+	// A node in the corner cell (0,0) of an 8×8 grid: only anchors at
+	// (0..0, 0..0)... anchors are clamped to >= 0, so exactly 1 region.
+	hi := BuildWithExtent(geom.Point{X: 0, Y: 0}, 8, 2)
+	b := graph.NewBuilder(1, 0)
+	b.AddNode(geom.Point{X: 0.5, Y: 0.5})
+	g := b.Build()
+	buckets := hi.BucketNodes(g, 1, nil)
+	count := 0
+	buckets.Regions(func(r Region) {
+		count++
+		if r.Anchor != (Cell{0, 0}) {
+			t.Errorf("corner-node region anchored at %v, want (0,0)", r.Anchor)
+		}
+	})
+	if count != 1 {
+		t.Errorf("corner node produced %d regions, want 1", count)
+	}
+}
+
+func TestRegionNodes(t *testing.T) {
+	hi := smallHier() // 4×4 cells of side 2 over [0,8)²
+	b := graph.NewBuilder(4, 0)
+	in1 := b.AddNode(geom.Point{X: 1, Y: 1})   // cell (0,0)
+	in2 := b.AddNode(geom.Point{X: 7, Y: 7})   // cell (3,3)
+	in3 := b.AddNode(geom.Point{X: 4.5, Y: 3}) // cell (2,1)
+	_ = b.AddNode(geom.Point{X: 9, Y: 9})      // clamps to (3,3) too
+	g := b.Build()
+	buckets := hi.BucketNodes(g, 1, []graph.NodeID{in1, in2, in3})
+
+	r := Region{Level: 1, Anchor: Cell{0, 0}}
+	got := buckets.RegionNodes(r)
+	if len(got) != 3 {
+		t.Fatalf("RegionNodes = %v, want the 3 bucketed nodes", got)
+	}
+	want := map[graph.NodeID]bool{in1: true, in2: true, in3: true}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected node %d in region", v)
+		}
+	}
+
+	// A bucketing of only one node sees only that node.
+	solo := hi.BucketNodes(g, 1, []graph.NodeID{in3})
+	if got := solo.RegionNodes(r); len(got) != 1 || got[0] != in3 {
+		t.Errorf("solo RegionNodes = %v, want [%d]", got, in3)
+	}
+}
+
+func TestProximityPredicates(t *testing.T) {
+	hi := smallHier()
+	p := geom.Point{X: 1, Y: 1} // cell (0,0)
+	q := geom.Point{X: 5, Y: 5} // cell (2,2)
+	r := geom.Point{X: 7, Y: 1} // cell (3,0)
+	if !hi.SameRegion3(1, p, q) {
+		t.Error("cells (0,0) and (2,2) should share a 3x3 region")
+	}
+	if hi.SameRegion3(1, p, r) {
+		t.Error("cells (0,0) and (3,0) differ by 3 columns: no shared 3x3 region")
+	}
+	if !hi.InCenteredRegion5(1, q, p) {
+		t.Error("(0,0) lies in the 5x5 region centered at (2,2)")
+	}
+}
+
+func TestRegionGeometry(t *testing.T) {
+	hi := smallHier()
+	r := Region{Level: 1, Anchor: Cell{0, 0}}
+	if x := hi.VerticalBisector(r); x != 4 {
+		t.Errorf("VerticalBisector = %v, want 4", x)
+	}
+	if y := hi.HorizontalBisector(r); y != 4 {
+		t.Errorf("HorizontalBisector = %v, want 4", y)
+	}
+	if c := hi.Column(r, geom.Point{X: 5, Y: 1}); c != 2 {
+		t.Errorf("Column = %d, want 2", c)
+	}
+	if row := hi.Row(r, geom.Point{X: 5, Y: 1}); row != 0 {
+		t.Errorf("Row = %d, want 0", row)
+	}
+	bounds := hi.RegionBounds(r)
+	if bounds.MinX != 0 || bounds.MinY != 0 || bounds.MaxX != 8 || bounds.MaxY != 8 {
+		t.Errorf("RegionBounds = %+v", bounds)
+	}
+}
