@@ -1,12 +1,15 @@
 # Verify pipeline for the AH reproduction. `make check` is the documented
-# tier-1 gate: formatting, vet, build, and the full test suite.
+# tier-1 gate: formatting, vet, build, the full test suite, and the
+# race-detector pass over the concurrent serving and persistence packages.
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test bench bench-record
+.PHONY: check fmt-check vet build test race bench bench-record
 
-check: fmt-check vet build test
+check: fmt-check vet build test race
 
+# gofmt over the whole tree (the repo root recurses into every package
+# dir, new ones included); any unformatted file fails the gate.
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -20,12 +23,24 @@ build:
 test:
 	$(GO) test ./...
 
-# Query benchmarks: AH index vs unidirectional vs bidirectional Dijkstra
-# on the ~10k-node GridCity graph (settled/op is the machine-independent
-# cost metric).
+# The concurrency-sensitive packages run again under the race detector:
+# serve's N-goroutine equivalence harness and store's load path (whose
+# indexes feed the shared-Index serving model).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/store/...
+
+# Query + persistence benchmarks on the ~10k-node GridCity graph
+# (settled/op is the machine-independent cost metric), then regenerate
+# both measurement artifacts at the repo root: BENCH_ah.json (query
+# methods) and BENCH_store.json (Save/Load throughput and the
+# load-vs-rebuild speedup, asserted >= 10x).
 bench:
 	$(GO) test ./internal/ah/ -run '^$$' -bench . -benchtime 300x
+	$(GO) test ./internal/store/ -run '^$$' -bench . -benchtime 20x
+	AH_BENCH_RECORD=1 $(GO) test ./internal/ah/ -run TestRecordBench -v
+	AH_BENCH_RECORD=1 $(GO) test ./internal/store/ -run TestRecordStoreBench -v
 
-# Rewrites BENCH_ah.json at the repo root from a fresh measurement run.
+# Regenerates the JSON artifacts only, without the timed benchmark sweep.
 bench-record:
 	AH_BENCH_RECORD=1 $(GO) test ./internal/ah/ -run TestRecordBench -v
+	AH_BENCH_RECORD=1 $(GO) test ./internal/store/ -run TestRecordStoreBench -v

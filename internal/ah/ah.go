@@ -22,11 +22,20 @@
 // original-graph edge sequence and re-summing weights in travel order, so
 // they are bit-identical to unidirectional Dijkstra whenever shortest
 // paths are unique.
+//
+// An Index is immutable once built: it holds only the graph, the shortcut
+// overlay, rank/elevation arrays, and the upward CSR adjacency. All
+// per-search mutable state (distance labels, parent edges, priority
+// queues) lives in a Querier, so one Index can serve many goroutines, each
+// with its own Querier (see internal/serve for pooling). The Distance/Path
+// methods on Index itself delegate to a lazily created internal Querier
+// and therefore remain single-threaded conveniences.
 package ah
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
-	"repro/internal/pqueue"
 )
 
 // Options tunes index construction. The zero value gives sensible
@@ -63,9 +72,11 @@ func (o Options) witnessLimit() int {
 	return 1000
 }
 
-// Index is a built Arterial Hierarchy over a fixed graph. Queries reuse
-// internal workspaces, so an Index is not safe for concurrent use; clone
-// one per goroutine with NewQuerier in a future revision.
+// Index is a built Arterial Hierarchy over a fixed graph. Everything in it
+// is immutable after construction, so any number of Queriers (and hence
+// goroutines) may share one Index. The query methods on Index itself use a
+// single internal Querier and are NOT safe for concurrent use; call
+// NewQuerier per goroutine instead.
 type Index struct {
 	g    *graph.Graph
 	ov   *graph.Overlay
@@ -85,17 +96,34 @@ type Index struct {
 	upInW      []float64
 	upInEid    []graph.EdgeID
 
-	// Query workspace (stamp-versioned, reusable across queries).
-	distF, distB   []float64
-	peF, peB       []graph.EdgeID // overlay tree edge into the node, -1 at roots
-	stampF, stampB []uint32
-	cur            uint32
-	pqF, pqB       *pqueue.Queue
-	theta          float64 // best meeting value of the in-flight query
-	meet           graph.NodeID
-	settled        int
-	scratch        []graph.EdgeID // overlay-path buffer
-	unpacked       []graph.EdgeID // base-edge unpack buffer
+	// compat is the lazily created Querier backing the convenience
+	// Distance/Path/Settled methods on Index.
+	compat *Querier
+}
+
+// FromParts reassembles a query-ready Index from persisted artifacts: the
+// base graph, the shortcut overlay (adjacency not required — only the edge
+// store is used), the rank and elevation arrays, and the grid depth. The
+// upward CSR adjacency is rebuilt in O(edges); no preprocessing reruns.
+// The slices are retained, not copied.
+func FromParts(g *graph.Graph, ov *graph.Overlay, rank, elev []int32, gridLevels int) (*Index, error) {
+	n := g.NumNodes()
+	if ov.Base() != g {
+		return nil, fmt.Errorf("ah: overlay base graph mismatch")
+	}
+	if len(rank) != n || len(elev) != n {
+		return nil, fmt.Errorf("ah: rank/elev length %d/%d, want %d", len(rank), len(elev), n)
+	}
+	seen := make([]bool, n)
+	for v, r := range rank {
+		if r < 0 || int(r) >= n || seen[r] {
+			return nil, fmt.Errorf("ah: rank[%d]=%d is not a permutation of [0,%d)", v, r, n)
+		}
+		seen[r] = true
+	}
+	x := &Index{g: g, ov: ov, rank: rank, elev: elev, h: gridLevels}
+	x.buildUpwardCSR()
+	return x, nil
 }
 
 // Graph returns the base graph the index answers queries on.
@@ -108,13 +136,47 @@ func (x *Index) Overlay() *graph.Overlay { return x.ov }
 // contracted / least important).
 func (x *Index) Rank(v graph.NodeID) int32 { return x.rank[v] }
 
+// Ranks returns the full contraction-order array indexed by node id.
+// Callers must not modify it.
+func (x *Index) Ranks() []int32 { return x.rank }
+
 // Elevation returns the grid level at which v stopped being a core node
 // during the pseudo-arterial sweeps (higher = more arterial).
 func (x *Index) Elevation(v graph.NodeID) int32 { return x.elev[v] }
 
-// Settled returns how many nodes the last query popped across both
-// directions, the paper's machine-independent cost metric.
-func (x *Index) Settled() int { return x.settled }
+// Elevations returns the full elevation array indexed by node id. Callers
+// must not modify it.
+func (x *Index) Elevations() []int32 { return x.elev }
+
+// GridLevels returns the grid hierarchy depth used during construction.
+func (x *Index) GridLevels() int { return x.h }
+
+// querier returns the Querier backing the single-threaded convenience
+// methods, creating it on first use.
+func (x *Index) querier() *Querier {
+	if x.compat == nil {
+		x.compat = NewQuerier(x)
+	}
+	return x.compat
+}
+
+// Distance returns the exact shortest-path distance from src to dst, or
+// +Inf when dst is unreachable. Not safe for concurrent use; see
+// NewQuerier.
+func (x *Index) Distance(src, dst graph.NodeID) float64 {
+	return x.querier().Distance(src, dst)
+}
+
+// Path returns a shortest path from src to dst as an original-graph node
+// sequence plus its exact length, or (nil, +Inf) when dst is unreachable.
+// Not safe for concurrent use; see NewQuerier.
+func (x *Index) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+	return x.querier().Path(src, dst)
+}
+
+// Settled returns how many nodes the last Index-level query popped across
+// both directions, the paper's machine-independent cost metric.
+func (x *Index) Settled() int { return x.querier().Settled() }
 
 // Stats summarises a built index.
 type Stats struct {

@@ -24,19 +24,11 @@ func Build(g *graph.Graph, opts Options) *Index {
 	contract(ov, order, opts)
 
 	x := &Index{
-		g:      g,
-		ov:     ov,
-		rank:   rank,
-		elev:   elev,
-		h:      hier.Levels(),
-		distF:  make([]float64, n),
-		distB:  make([]float64, n),
-		peF:    make([]graph.EdgeID, n),
-		peB:    make([]graph.EdgeID, n),
-		stampF: make([]uint32, n),
-		stampB: make([]uint32, n),
-		pqF:    pqueue.New(n),
-		pqB:    pqueue.New(n),
+		g:    g,
+		ov:   ov,
+		rank: rank,
+		elev: elev,
+		h:    hier.Levels(),
 	}
 	x.buildUpwardCSR()
 	// The CSRs now hold every overlay edge; only the edge store is still
@@ -94,15 +86,22 @@ func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) {
 			return true
 		})
 		if len(ins) > 0 && len(outs) > 0 {
-			maxOut := 0.0
-			for _, o := range outs {
-				if o.w > maxOut {
-					maxOut = o.w
-				}
-			}
 			for _, in := range ins {
-				if len(outs) == 1 && outs[0].node == in.node {
-					continue // dead end: no pair to shortcut, skip the witness run
+				// Pruning radius per in-neighbour: the out-edge leading
+				// back to in.node can never form a shortcut pair with it,
+				// so excluding it from the max shrinks every witness
+				// Dijkstra (most on asymmetric-weight graphs). Weights are
+				// strictly positive, so maxOut == 0 means the only
+				// out-neighbour is in.node itself: a dead end, no pair to
+				// shortcut, skip the witness run entirely.
+				maxOut := 0.0
+				for _, o := range outs {
+					if o.node != in.node && o.w > maxOut {
+						maxOut = o.w
+					}
+				}
+				if maxOut == 0 {
+					continue
 				}
 				wit.run(in.node, v, contracted, in.w+maxOut, limit)
 				for _, out := range outs {

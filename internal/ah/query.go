@@ -4,32 +4,78 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/pqueue"
 )
 
 // Inf is the distance reported for unreachable pairs.
 var Inf = math.Inf(1)
 
+// Querier holds the per-search mutable workspace of the rank-pruned
+// bidirectional query: distance labels, parent edges, stamp arrays,
+// priority queues, and unpacking buffers. It references — never mutates —
+// a shared immutable Index, so cloning one per goroutine with NewQuerier
+// lets a single loaded index serve any number of concurrent searches. A
+// Querier itself is not safe for concurrent use.
+type Querier struct {
+	x *Index
+
+	distF, distB   []float64
+	peF, peB       []graph.EdgeID // overlay tree edge into the node, -1 at roots
+	stampF, stampB []uint32
+	cur            uint32
+	pqF, pqB       *pqueue.Queue
+	theta          float64 // best meeting value of the in-flight query
+	meet           graph.NodeID
+	settled        int
+	scratch        []graph.EdgeID // overlay-path buffer
+	unpacked       []graph.EdgeID // base-edge unpack buffer
+}
+
+// NewQuerier allocates a fresh query workspace over x. The cost is a few
+// O(n) slices; all index structure is shared.
+func NewQuerier(x *Index) *Querier {
+	n := x.g.NumNodes()
+	return &Querier{
+		x:      x,
+		distF:  make([]float64, n),
+		distB:  make([]float64, n),
+		peF:    make([]graph.EdgeID, n),
+		peB:    make([]graph.EdgeID, n),
+		stampF: make([]uint32, n),
+		stampB: make([]uint32, n),
+		pqF:    pqueue.New(n),
+		pqB:    pqueue.New(n),
+	}
+}
+
+// Index returns the shared index this querier answers queries on.
+func (q *Querier) Index() *Index { return q.x }
+
+// Settled returns how many nodes the last query popped across both
+// directions, the paper's machine-independent cost metric.
+func (q *Querier) Settled() int { return q.settled }
+
 // Distance returns the exact shortest-path distance from src to dst, or
 // +Inf when dst is unreachable. The value is re-summed over the unpacked
 // original-graph edge sequence in travel order, matching unidirectional
 // Dijkstra's accumulation bit for bit when shortest paths are unique.
-func (x *Index) Distance(src, dst graph.NodeID) float64 {
+func (q *Querier) Distance(src, dst graph.NodeID) float64 {
 	if src == dst {
-		x.settled = 0
+		q.settled = 0
 		return 0
 	}
-	theta, meet := x.run(src, dst)
+	theta, meet := q.run(src, dst)
 	if math.IsInf(theta, 1) {
 		return Inf
 	}
-	x.scratch = x.overlayPath(src, dst, meet, x.scratch[:0])
-	x.unpacked = x.unpacked[:0]
-	for _, oe := range x.scratch {
-		x.unpacked = x.ov.Unpack(oe, x.unpacked)
+	q.scratch = q.overlayPath(src, dst, meet, q.scratch[:0])
+	q.unpacked = q.unpacked[:0]
+	for _, oe := range q.scratch {
+		q.unpacked = q.x.ov.Unpack(oe, q.unpacked)
 	}
 	d := 0.0
-	for _, be := range x.unpacked {
-		d += x.g.EdgeWeight(be)
+	for _, be := range q.unpacked {
+		d += q.x.g.EdgeWeight(be)
 	}
 	return d
 }
@@ -37,27 +83,27 @@ func (x *Index) Distance(src, dst graph.NodeID) float64 {
 // Path returns a shortest path from src to dst as an original-graph node
 // sequence (inclusive of both endpoints) plus its exact length, or
 // (nil, +Inf) when dst is unreachable.
-func (x *Index) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+func (q *Querier) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
 	if src == dst {
-		x.settled = 0
+		q.settled = 0
 		return []graph.NodeID{src}, 0
 	}
-	theta, meet := x.run(src, dst)
+	theta, meet := q.run(src, dst)
 	if math.IsInf(theta, 1) {
 		return nil, Inf
 	}
-	x.scratch = x.overlayPath(src, dst, meet, x.scratch[:0])
+	q.scratch = q.overlayPath(src, dst, meet, q.scratch[:0])
 	var base []graph.EdgeID
-	for _, oe := range x.scratch {
-		base = x.ov.Unpack(oe, base)
+	for _, oe := range q.scratch {
+		base = q.x.ov.Unpack(oe, base)
 	}
 	nodes := make([]graph.NodeID, 0, len(base)+1)
 	nodes = append(nodes, src)
 	d := 0.0
 	for _, be := range base {
-		_, to := x.g.EdgeEndpoints(be)
+		_, to := q.x.g.EdgeEndpoints(be)
 		nodes = append(nodes, to)
-		d += x.g.EdgeWeight(be)
+		d += q.x.g.EdgeWeight(be)
 	}
 	return nodes, d
 }
@@ -68,24 +114,25 @@ func (x *Index) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
 // while its queue minimum can still beat the best meeting value θ; both
 // exhausted means θ is final (paper §3.2's scheduling, adapted to the
 // rank-monotone overlay).
-func (x *Index) run(src, dst graph.NodeID) (float64, graph.NodeID) {
-	x.begin()
-	x.relaxF(src, 0, -1)
-	x.relaxB(dst, 0, -1)
+func (q *Querier) run(src, dst graph.NodeID) (float64, graph.NodeID) {
+	x := q.x
+	q.begin()
+	q.relaxF(src, 0, -1)
+	q.relaxB(dst, 0, -1)
 	forward := true
 	for {
 		minF, minB := Inf, Inf
-		if x.pqF.Len() > 0 {
-			_, minF = x.pqF.Peek()
+		if q.pqF.Len() > 0 {
+			_, minF = q.pqF.Peek()
 		}
-		if x.pqB.Len() > 0 {
-			_, minB = x.pqB.Peek()
+		if q.pqB.Len() > 0 {
+			_, minB = q.pqB.Peek()
 		}
 		// Unlike plain bidirectional Dijkstra, an upward frontier may
 		// still improve θ after the other side stalls, so each direction
 		// runs until its own minimum reaches θ.
-		fOK := minF < x.theta
-		bOK := minB < x.theta
+		fOK := minF < q.theta
+		bOK := minB < q.theta
 		if !fOK && !bOK {
 			break
 		}
@@ -97,86 +144,86 @@ func (x *Index) run(src, dst graph.NodeID) (float64, graph.NodeID) {
 		}
 		forward = !forward
 		if useF {
-			v, d := x.pqF.Pop()
-			x.settled++
-			if d >= x.theta {
+			v, d := q.pqF.Pop()
+			q.settled++
+			if d >= q.theta {
 				continue
 			}
 			for i := x.upOutStart[v]; i < x.upOutStart[v+1]; i++ {
-				x.relaxF(x.upOutTo[i], d+x.upOutW[i], x.upOutEid[i])
+				q.relaxF(x.upOutTo[i], d+x.upOutW[i], x.upOutEid[i])
 			}
 		} else {
-			v, d := x.pqB.Pop()
-			x.settled++
-			if d >= x.theta {
+			v, d := q.pqB.Pop()
+			q.settled++
+			if d >= q.theta {
 				continue
 			}
 			for i := x.upInStart[v]; i < x.upInStart[v+1]; i++ {
-				x.relaxB(x.upInFrom[i], d+x.upInW[i], x.upInEid[i])
+				q.relaxB(x.upInFrom[i], d+x.upInW[i], x.upInEid[i])
 			}
 		}
 	}
-	return x.theta, x.meet
+	return q.theta, q.meet
 }
 
-func (x *Index) relaxF(v graph.NodeID, d float64, eid graph.EdgeID) {
-	if x.stampF[v] == x.cur && d >= x.distF[v] {
+func (q *Querier) relaxF(v graph.NodeID, d float64, eid graph.EdgeID) {
+	if q.stampF[v] == q.cur && d >= q.distF[v] {
 		return
 	}
-	x.stampF[v] = x.cur
-	x.distF[v] = d
-	x.peF[v] = eid
-	x.pqF.Push(v, d)
-	if x.stampB[v] == x.cur {
-		if t := d + x.distB[v]; t < x.theta {
-			x.theta = t
-			x.meet = v
+	q.stampF[v] = q.cur
+	q.distF[v] = d
+	q.peF[v] = eid
+	q.pqF.Push(v, d)
+	if q.stampB[v] == q.cur {
+		if t := d + q.distB[v]; t < q.theta {
+			q.theta = t
+			q.meet = v
 		}
 	}
 }
 
-func (x *Index) relaxB(v graph.NodeID, d float64, eid graph.EdgeID) {
-	if x.stampB[v] == x.cur && d >= x.distB[v] {
+func (q *Querier) relaxB(v graph.NodeID, d float64, eid graph.EdgeID) {
+	if q.stampB[v] == q.cur && d >= q.distB[v] {
 		return
 	}
-	x.stampB[v] = x.cur
-	x.distB[v] = d
-	x.peB[v] = eid
-	x.pqB.Push(v, d)
-	if x.stampF[v] == x.cur {
-		if t := d + x.distF[v]; t < x.theta {
-			x.theta = t
-			x.meet = v
+	q.stampB[v] = q.cur
+	q.distB[v] = d
+	q.peB[v] = eid
+	q.pqB.Push(v, d)
+	if q.stampF[v] == q.cur {
+		if t := d + q.distF[v]; t < q.theta {
+			q.theta = t
+			q.meet = v
 		}
 	}
 }
 
-func (x *Index) begin() {
-	x.cur++
-	if x.cur == 0 {
-		for i := range x.stampF {
-			x.stampF[i] = 0
-			x.stampB[i] = 0
+func (q *Querier) begin() {
+	q.cur++
+	if q.cur == 0 {
+		for i := range q.stampF {
+			q.stampF[i] = 0
+			q.stampB[i] = 0
 		}
-		x.cur = 1
+		q.cur = 1
 	}
-	x.pqF.Reset()
-	x.pqB.Reset()
-	x.theta = Inf
-	x.meet = -1
-	x.settled = 0
+	q.pqF.Reset()
+	q.pqB.Reset()
+	q.theta = Inf
+	q.meet = -1
+	q.settled = 0
 }
 
 // overlayPath reconstructs the winning up-down path as a sequence of
 // overlay edge ids from src to dst through the meeting node, appending to
 // dst0.
-func (x *Index) overlayPath(src, dst, meet graph.NodeID, dst0 []graph.EdgeID) []graph.EdgeID {
+func (q *Querier) overlayPath(src, dst, meet graph.NodeID, dst0 []graph.EdgeID) []graph.EdgeID {
 	mark := len(dst0)
 	// Ascent: walk forward tree edges from meet back to src, then reverse.
 	for v := meet; v != src; {
-		eid := x.peF[v]
+		eid := q.peF[v]
 		dst0 = append(dst0, eid)
-		from, _ := x.ov.Endpoints(eid)
+		from, _ := q.x.ov.Endpoints(eid)
 		v = from
 	}
 	for i, j := mark, len(dst0)-1; i < j; i, j = i+1, j-1 {
@@ -185,9 +232,9 @@ func (x *Index) overlayPath(src, dst, meet graph.NodeID, dst0 []graph.EdgeID) []
 	// Descent: backward tree edges lead from meet toward dst in travel
 	// order already.
 	for v := meet; v != dst; {
-		eid := x.peB[v]
+		eid := q.peB[v]
 		dst0 = append(dst0, eid)
-		_, to := x.ov.Endpoints(eid)
+		_, to := q.x.ov.Endpoints(eid)
 		v = to
 	}
 	return dst0

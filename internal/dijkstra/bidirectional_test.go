@@ -1,0 +1,192 @@
+package dijkstra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// buildGraph assembles a graph from explicit directed edges, failing the
+// test on any builder error.
+func buildGraph(t *testing.T, nodes int, edges [][3]float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(nodes, len(edges))
+	for i := 0; i < nodes; i++ {
+		b.AddNode(geom.Point{X: float64(i % 4), Y: float64(i / 4)})
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestBiSearchSameNode covers the src == dst short-circuit: distance 0 and
+// a single-node path, with no settling at all — even on an isolated node
+// with no edges.
+func TestBiSearchSameNode(t *testing.T) {
+	g := buildGraph(t, 3, [][3]float64{{0, 1, 2}})
+	bi := NewBiSearch(g)
+	for v := graph.NodeID(0); v < 3; v++ {
+		if d := bi.Distance(v, v); d != 0 {
+			t.Fatalf("Distance(%d,%d) = %v, want 0", v, v, d)
+		}
+		p, d := bi.Path(v, v)
+		if d != 0 || len(p) != 1 || p[0] != v {
+			t.Fatalf("Path(%d,%d) = %v,%v, want ([%d], 0)", v, v, p, d, v)
+		}
+	}
+}
+
+// TestBiSearchUnreachable covers both flavours of unreachability: fully
+// disconnected components, and directed one-way reachability where the
+// backward frontier dies immediately.
+func TestBiSearchUnreachable(t *testing.T) {
+	// Nodes 0-1 form one component; node 2 is isolated; 3 -> 4 is one-way.
+	g := buildGraph(t, 5, [][3]float64{
+		{0, 1, 1}, {1, 0, 1},
+		{3, 4, 2},
+	})
+	bi := NewBiSearch(g)
+	cases := []struct{ s, d graph.NodeID }{
+		{0, 2}, // into isolated node: backward frontier empty from the start
+		{2, 0}, // out of isolated node: forward frontier empty from the start
+		{4, 3}, // against a one-way edge
+		{0, 4}, // across components
+	}
+	for _, c := range cases {
+		if d := bi.Distance(c.s, c.d); !math.IsInf(d, 1) {
+			t.Fatalf("Distance(%d,%d) = %v, want +Inf", c.s, c.d, d)
+		}
+		if p, d := bi.Path(c.s, c.d); p != nil || !math.IsInf(d, 1) {
+			t.Fatalf("Path(%d,%d) = %v,%v, want (nil, +Inf)", c.s, c.d, p, d)
+		}
+	}
+	// The reachable direction of the one-way pair still works.
+	if d := bi.Distance(3, 4); d != 2 {
+		t.Fatalf("Distance(3,4) = %v, want 2", d)
+	}
+}
+
+// TestBiSearchRejectsZeroWeight documents the system invariant that makes
+// zero-weight edges a non-case for BiSearch: the graph builder refuses
+// them (and negative/NaN/Inf weights), so every graph a search can run on
+// has strictly positive weights and the meeting-rule termination proof
+// holds.
+func TestBiSearchRejectsZeroWeight(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(geom.Point{})
+	b.AddNode(geom.Point{X: 1})
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if err := b.AddEdge(0, 1, w); err == nil {
+			t.Fatalf("AddEdge accepted weight %v", w)
+		}
+	}
+}
+
+// TestBiSearchTinyWeights runs the search on near-zero (denormal-adjacent)
+// weights, the closest legal graphs to the zero-weight edge case: paths
+// through many tiny edges must still beat a single large edge, exactly as
+// in unidirectional Dijkstra.
+func TestBiSearchTinyWeights(t *testing.T) {
+	const tiny = 1e-300
+	// 0 -> 1 -> 2 -> 3 through tiny edges, plus a direct 0 -> 3 of weight 1.
+	g := buildGraph(t, 4, [][3]float64{
+		{0, 1, tiny}, {1, 2, tiny}, {2, 3, tiny},
+		{0, 3, 1},
+	})
+	bi := NewBiSearch(g)
+	uni := NewSearch(g)
+	want := uni.Distance(0, 3)
+	if got := bi.Distance(0, 3); got != want {
+		t.Fatalf("Distance(0,3) = %v, want %v", got, want)
+	}
+	p, d := bi.Path(0, 3)
+	if d != want || len(p) != 4 {
+		t.Fatalf("Path(0,3) = %v,%v, want the 4-node tiny chain of length %v", p, d, want)
+	}
+}
+
+// TestBiSearchMatchesUnidirectional is the randomized equivalence sweep:
+// on a hierarchy-free random geometric graph, BiSearch and unidirectional
+// Dijkstra must agree on distance for every sampled pair, and BiSearch's
+// path must re-sum to its reported distance over base edges. Distances are
+// compared with a relative tolerance: BiSearch accumulates θ as a
+// forward-half plus backward-half sum, so its rounding order differs from
+// unidirectional Dijkstra's travel-order sum (the AH index avoids this by
+// re-summing the unpacked path, which is why its harness can demand bit
+// equality).
+func TestBiSearchMatchesUnidirectional(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 600, K: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := NewBiSearch(g)
+	uni := NewSearch(g)
+	rng := rand.New(rand.NewSource(6))
+	n := g.NumNodes()
+	for i := 0; i < 300; i++ {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		want := uni.Distance(s, d)
+		got := bi.Distance(s, d)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("pair %d (%d->%d): bi=%v, want +Inf", i, s, d, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("pair %d (%d->%d): bi=%v uni=%v", i, s, d, got, want)
+		}
+		p, pd := bi.Path(s, d)
+		if math.Abs(pd-want) > 1e-9*(1+want) || p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("pair %d (%d->%d): path %v dist %v, want dist %v", i, s, d, p, pd, want)
+		}
+		sum := 0.0
+		for j := 0; j+1 < len(p); j++ {
+			_, w, ok := g.FindEdge(p[j], p[j+1])
+			if !ok {
+				t.Fatalf("pair %d: step %d->%d is not an edge", i, p[j], p[j+1])
+			}
+			sum += w
+		}
+		if math.Abs(sum-pd) > 1e-9*(1+pd) {
+			t.Fatalf("pair %d: walk length %v != reported %v", i, sum, pd)
+		}
+	}
+}
+
+// TestBiSearchWorkspaceReuse interleaves reachable, unreachable, and
+// same-node queries on one workspace to catch stale labels leaking across
+// the stamp-versioned arrays.
+func TestBiSearchWorkspaceReuse(t *testing.T) {
+	// Two components: a triangle 0-1-2 and an edge pair 3-4.
+	g := buildGraph(t, 5, [][3]float64{
+		{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}, {0, 2, 3}, {2, 0, 3},
+		{3, 4, 1}, {4, 3, 1},
+	})
+	bi := NewBiSearch(g)
+	for round := 0; round < 50; round++ {
+		if d := bi.Distance(0, 2); d != 2 {
+			t.Fatalf("round %d: Distance(0,2) = %v, want 2", round, d)
+		}
+		if d := bi.Distance(0, 3); !math.IsInf(d, 1) {
+			t.Fatalf("round %d: Distance(0,3) = %v, want +Inf", round, d)
+		}
+		if d := bi.Distance(4, 4); d != 0 {
+			t.Fatalf("round %d: Distance(4,4) = %v, want 0", round, d)
+		}
+		if d := bi.Distance(3, 4); d != 1 {
+			t.Fatalf("round %d: Distance(3,4) = %v, want 1", round, d)
+		}
+	}
+	if bi.Settled() == 0 {
+		t.Error("Settled() = 0 after a reachable query")
+	}
+}

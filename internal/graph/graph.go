@@ -175,6 +175,84 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// CSR exposes the forward CSR arrays for persistence: per-node offsets
+// (len NumNodes+1), edge heads, and edge weights, indexed by EdgeID. The
+// returned slices are the graph's backing arrays; callers must not modify
+// them.
+func (g *Graph) CSR() (outStart []int32, outTo []NodeID, outWeight []float64) {
+	return g.outStart, g.outTo, g.outWeight
+}
+
+// FromCSR reconstructs a Graph from node coordinates and forward CSR
+// arrays as returned by CSR. The reverse CSR and bounding box are rebuilt
+// deterministically (the same procedure Builder.Build uses), so a graph
+// round-tripped through CSR/FromCSR is structurally identical to the
+// original, edge ids included. The slices are retained, not copied.
+func FromCSR(points []geom.Point, outStart []int32, outTo []NodeID, outWeight []float64) (*Graph, error) {
+	n := len(points)
+	m := len(outTo)
+	if len(outStart) != n+1 {
+		return nil, fmt.Errorf("graph: outStart length %d, want %d", len(outStart), n+1)
+	}
+	if len(outWeight) != m {
+		return nil, fmt.Errorf("graph: outWeight length %d, want %d", len(outWeight), m)
+	}
+	if outStart[0] != 0 || int(outStart[n]) != m {
+		return nil, fmt.Errorf("graph: outStart bounds [%d,%d], want [0,%d]", outStart[0], outStart[n], m)
+	}
+	for i := 0; i < n; i++ {
+		if outStart[i] > outStart[i+1] {
+			return nil, fmt.Errorf("graph: outStart not monotone at node %d", i)
+		}
+	}
+	g := &Graph{
+		points:    points,
+		outStart:  outStart,
+		outTo:     outTo,
+		outWeight: outWeight,
+		inStart:   make([]int32, n+1),
+		inFrom:    make([]NodeID, m),
+		inWeight:  make([]float64, m),
+		inEdge:    make([]EdgeID, m),
+	}
+	for _, p := range points {
+		g.bbox.Extend(p)
+	}
+	for _, to := range outTo {
+		if to < 0 || int(to) >= n {
+			return nil, fmt.Errorf("graph: edge head %d out of range [0,%d)", to, n)
+		}
+		g.inStart[to+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	g.fillReverseCSR()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// fillReverseCSR populates inFrom/inWeight/inEdge from the forward CSR,
+// assuming inStart already holds cumulative in-degree offsets. Scanning
+// edges in forward-CSR order makes the reverse layout deterministic.
+func (g *Graph) fillReverseCSR() {
+	n := g.NumNodes()
+	inNext := make([]int32, n)
+	copy(inNext, g.inStart[:n])
+	for v := NodeID(0); v < NodeID(n); v++ {
+		for eid := g.outStart[v]; eid < g.outStart[v+1]; eid++ {
+			to := g.outTo[eid]
+			slot := inNext[to]
+			inNext[to]++
+			g.inFrom[slot] = v
+			g.inWeight[slot] = g.outWeight[eid]
+			g.inEdge[slot] = eid
+		}
+	}
+}
+
 // Builder assembles a Graph. Add nodes first, then edges; Build finalises
 // the CSR arrays and may be called once.
 type Builder struct {
@@ -259,18 +337,7 @@ func (b *Builder) Build() *Graph {
 		g.outTo[slot] = e.To
 		g.outWeight[slot] = e.Weight
 	}
-	inNext := make([]int32, n)
-	copy(inNext, g.inStart[:n])
-	for v := NodeID(0); v < NodeID(n); v++ {
-		for eid := g.outStart[v]; eid < g.outStart[v+1]; eid++ {
-			to := g.outTo[eid]
-			slot := inNext[to]
-			inNext[to]++
-			g.inFrom[slot] = v
-			g.inWeight[slot] = g.outWeight[eid]
-			g.inEdge[slot] = eid
-		}
-	}
+	g.fillReverseCSR()
 	return g
 }
 

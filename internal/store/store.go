@@ -1,0 +1,357 @@
+// Package store persists a built Arterial Hierarchy index to disk and
+// loads it back without re-running preprocessing.
+//
+// The on-disk format is a single versioned binary blob:
+//
+//	offset  size  field
+//	0       4     magic "AHIX"
+//	4       4     format version (uint32, currently 1)
+//	8       4     CRC32-C checksum of the payload
+//	12      8     payload length in bytes (uint64)
+//	20      ...   payload
+//
+// The payload is a fixed sequence of little-endian sections: the section
+// counts (nodes, base edges, shortcuts, grid levels), the node
+// coordinates, the base graph's forward CSR arrays, the shortcut store
+// (tails, heads, weights, and the two replaced-edge ids per shortcut, in
+// shortcut-id order), and the rank and elevation arrays. Float64 values
+// are stored as their IEEE-754 bit patterns, so a Save/Load round trip is
+// bit-identical: the loaded index answers every query with exactly the
+// distances and paths of the index that was saved.
+//
+// Load rebuilds the derived structures the format omits — the reverse CSR
+// and the upward query adjacency — in O(edges), which is orders of
+// magnitude cheaper than the witness-search-bound preprocessing (see
+// BENCH_store.json for the measured load-vs-rebuild speedup).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ah"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Format constants.
+const (
+	// Version is the current format version written by Save.
+	Version   = 1
+	magic     = "AHIX"
+	headerLen = 20
+)
+
+// Errors distinguishing the ways a blob can be rejected.
+var (
+	// ErrBadMagic means the input does not start with the AHIX magic.
+	ErrBadMagic = errors.New("store: not an AH index file (bad magic)")
+	// ErrBadVersion means the format version is not supported.
+	ErrBadVersion = errors.New("store: unsupported format version")
+	// ErrChecksum means the payload does not match its stored CRC32-C.
+	ErrChecksum = errors.New("store: payload checksum mismatch")
+	// ErrTruncated means the input ended before the declared payload did.
+	ErrTruncated = errors.New("store: truncated input")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes idx to path atomically: the blob is assembled in memory,
+// written to a temporary file in the same directory, synced, and renamed
+// into place, so a crash never leaves a half-written index behind.
+func Save(path string, idx *ah.Index) error {
+	blob := Encode(idx)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ahix-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp opens 0600; widen to the conventional artifact mode (the
+	// process umask still applies at rename time on the final name's dir,
+	// but the file mode itself must not silently narrow an existing
+	// world-readable index).
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save and returns it ready for
+// queries (wrap it in a serve.Querier / QuerierPool for concurrent use).
+func Load(path string) (*ah.Index, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return Decode(blob)
+}
+
+// Write streams the encoded index to w.
+func Write(w io.Writer, idx *ah.Index) error {
+	_, err := w.Write(Encode(idx))
+	return err
+}
+
+// Read consumes all of r and decodes the index.
+func Read(r io.Reader) (*ah.Index, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return Decode(blob)
+}
+
+// Encode serialises idx into a self-contained blob (header + payload).
+func Encode(idx *ah.Index) []byte {
+	g := idx.Graph()
+	ov := idx.Overlay()
+	points := g.Points()
+	outStart, outTo, outWeight := g.CSR()
+	sFrom, sTo, sWeight, sLeft, sRight := ov.ShortcutArrays()
+	rank, elev := idx.Ranks(), idx.Elevations()
+
+	n := len(points)
+	m := len(outTo)
+	s := len(sFrom)
+
+	payloadLen := 8*4 + // counts: n, m, s, levels (each uint64)
+		n*16 + // points
+		(n+1)*4 + m*4 + m*8 + // forward CSR
+		s*(4+4+8+4+4) + // shortcut store
+		n*4 + n*4 // rank + elev
+
+	buf := make([]byte, 0, headerLen+payloadLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // checksum, patched below
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payloadLen))
+
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(idx.GridLevels()))
+	for _, p := range points {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	}
+	buf = appendInt32s(buf, outStart)
+	buf = appendInt32s(buf, outTo)
+	buf = appendFloat64s(buf, outWeight)
+	buf = appendInt32s(buf, sFrom)
+	buf = appendInt32s(buf, sTo)
+	buf = appendFloat64s(buf, sWeight)
+	buf = appendInt32s(buf, sLeft)
+	buf = appendInt32s(buf, sRight)
+	buf = appendInt32s(buf, rank)
+	buf = appendInt32s(buf, elev)
+
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[headerLen:], castagnoli))
+	return buf
+}
+
+// Decode parses a blob produced by Encode, verifying magic, version,
+// declared length, and checksum before reconstructing the index.
+func Decode(blob []byte) (*ah.Index, error) {
+	if len(blob) < headerLen {
+		return nil, ErrTruncated
+	}
+	if string(blob[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrBadVersion, v, Version)
+	}
+	wantSum := binary.LittleEndian.Uint32(blob[8:12])
+	payloadLen := binary.LittleEndian.Uint64(blob[12:20])
+	if have := uint64(len(blob) - headerLen); have != payloadLen {
+		if have < payloadLen {
+			return nil, fmt.Errorf("%w: have %d payload bytes, header declares %d",
+				ErrTruncated, have, payloadLen)
+		}
+		// Bytes beyond the declared payload escape the checksum, so a
+		// concatenated or partially overwritten file must not load.
+		return nil, fmt.Errorf("store: %d bytes after the declared payload", have-payloadLen)
+	}
+	payload := blob[headerLen:]
+	if got := crc32.Checksum(payload, castagnoli); got != wantSum {
+		return nil, fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, wantSum)
+	}
+
+	r := reader{buf: payload}
+	n, err := r.count("nodes")
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.count("edges")
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.count("shortcuts")
+	if err != nil {
+		return nil, err
+	}
+	levels, err := r.count("grid levels")
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]geom.Point, n)
+	for i := range points {
+		x, err1 := r.float64()
+		y, err2 := r.float64()
+		if err1 != nil || err2 != nil {
+			return nil, ErrTruncated
+		}
+		points[i] = geom.Point{X: x, Y: y}
+	}
+	outStart, err := r.int32s(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	outTo, err := r.int32s(m)
+	if err != nil {
+		return nil, err
+	}
+	outWeight, err := r.float64s(m)
+	if err != nil {
+		return nil, err
+	}
+	sFrom, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sTo, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sWeight, err := r.float64s(s)
+	if err != nil {
+		return nil, err
+	}
+	sLeft, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sRight, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := r.int32s(n)
+	if err != nil {
+		return nil, err
+	}
+	elev, err := r.int32s(n)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("store: %d trailing payload bytes", len(r.buf)-r.off)
+	}
+
+	g, err := graph.FromCSR(points, outStart, outTo, outWeight)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ov, err := graph.OverlayFromShortcuts(g, sFrom, sTo, sWeight, sLeft, sRight)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	idx, err := ah.FromParts(g, ov, rank, elev, levels)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return idx, nil
+}
+
+func appendInt32s(buf []byte, xs []int32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func appendFloat64s(buf []byte, xs []float64) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// reader is a bounds-checked cursor over the payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+// count reads a uint64 section count and checks it fits the int32 id
+// space the in-memory structures use.
+func (r *reader) count(what string) (int, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("store: %s count %d exceeds int32 id space", what, v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) float64() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) int32s(n int) ([]int32, error) {
+	if r.off+4*n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.buf[r.off+4*i:]))
+	}
+	r.off += 4 * n
+	return out, nil
+}
+
+func (r *reader) float64s(n int) ([]float64, error) {
+	if r.off+8*n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
+	}
+	r.off += 8 * n
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// topologies mirrors the ah equivalence harness: the same three graph
+// families, fixed seeds, so failures reproduce.
+func topologies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+
+	gc, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["GridCity"] = gc
+
+	rg, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 800, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["RandomGeometric"] = rg
+
+	ladder := gen.SmallLadder(1)[0]
+	lg, err := ladder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["Ladder/"+ladder.Name] = lg
+
+	return out
+}
+
+// TestRoundTripBitIdentical is the acceptance harness: on every topology,
+// Save -> Load must produce an index whose encoded form is byte-identical
+// to the original's and whose distances and paths match the freshly built
+// index bit for bit on random query pairs.
+func TestRoundTripBitIdentical(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			fresh := ah.Build(g, ah.Options{})
+			path := filepath.Join(t.TempDir(), "idx.ahix")
+			if err := Save(path, fresh); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Structural identity: re-encoding the loaded index must
+			// reproduce the original blob byte for byte.
+			if !bytes.Equal(Encode(fresh), Encode(loaded)) {
+				t.Fatal("Encode(loaded) differs from Encode(fresh)")
+			}
+			fs, ls := fresh.Stats(), loaded.Stats()
+			if fs != ls {
+				t.Fatalf("stats mismatch: fresh %+v, loaded %+v", fs, ls)
+			}
+
+			// Behavioural identity: bit-identical distances and identical
+			// paths on random pairs, cross-checked against Dijkstra.
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(11))
+			n := g.NumNodes()
+			for i := 0; i < 200; i++ {
+				s := graph.NodeID(rng.Intn(n))
+				d := graph.NodeID(rng.Intn(n))
+				fd := fresh.Distance(s, d)
+				ld := loaded.Distance(s, d)
+				if fd != ld && !(math.IsInf(fd, 1) && math.IsInf(ld, 1)) {
+					t.Fatalf("pair %d (%d->%d): fresh=%v loaded=%v", i, s, d, fd, ld)
+				}
+				if want := uni.Distance(s, d); ld != want && !(math.IsInf(ld, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("pair %d (%d->%d): loaded=%v dijkstra=%v", i, s, d, ld, want)
+				}
+				fp, _ := fresh.Path(s, d)
+				lp, _ := loaded.Path(s, d)
+				if len(fp) != len(lp) {
+					t.Fatalf("pair %d (%d->%d): path lengths %d vs %d", i, s, d, len(fp), len(lp))
+				}
+				for j := range fp {
+					if fp[j] != lp[j] {
+						t.Fatalf("pair %d (%d->%d): paths diverge at step %d (%d vs %d)",
+							i, s, d, j, fp[j], lp[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWriteReadStream round-trips through the io.Writer/io.Reader API.
+func TestWriteReadStream(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 200, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	var buf bytes.Buffer
+	if err := Write(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(fresh), Encode(loaded)) {
+		t.Fatal("stream round trip not byte-identical")
+	}
+}
+
+// TestRejectsCorruption exercises every validation layer: magic, version,
+// truncation, checksum, and payload-level structural checks.
+func TestRejectsCorruption(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 120, K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := Encode(ah.Build(g, ah.Options{}))
+	if _, err := Decode(blob); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		f(b)
+		return b
+	}
+
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", blob[:10], ErrTruncated},
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"future version", mutate(func(b []byte) { b[4] = 99 }), ErrBadVersion},
+		{"truncated payload", blob[:len(blob)-8], ErrTruncated},
+		{"flipped payload byte", mutate(func(b []byte) { b[len(b)/2] ^= 0x40 }), ErrChecksum},
+		{"flipped checksum", mutate(func(b []byte) { b[9] ^= 0x01 }), ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.blob); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	t.Run("trailing bytes", func(t *testing.T) {
+		// Appended junk escapes the checksum, so it must be rejected too.
+		if _, err := Decode(append(append([]byte(nil), blob...), 0xEE)); err == nil {
+			t.Fatal("Decode accepted a blob with bytes after the declared payload")
+		}
+	})
+}
+
+// TestSaveFileMode checks Save publishes the conventional 0644 artifact
+// mode rather than os.CreateTemp's private 0600, so re-saving over an
+// index consumed by another user keeps it readable.
+func TestSaveFileMode(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 80, K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := Save(path, ah.Build(g, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("saved index mode %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+// TestRejectsStructurallyInvalidPayload re-checksums a payload whose
+// contents are malformed (a rank array that is not a permutation) and
+// verifies the post-checksum validation layers still reject it.
+func TestRejectsStructurallyInvalidPayload(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 120, K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := Encode(ah.Build(g, ah.Options{}))
+	// rank is the second-to-last section: n int32s ending 4*n bytes before
+	// the elevation section at the blob's end.
+	n := g.NumNodes()
+	rankOff := len(blob) - 8*n
+	for i := 0; i < n; i++ {
+		// All-zero ranks: in range but not a permutation.
+		for j := 0; j < 4; j++ {
+			blob[rankOff+4*i+j] = 0
+		}
+	}
+	reseal(blob)
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("Decode accepted a non-permutation rank array")
+	}
+}
+
+// reseal recomputes the header checksum after a deliberate payload edit,
+// so Decode gets past CRC verification to the structural checks.
+func reseal(blob []byte) {
+	binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[headerLen:], castagnoli))
+}
