@@ -24,15 +24,20 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages run again under the race detector:
-# serve's N-goroutine equivalence harness and store's load path (whose
-# indexes feed the shared-Index serving model).
+# serve's N-goroutine equivalence harness, store's load path (whose
+# indexes feed the shared-Index serving model) plus its Workers:1 vs
+# Workers:4 byte-identical-blob harness, and the parallel-build
+# determinism + region-sharding tests in ah/gridindex.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/...
+	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
+	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
 
 # Query + persistence benchmarks on the ~10k-node GridCity graph
 # (settled/op is the machine-independent cost metric), then regenerate
 # both measurement artifacts at the repo root: BENCH_ah.json (query
-# methods) and BENCH_store.json (Save/Load throughput and the
+# methods plus the sequential-vs-parallel build wall-clock on a ~40k-node
+# GridCity) and BENCH_store.json (Save/Load throughput and the
 # load-vs-rebuild speedup, asserted >= 10x).
 bench:
 	$(GO) test ./internal/ah/ -run '^$$' -bench . -benchtime 300x

@@ -8,13 +8,21 @@
 // arterial.Engine, restricting path interiors to the surviving core nodes
 // of the previous level (Spec.Expand); nodes that stop appearing on
 // arterial edges are frozen at that elevation. The elevations induce a
-// total contraction order (rank): nodes are removed lowest-rank first, and
-// whenever removing a node v would break a shortest path u -> v -> t, a
-// shortcut edge u -> t is added to a graph.Overlay with a skip-edge
-// payload referencing the two replaced edges. A witness search bounds the
-// work; when it is inconclusive the shortcut is added anyway, so the
-// overlay always preserves exact distances: every shortest path is covered
-// by an up-down rank-monotone path.
+// total contraction priority: nodes are removed lowest-priority first in
+// rounds of pairwise non-adjacent nodes, and whenever removing a node v
+// would break a shortest path u -> v -> t, a shortcut edge u -> t is added
+// to a graph.Overlay with a skip-edge payload referencing the two replaced
+// edges. A witness search bounds the work; when it is inconclusive the
+// shortcut is added anyway, so the overlay always preserves exact
+// distances: every shortest path is covered by an up-down rank-monotone
+// path, where rank is the realised contraction sequence.
+//
+// Both preprocessing phases are parallel: regions within a grid level and
+// round members within a contraction round are independent, so each is
+// sharded across Options.Workers goroutines (per-worker engines and
+// witness workspaces over a frozen overlay snapshot), while round
+// selection and shortcut application stay single-threaded. The built index
+// is bit-identical for every Workers value.
 //
 // Queries run a rank-pruned bidirectional search that only relaxes edges
 // toward higher-ranked nodes, meeting at the path's peak. Reported
@@ -34,6 +42,7 @@ package ah
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/graph"
 )
@@ -52,6 +61,13 @@ type Options struct {
 	// (0 = default 1000). When the limit is hit the shortcut is added
 	// unconditionally, preserving exactness.
 	WitnessSettleLimit int
+	// Workers caps the goroutines used by Build's parallel phases: the
+	// per-region pseudo-arterial sweeps and the per-node witness searches
+	// within a contraction round (0 = runtime.GOMAXPROCS(0), 1 = fully
+	// sequential). The built index — shortcut set, overlay edge ids, and
+	// hence the store.Encode blob — is bit-identical for every Workers
+	// value; the knob only trades wall-clock for cores.
+	Workers int
 }
 
 func (o Options) sourcesPerStrip() int {
@@ -70,6 +86,13 @@ func (o Options) witnessLimit() int {
 		return o.WitnessSettleLimit
 	}
 	return 1000
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Index is a built Arterial Hierarchy over a fixed graph. Everything in it

@@ -234,6 +234,41 @@ func TestWorkspaceReuseAcrossQueries(t *testing.T) {
 	}
 }
 
+// TestBuildWorkersDeterministic asserts the parallel build is a pure
+// wall-clock optimisation: every Workers value yields the same shortcut
+// store (ids, endpoints, weights, skip payloads), ranks, and elevations.
+// internal/store additionally asserts blob-level identity under -race.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			base := Build(g, Options{Workers: 1})
+			for _, workers := range []int{2, 4} {
+				idx := Build(g, Options{Workers: workers})
+				if bs, is := base.Stats(), idx.Stats(); bs != is {
+					t.Fatalf("Workers=%d stats %+v, want %+v", workers, is, bs)
+				}
+				bf, bt, bw, bl, br := base.Overlay().ShortcutArrays()
+				f, to, w, l, r := idx.Overlay().ShortcutArrays()
+				for i := range bf {
+					if f[i] != bf[i] || to[i] != bt[i] || w[i] != bw[i] || l[i] != bl[i] || r[i] != br[i] {
+						t.Fatalf("Workers=%d shortcut %d differs: (%d->%d w=%v arms %d,%d), want (%d->%d w=%v arms %d,%d)",
+							workers, i, f[i], to[i], w[i], l[i], r[i], bf[i], bt[i], bw[i], bl[i], br[i])
+					}
+				}
+				for v := range base.Ranks() {
+					if base.Ranks()[v] != idx.Ranks()[v] {
+						t.Fatalf("Workers=%d rank[%d] = %d, want %d", workers, v, idx.Ranks()[v], base.Ranks()[v])
+					}
+					if base.Elevations()[v] != idx.Elevations()[v] {
+						t.Fatalf("Workers=%d elev[%d] = %d, want %d", workers, v, idx.Elevations()[v], base.Elevations()[v])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestStatsAndRanks sanity-checks construction artifacts: ranks are a
 // permutation, elevations are bounded by the grid depth, and highway
 // nodes outrank their local-street neighbours on average.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -137,6 +138,23 @@ type benchReport struct {
 	} `json:"index"`
 	Queries int                    `json:"queries"`
 	Methods map[string]benchMethod `json:"methods"`
+	// ParallelBuild compares sequential (Workers: 1) and worker-pool
+	// preprocessing wall-clock on a larger graph. The outputs are
+	// byte-identical (asserted by TestBuildDeterministicAcrossWorkers in
+	// internal/store); only wall-clock may differ. HostCPUs records
+	// GOMAXPROCS at measurement time — on a single-core host the
+	// achievable speedup is ~1x by construction, so read Speedup against
+	// HostCPUs, not in isolation.
+	ParallelBuild struct {
+		Generator         string  `json:"generator"`
+		Nodes             int     `json:"nodes"`
+		Edges             int     `json:"edges"`
+		Workers           int     `json:"workers"`
+		HostCPUs          int     `json:"host_cpus"`
+		SequentialSeconds float64 `json:"sequential_seconds"`
+		ParallelSeconds   float64 `json:"parallel_seconds"`
+		Speedup           float64 `json:"speedup"`
+	} `json:"parallel_build"`
 }
 
 type benchMethod struct {
@@ -189,6 +207,40 @@ func TestRecordBench(t *testing.T) {
 	measure("dijkstra", func(s, d graph.NodeID) { uni.Distance(s, d) }, uni.Settled)
 	bi := dijkstra.NewBiSearch(g)
 	measure("bisearch", func(s, d graph.NodeID) { bi.Distance(s, d) }, bi.Settled)
+
+	// Sequential-vs-parallel preprocessing wall-clock on a ~40k-node
+	// GridCity (a CO'-to-FL'-sized rung of the ladder), the gate for
+	// scaling the harness further up the ladder.
+	pg, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 200, Rows: 200, ArterialEvery: 8, HighwayEvery: 32,
+		RemoveFrac: 0.15, Jitter: 0.3, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	start := time.Now()
+	seqIdx := Build(pg, Options{Workers: 1})
+	seqDur := time.Since(start)
+	start = time.Now()
+	parIdx := Build(pg, Options{Workers: workers})
+	parDur := time.Since(start)
+	if s, p := seqIdx.Stats(), parIdx.Stats(); s != p {
+		t.Fatalf("sequential and parallel builds diverged: %+v vs %+v", s, p)
+	}
+	rep.ParallelBuild.Generator = "GridCity 200x200 (ladder config, seed 4)"
+	rep.ParallelBuild.Nodes = pg.NumNodes()
+	rep.ParallelBuild.Edges = pg.NumEdges()
+	rep.ParallelBuild.Workers = workers
+	rep.ParallelBuild.HostCPUs = runtime.GOMAXPROCS(0)
+	rep.ParallelBuild.SequentialSeconds = seqDur.Seconds()
+	rep.ParallelBuild.ParallelSeconds = parDur.Seconds()
+	rep.ParallelBuild.Speedup = seqDur.Seconds() / parDur.Seconds()
+	t.Logf("parallel build: %d nodes, %d workers on %d CPUs: sequential %v, parallel %v (%.2fx)",
+		pg.NumNodes(), workers, rep.ParallelBuild.HostCPUs, seqDur, parDur, rep.ParallelBuild.Speedup)
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/gridindex"
+	"repro/internal/par"
 	"repro/internal/pqueue"
 )
 
@@ -14,14 +15,19 @@ func Build(g *graph.Graph, opts Options) *Index {
 	elev := elevations(g, hier, opts)
 	order := contractionOrder(elev)
 
+	ov := graph.NewOverlay(g)
+	// Ranks follow the sequence contraction actually used, not the
+	// requested priority order: round scheduling may defer a node past
+	// higher-priority neighbours, and the up-down cover property of the
+	// query holds exactly for the realised sequence (a witness path or
+	// shortcut always bypasses a node through strictly later-contracted,
+	// i.e. higher-ranked, nodes).
+	seq := contract(ov, order, opts)
 	n := g.NumNodes()
 	rank := make([]int32, n)
-	for k, v := range order {
+	for k, v := range seq {
 		rank[v] = int32(k)
 	}
-
-	ov := graph.NewOverlay(g)
-	contract(ov, order, opts)
 
 	x := &Index{
 		g:    g,
@@ -60,68 +66,173 @@ func addMin(s []half, v graph.NodeID, w float64, eid graph.EdgeID) []half {
 	return append(s, half{node: v, w: w, eid: eid})
 }
 
-// contract removes nodes in rank order, adding a shortcut u -> t for every
-// in/out pair around the removed node v unless a witness search proves a
-// path of length <= w(u,v)+w(v,t) survives without v. Inconclusive witness
-// searches (settle limit hit) fall back to adding the shortcut, which
-// keeps the overlay distance-preserving unconditionally.
-func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) {
-	contracted := make([]bool, ov.NumNodes())
-	wit := newWitness(ov)
-	limit := opts.witnessLimit()
-
-	var ins, outs []half
-	for _, v := range order {
-		ins, outs = ins[:0], outs[:0]
-		ov.InEdges(v, func(eid graph.EdgeID, from graph.NodeID, w float64) bool {
-			if !contracted[from] && from != v {
-				ins = addMin(ins, from, w, eid)
-			}
-			return true
-		})
-		ov.OutEdges(v, func(eid graph.EdgeID, to graph.NodeID, w float64) bool {
-			if !contracted[to] && to != v {
-				outs = addMin(outs, to, w, eid)
-			}
-			return true
-		})
-		if len(ins) > 0 && len(outs) > 0 {
-			for _, in := range ins {
-				// Pruning radius per in-neighbour: the out-edge leading
-				// back to in.node can never form a shortcut pair with it,
-				// so excluding it from the max shrinks every witness
-				// Dijkstra (most on asymmetric-weight graphs). Weights are
-				// strictly positive, so maxOut == 0 means the only
-				// out-neighbour is in.node itself: a dead end, no pair to
-				// shortcut, skip the witness run entirely.
-				maxOut := 0.0
-				for _, o := range outs {
-					if o.node != in.node && o.w > maxOut {
-						maxOut = o.w
-					}
-				}
-				if maxOut == 0 {
-					continue
-				}
-				wit.run(in.node, v, contracted, in.w+maxOut, limit)
-				for _, out := range outs {
-					if out.node == in.node {
-						continue
-					}
-					need := in.w + out.w
-					if wit.dist(out.node) <= need {
-						continue // a surviving path covers this pair
-					}
-					ov.AddShortcut(in.node, out.node, need, in.eid, out.eid)
-				}
-			}
-		}
-		contracted[v] = true
-	}
+// proposal is a shortcut computed during a round's concurrent phase but
+// not yet applied to the overlay.
+type proposal struct {
+	from, to    graph.NodeID
+	w           float64
+	left, right graph.EdgeID
 }
 
-// witness is a bounded Dijkstra over the evolving overlay restricted to
-// uncontracted nodes, excluding the node being contracted.
+// contract removes nodes in rounds of priority order, adding a shortcut
+// u -> t for every in/out pair around a removed node v unless a witness
+// search proves a path of length <= w(u,v)+w(v,t) survives the round.
+// Inconclusive witness searches (settle limit hit) fall back to adding the
+// shortcut, which keeps the overlay distance-preserving unconditionally.
+// It returns the sequence the nodes were actually contracted in, which the
+// caller must use as the query rank order.
+//
+// Each round selects a maximal set of pairwise non-adjacent uncontracted
+// nodes, greedily in priority order, so members cannot be endpoints of
+// each other's shortcuts. Shortcut proposals for the members are then
+// computed against the overlay frozen at the start of the round — witness
+// searches avoid every member of the round, so a witness path found for
+// one member cannot be destroyed by another member's removal in the same
+// round, and every witness or shortcut bypass of a member runs through
+// strictly later-contracted nodes, which is what makes the realised
+// sequence a valid query rank order. The proposals are pure functions of
+// (member, frozen overlay), which makes them embarrassingly parallel: they
+// are sharded across opts.workers() goroutines, each with its own witness
+// workspace. Finally the proposals are applied single-threaded in round
+// order, so overlay edge ids (and therefore the persisted AHIX blob) are
+// identical for every worker count.
+//
+// Exactness argument: within a round's survivors U \ R (R the round set),
+// any shortest path alternates U\R nodes and isolated R nodes (R is an
+// independent set, so no two R nodes are adjacent); every u -> v -> t hop
+// through v in R is either covered by a witness path inside U \ R or by
+// the added shortcut u -> t of equal weight — the same invariant the
+// one-node-at-a-time contraction maintains.
+func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) []graph.NodeID {
+	n := ov.NumNodes()
+	seq := make([]graph.NodeID, 0, len(order))
+	contracted := make([]bool, n)
+	inRound := make([]bool, n)
+	blocked := make([]bool, n)
+	limit := opts.witnessLimit()
+	workers := opts.workers()
+
+	wits := make([]*contractWorker, workers)
+	for i := range wits {
+		wits[i] = &contractWorker{wit: newWitness(ov)}
+	}
+
+	remaining := order
+	var round []graph.NodeID
+	var props [][]proposal
+	for len(remaining) > 0 {
+		// Phase 1 (sequential): greedy maximal independent set in rank
+		// order over the current overlay adjacency, shortcuts included.
+		round = round[:0]
+		for _, v := range remaining {
+			if blocked[v] {
+				continue
+			}
+			round = append(round, v)
+			inRound[v] = true
+			ov.ForEachNeighbor(v, func(u graph.NodeID) {
+				blocked[u] = true
+			})
+		}
+		next := remaining[:0]
+		for _, v := range remaining {
+			blocked[v] = false
+			if !inRound[v] {
+				next = append(next, v)
+			}
+		}
+
+		// Phase 2 (parallel): propose shortcuts for every member against
+		// the frozen overlay. Workers only read the overlay, the
+		// contracted array, and the round membership.
+		if cap(props) < len(round) {
+			props = make([][]proposal, len(round))
+		}
+		props = props[:len(round)]
+		par.Do(len(round), workers, func(w, i int) {
+			props[i] = wits[w].propose(ov, round[i], contracted, inRound, limit)
+		})
+
+		// Phase 3 (sequential): apply in round order so edge ids are
+		// deterministic, then retire the round.
+		for i, v := range round {
+			for _, p := range props[i] {
+				ov.AddShortcut(p.from, p.to, p.w, p.left, p.right)
+			}
+			contracted[v] = true
+			inRound[v] = false
+			props[i] = nil
+		}
+		seq = append(seq, round...)
+		remaining = next
+	}
+	return seq
+}
+
+// contractWorker is one worker's scratch state for a round's concurrent
+// proposal phase: a witness workspace plus reusable in/out buffers.
+type contractWorker struct {
+	wit       *witness
+	ins, outs []half
+}
+
+// propose computes the shortcuts that contracting v requires, reading the
+// overlay frozen at the start of the round. Neighbours that are already
+// contracted or are members of the current round are skipped (round
+// members are never adjacent to v, but v itself is a member, which also
+// guards against self-loops); witness searches avoid both sets.
+func (cw *contractWorker) propose(ov *graph.Overlay, v graph.NodeID, contracted, inRound []bool, limit int) []proposal {
+	cw.ins, cw.outs = cw.ins[:0], cw.outs[:0]
+	ov.InEdges(v, func(eid graph.EdgeID, from graph.NodeID, w float64) bool {
+		if !contracted[from] && !inRound[from] {
+			cw.ins = addMin(cw.ins, from, w, eid)
+		}
+		return true
+	})
+	ov.OutEdges(v, func(eid graph.EdgeID, to graph.NodeID, w float64) bool {
+		if !contracted[to] && !inRound[to] {
+			cw.outs = addMin(cw.outs, to, w, eid)
+		}
+		return true
+	})
+	if len(cw.ins) == 0 || len(cw.outs) == 0 {
+		return nil
+	}
+	var out []proposal
+	for _, in := range cw.ins {
+		// Pruning radius per in-neighbour: the out-edge leading back to
+		// in.node can never form a shortcut pair with it, so excluding it
+		// from the max shrinks every witness Dijkstra (most on
+		// asymmetric-weight graphs). Weights are strictly positive, so
+		// maxOut == 0 means the only out-neighbour is in.node itself: a
+		// dead end, no pair to shortcut, skip the witness run entirely.
+		maxOut := 0.0
+		for _, o := range cw.outs {
+			if o.node != in.node && o.w > maxOut {
+				maxOut = o.w
+			}
+		}
+		if maxOut == 0 {
+			continue
+		}
+		cw.wit.run(in.node, contracted, inRound, in.w+maxOut, limit)
+		for _, o := range cw.outs {
+			if o.node == in.node {
+				continue
+			}
+			need := in.w + o.w
+			if cw.wit.dist(o.node) <= need {
+				continue // a surviving path covers this pair
+			}
+			out = append(out, proposal{from: in.node, to: o.node, w: need, left: in.eid, right: o.eid})
+		}
+	}
+	return out
+}
+
+// witness is a bounded Dijkstra over the round-frozen overlay restricted
+// to nodes that survive the round: contracted nodes and current round
+// members are never entered.
 type witness struct {
 	ov    *graph.Overlay
 	d     []float64
@@ -140,9 +251,14 @@ func newWitness(ov *graph.Overlay) *witness {
 	}
 }
 
-// run searches from src, never entering excluded or contracted nodes,
-// stopping once the frontier exceeds maxDist or settleLimit pops.
-func (w *witness) run(src, excluded graph.NodeID, contracted []bool, maxDist float64, settleLimit int) {
+// run searches from src, never entering contracted or in-round nodes,
+// stopping once the frontier exceeds maxDist or settleLimit nodes have
+// been settled. The limit check happens before the pop, so exactly
+// settleLimit nodes are settled at most — the previous formulation popped
+// a settleLimit+1-th node before giving up (harmlessly, since it was never
+// expanded and dist reads labels rather than pops, but off by one against
+// the Options.WitnessSettleLimit contract).
+func (w *witness) run(src graph.NodeID, contracted, inRound []bool, maxDist float64, settleLimit int) {
 	w.cur++
 	if w.cur == 0 {
 		for i := range w.stamp {
@@ -154,16 +270,16 @@ func (w *witness) run(src, excluded graph.NodeID, contracted []bool, maxDist flo
 	w.label(src, 0)
 	settledCount := 0
 	for w.pq.Len() > 0 {
+		if settledCount >= settleLimit {
+			return
+		}
 		v, d := w.pq.Pop()
 		if d > maxDist {
 			return
 		}
 		settledCount++
-		if settledCount > settleLimit {
-			return
-		}
 		w.ov.OutEdges(v, func(_ graph.EdgeID, to graph.NodeID, ew float64) bool {
-			if to != excluded && !contracted[to] {
+			if !contracted[to] && !inRound[to] {
 				w.label(to, d+ew)
 			}
 			return true

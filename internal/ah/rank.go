@@ -14,6 +14,12 @@ import (
 // restricted to the current cores, and only their endpoints survive to the
 // next (coarser) level. A node's elevation is the number of sweeps it
 // survived — the grid level at which it was last arterial.
+//
+// Regions within a level are independent, so the sweep shards them across
+// opts.workers() goroutines, each with its own arterial.Engine and result
+// buffer (the base graph and the isCore filter are only read during a
+// sweep). Survivor marking is a commutative OR over the per-region edge
+// sets, so the elevations are identical for every worker count.
 func elevations(g *graph.Graph, hier *gridindex.Hierarchy, opts Options) []int32 {
 	n := g.NumNodes()
 	elev := make([]int32, n)
@@ -24,7 +30,12 @@ func elevations(g *graph.Graph, hier *gridindex.Hierarchy, opts Options) []int32
 		isCore[v] = true
 	}
 
-	eng := arterial.NewEngine(g)
+	workers := opts.workers()
+	engines := make([]*arterial.Engine, workers)
+	found := make([][]graph.EdgeID, workers)
+	for i := range engines {
+		engines[i] = arterial.NewEngine(g)
+	}
 	spec := arterial.Spec{
 		MaxSourcesPerStrip: opts.sourcesPerStrip(),
 		Expand:             func(v graph.NodeID) bool { return isCore[v] },
@@ -33,16 +44,22 @@ func elevations(g *graph.Graph, hier *gridindex.Hierarchy, opts Options) []int32
 
 	for level := 1; level <= hier.Levels() && len(core) > 1; level++ {
 		buckets := hier.BucketNodes(g, level, core)
+		for i := range found {
+			found[i] = found[i][:0]
+		}
+		buckets.ForEachRegion(workers, func(w int, r gridindex.Region) {
+			found[w] = append(found[w], engines[w].RegionArterials(hier, buckets, r, spec)...)
+		})
 		for i := range survivor {
 			survivor[i] = false
 		}
-		buckets.Regions(func(r gridindex.Region) {
-			for _, eid := range eng.RegionArterials(hier, buckets, r, spec) {
+		for _, eids := range found {
+			for _, eid := range eids {
 				u, t := g.EdgeEndpoints(eid)
 				survivor[u] = true
 				survivor[t] = true
 			}
-		})
+		}
 		next := core[:0]
 		for _, v := range core {
 			if survivor[v] {
@@ -57,11 +74,13 @@ func elevations(g *graph.Graph, hier *gridindex.Hierarchy, opts Options) []int32
 	return elev
 }
 
-// contractionOrder turns elevations into a total order: ascending
-// elevation, with a deterministic hash scrambling ties so same-elevation
-// nodes are contracted in a spatially spread order rather than the
-// generators' row-major id order (which would pile shortcut chains onto a
-// few late nodes).
+// contractionOrder turns elevations into a total priority order:
+// ascending elevation, with a deterministic hash scrambling ties so
+// same-elevation nodes are contracted in a spatially spread order rather
+// than the generators' row-major id order (which would pile shortcut
+// chains onto a few late nodes). contract consumes this as a preference —
+// round scheduling may defer a node past higher-priority neighbours — and
+// the realised contraction sequence becomes the query rank.
 func contractionOrder(elev []int32) []graph.NodeID {
 	order := make([]graph.NodeID, len(elev))
 	for v := range order {

@@ -18,7 +18,13 @@ import (
 //
 // Unlike Graph, an Overlay is mutable: AddShortcut may be called at any
 // time, and adjacency iteration reflects all edges added so far. It is not
-// safe for concurrent mutation.
+// safe for concurrent mutation. The read-only methods (OutEdges, InEdges,
+// ForEachNeighbor, Endpoints, Weight, Arms, Unpack, the counts) are safe
+// for concurrent use from any number of goroutines as long as no
+// AddShortcut or DropAdjacency call is in flight — AH's parallel
+// contraction relies on exactly this frozen-snapshot contract: workers
+// read the overlay concurrently between mutation phases, and all
+// mutations happen single-threaded.
 type Overlay struct {
 	base *Graph
 
@@ -200,6 +206,21 @@ func (o *Overlay) InEdges(v NodeID, fn func(eid EdgeID, from NodeID, w float64) 
 			return
 		}
 	}
+}
+
+// ForEachNeighbor calls fn once per overlay edge incident to v (out-edges
+// first, then in-edges), passing the node at the far end. A neighbour
+// connected by several edges is reported once per edge; fn must tolerate
+// duplicates. Requires the shortcut adjacency (i.e. before DropAdjacency).
+func (o *Overlay) ForEachNeighbor(v NodeID, fn func(u NodeID)) {
+	o.OutEdges(v, func(_ EdgeID, to NodeID, _ float64) bool {
+		fn(to)
+		return true
+	})
+	o.InEdges(v, func(_ EdgeID, from NodeID, _ float64) bool {
+		fn(from)
+		return true
+	})
 }
 
 // Unpack expands an overlay edge into the base edge ids it covers, in

@@ -12,9 +12,11 @@ package gridindex
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // DefaultMaxLevels caps the hierarchy depth; the paper observes h ≤ 26 for
@@ -283,6 +285,36 @@ func (b *Buckets) Regions(fn func(Region)) {
 				fn(Region{Level: b.level, Anchor: a})
 			}
 		}
+	})
+}
+
+// RegionList materialises the Regions enumeration into a slice sorted by
+// anchor (Y-major, then X), giving callers a deterministic region order to
+// shard work over regardless of the map iteration order underneath.
+func (b *Buckets) RegionList() []Region {
+	var out []Region
+	b.Regions(func(r Region) { out = append(out, r) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Anchor.Y != out[j].Anchor.Y {
+			return out[i].Anchor.Y < out[j].Anchor.Y
+		}
+		return out[i].Anchor.X < out[j].Anchor.X
+	})
+	return out
+}
+
+// ForEachRegion invokes fn once per occupied region, sharded across the
+// given number of goroutines (clamped to at least 1). Each call receives
+// the worker index in [0, workers), so callers can keep per-worker scratch
+// state (search engines, result buffers) without locking. Regions are
+// handed out from the deterministic RegionList order via an atomic cursor;
+// fn must therefore be safe to run concurrently with itself and must not
+// depend on region arrival order. With workers <= 1 everything runs on the
+// calling goroutine.
+func (b *Buckets) ForEachRegion(workers int, fn func(worker int, r Region)) {
+	regions := b.RegionList()
+	par.Do(len(regions), workers, func(w, i int) {
+		fn(w, regions[i])
 	})
 }
 

@@ -1,6 +1,7 @@
 package gridindex
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/gen"
@@ -177,5 +178,84 @@ func TestRegionGeometry(t *testing.T) {
 	bounds := hi.RegionBounds(r)
 	if bounds.MinX != 0 || bounds.MinY != 0 || bounds.MaxX != 8 || bounds.MaxY != 8 {
 		t.Errorf("RegionBounds = %+v", bounds)
+	}
+}
+
+// TestRegionListDeterministicOrder checks RegionList returns the same
+// regions as the Regions enumeration, in a fixed Y-major/X-minor anchor
+// order independent of map iteration.
+func TestRegionListDeterministicOrder(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 12, Rows: 12, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Build(g, 0)
+	buckets := hi.BucketNodes(g, 2, nil)
+
+	want := make(map[Region]bool)
+	buckets.Regions(func(r Region) { want[r] = true })
+
+	var prev []Region
+	for trial := 0; trial < 3; trial++ {
+		list := buckets.RegionList()
+		if len(list) != len(want) {
+			t.Fatalf("RegionList has %d regions, Regions enumerated %d", len(list), len(want))
+		}
+		for i, r := range list {
+			if !want[r] {
+				t.Fatalf("RegionList[%d] = %v not produced by Regions", i, r)
+			}
+			if i > 0 {
+				p := list[i-1]
+				if p.Anchor.Y > r.Anchor.Y || (p.Anchor.Y == r.Anchor.Y && p.Anchor.X >= r.Anchor.X) {
+					t.Fatalf("RegionList not sorted at %d: %v before %v", i, p, r)
+				}
+			}
+			if prev != nil && prev[i] != r {
+				t.Fatalf("RegionList order changed across calls at %d", i)
+			}
+		}
+		prev = list
+	}
+}
+
+// TestForEachRegionCoversAllOnce runs the sharded enumeration at several
+// worker counts and checks every region is visited exactly once with a
+// worker index inside [0, workers).
+func TestForEachRegionCoversAllOnce(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 12, Rows: 12, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Build(g, 0)
+	buckets := hi.BucketNodes(g, 2, nil)
+	total := len(buckets.RegionList())
+	if total == 0 {
+		t.Fatal("no regions to enumerate")
+	}
+
+	for _, workers := range []int{0, 1, 2, 4, total + 5} {
+		var mu sync.Mutex
+		visits := make(map[Region]int)
+		buckets.ForEachRegion(workers, func(w int, r Region) {
+			if w < 0 || (workers > 1 && w >= workers) || (workers <= 1 && w != 0) {
+				t.Errorf("workers=%d: got worker index %d", workers, w)
+			}
+			mu.Lock()
+			visits[r]++
+			mu.Unlock()
+		})
+		if len(visits) != total {
+			t.Fatalf("workers=%d: visited %d regions, want %d", workers, len(visits), total)
+		}
+		for r, c := range visits {
+			if c != 1 {
+				t.Fatalf("workers=%d: region %v visited %d times", workers, r, c)
+			}
+		}
 	}
 }

@@ -1,0 +1,43 @@
+// Package par holds the one concurrency primitive index construction
+// needs: a deterministic-input work-stealing loop over an integer range.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do invokes fn(worker, i) exactly once for every i in [0, n), sharded
+// across the given number of goroutines via an atomic cursor. Workers are
+// clamped to [1, n]; with one worker everything runs on the calling
+// goroutine in index order. fn receives its worker index in [0, workers)
+// so callers can keep per-worker scratch state without locking; with more
+// than one worker fn must be safe to call concurrently with itself and
+// must not depend on arrival order.
+func Do(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

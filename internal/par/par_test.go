@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDoCoversRangeOnce checks every index is visited exactly once with an
+// in-range worker id, across worker counts below, at, and above n,
+// including the degenerate n = 0 and sequential cases.
+func TestDoCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, workers := range []int{0, 1, 2, 4, n + 3} {
+			var mu sync.Mutex
+			visits := make([]int, n)
+			maxWorker := 0
+			Do(n, workers, func(w, i int) {
+				mu.Lock()
+				visits[i]++
+				if w > maxWorker {
+					maxWorker = w
+				}
+				mu.Unlock()
+			})
+			for i, c := range visits {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+			limit := workers
+			if limit > n {
+				limit = n
+			}
+			if limit < 1 {
+				limit = 1
+			}
+			if n > 0 && maxWorker >= limit {
+				t.Fatalf("n=%d workers=%d: worker id %d out of range [0,%d)", n, workers, maxWorker, limit)
+			}
+		}
+	}
+}
+
+// TestDoSequentialOrder checks the single-worker path runs in index order
+// on the calling goroutine (callers rely on this for determinism
+// reasoning, even though multi-worker arrival order is unspecified).
+func TestDoSequentialOrder(t *testing.T) {
+	var got []int
+	Do(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("worker %d on sequential path", w)
+		}
+		got = append(got, i)
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d indices, want 5", len(got))
+	}
+}

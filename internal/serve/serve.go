@@ -18,12 +18,26 @@
 package serve
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ah"
 	"repro/internal/graph"
 )
+
+// RangeError reports a query node id outside the served index's node
+// range. It is returned (never panicked) by Service.Distance and
+// Service.Path; match it with errors.As.
+type RangeError struct {
+	Node  graph.NodeID // the offending id
+	Nodes int          // valid ids are [0, Nodes)
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("serve: node %d out of range [0, %d)", e.Node, e.Nodes)
+}
 
 // Querier is a per-goroutine query handle over a shared immutable
 // ah.Index: it embeds the ah.Querier search workspace and remembers the
@@ -106,24 +120,45 @@ func NewService(idx *ah.Index) *Service {
 func (s *Service) Index() *ah.Index { return s.pool.Index() }
 
 // Distance returns the exact shortest-path distance from src to dst, or
-// +Inf when dst is unreachable. Safe for concurrent use.
-func (s *Service) Distance(src, dst graph.NodeID) float64 {
+// +Inf when dst is unreachable. Ids outside the index's node range return
+// a *RangeError (distance +Inf) instead of panicking. Safe for concurrent
+// use.
+func (s *Service) Distance(src, dst graph.NodeID) (float64, error) {
+	if err := s.validate(src, dst); err != nil {
+		return math.Inf(1), err
+	}
 	q := s.pool.Get()
-	d := q.Distance(src, dst)
-	s.account(q)
-	q.Release()
-	return d
+	// Released via defer so a panicking query cannot strand the querier
+	// outside the pool or skip the aggregate counters.
+	defer func() { s.account(q); q.Release() }()
+	return q.Distance(src, dst), nil
 }
 
 // Path returns a shortest path from src to dst as an original-graph node
 // sequence plus its exact length, or (nil, +Inf) when dst is unreachable.
-// Safe for concurrent use.
-func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
+// Ids outside the index's node range return a *RangeError instead of
+// panicking. Safe for concurrent use.
+func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
+	if err := s.validate(src, dst); err != nil {
+		return nil, math.Inf(1), err
+	}
 	q := s.pool.Get()
+	defer func() { s.account(q); q.Release() }()
 	p, d := q.Path(src, dst)
-	s.account(q)
-	q.Release()
-	return p, d
+	return p, d, nil
+}
+
+// validate bounds-checks both endpoints against the index. Rejected
+// queries never check out a querier and are not counted in Stats.
+func (s *Service) validate(src, dst graph.NodeID) error {
+	n := s.pool.Index().Graph().NumNodes()
+	if src < 0 || int(src) >= n {
+		return &RangeError{Node: src, Nodes: n}
+	}
+	if dst < 0 || int(dst) >= n {
+		return &RangeError{Node: dst, Nodes: n}
+	}
+	return nil
 }
 
 func (s *Service) account(q *Querier) {

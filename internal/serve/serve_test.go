@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -98,13 +99,22 @@ func TestConcurrentEquivalence(t *testing.T) {
 						i := (k + gi*7) % len(wl.pairs)
 						s, d := wl.pairs[i][0], wl.pairs[i][1]
 						if k%2 == 0 {
-							if got := svc.Distance(s, d); !sameDist(got, wl.want[i]) {
+							got, err := svc.Distance(s, d)
+							if err != nil {
+								t.Errorf("goroutine %d pair %d (%d->%d): %v", gi, i, s, d, err)
+								return
+							}
+							if !sameDist(got, wl.want[i]) {
 								t.Errorf("goroutine %d pair %d (%d->%d): got %v, want %v",
 									gi, i, s, d, got, wl.want[i])
 								return
 							}
 						} else {
-							p, got := svc.Path(s, d)
+							p, got, err := svc.Path(s, d)
+							if err != nil {
+								t.Errorf("goroutine %d pair %d (%d->%d): %v", gi, i, s, d, err)
+								return
+							}
 							if !sameDist(got, wl.want[i]) {
 								t.Errorf("goroutine %d pair %d (%d->%d): path dist %v, want %v",
 									gi, i, s, d, got, wl.want[i])
@@ -173,6 +183,59 @@ func TestConcurrentLoadedIndex(t *testing.T) {
 		}(gi)
 	}
 	wg.Wait()
+}
+
+// TestServiceRangeError checks out-of-range ids come back as a typed
+// *RangeError — not an index-out-of-range panic — without checking out a
+// querier, counting in Stats, or disturbing later valid queries.
+func TestServiceRangeError(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 300, K: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	svc := NewService(idx)
+	n := graph.NodeID(g.NumNodes())
+
+	bad := [][2]graph.NodeID{
+		{n, 0}, {0, n}, {-1, 0}, {0, -1}, {n + 1000, n + 1000}, {-5, n},
+	}
+	for _, p := range bad {
+		d, err := svc.Distance(p[0], p[1])
+		var re *RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("Distance(%d,%d) err = %v, want *RangeError", p[0], p[1], err)
+		}
+		if !math.IsInf(d, 1) {
+			t.Fatalf("Distance(%d,%d) = %v with error, want +Inf", p[0], p[1], d)
+		}
+		if path, d, err := svc.Path(p[0], p[1]); !errors.As(err, &re) || path != nil || !math.IsInf(d, 1) {
+			t.Fatalf("Path(%d,%d) = (%v, %v, %v), want (nil, +Inf, *RangeError)", p[0], p[1], path, d, err)
+		}
+		// The error carries the offending id and the valid range.
+		if re.Nodes != int(n) || (re.Node != p[0] && re.Node != p[1]) {
+			t.Fatalf("RangeError = %+v for pair (%d,%d)", re, p[0], p[1])
+		}
+	}
+	if st := svc.Stats(); st.Queries != 0 || st.Settled != 0 {
+		t.Fatalf("rejected queries leaked into stats: %+v", st)
+	}
+
+	// The service still answers valid queries afterwards (the pool was
+	// never touched by the rejected calls).
+	wl := makeWorkload(g, 16, 77)
+	for i := range wl.pairs {
+		got, err := svc.Distance(wl.pairs[i][0], wl.pairs[i][1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDist(got, wl.want[i]) {
+			t.Fatalf("pair %d: got %v, want %v", i, got, wl.want[i])
+		}
+	}
+	if st := svc.Stats(); st.Queries != uint64(len(wl.pairs)) {
+		t.Fatalf("Stats.Queries = %d, want %d", st.Queries, len(wl.pairs))
+	}
 }
 
 // TestQuerierPoolReuse checks a checked-in querier keeps answering

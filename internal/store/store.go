@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/ah"
 	"repro/internal/geom"
@@ -64,7 +66,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Save writes idx to path atomically: the blob is assembled in memory,
 // written to a temporary file in the same directory, synced, and renamed
-// into place, so a crash never leaves a half-written index behind.
+// into place, so a crash never leaves a half-written index behind. After
+// the rename the parent directory is fsynced as well — without it a crash
+// shortly after Save returns could durably keep the old directory entry
+// even though the data blocks were synced, silently undoing the "atomic
+// save" contract. Platforms or filesystems that refuse to fsync a
+// directory degrade to best-effort: the rename is still atomic, just not
+// yet guaranteed durable.
 func Save(path string, idx *ah.Index) error {
 	blob := Encode(idx)
 	dir := filepath.Dir(path)
@@ -98,6 +106,33 @@ func Save(path string, idx *ah.Index) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: sync dir after rename: %w", err)
+	}
+	return nil
+}
+
+// openDir is os.Open, indirected so tests can cover syncDir's error path.
+var openDir = os.Open
+
+// syncDir fsyncs a directory so a just-renamed entry in it becomes
+// durable. Platforms that refuse to sync a directory handle — EINVAL or
+// ENOTSUP from filesystems without directory fsync, permission errors on
+// Windows, where directories open read-only — degrade to success
+// (best-effort durability, the rename itself remains atomic). Any other
+// failure is returned: the caller must not claim durability it cannot
+// verify.
+func syncDir(dir string) error {
+	d, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	err = d.Sync()
+	if err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) &&
+		!errors.Is(err, fs.ErrPermission) {
+		return err
 	}
 	return nil
 }

@@ -194,6 +194,63 @@ func TestSaveFileMode(t *testing.T) {
 	}
 }
 
+// TestSaveSurfacesDirSyncError covers Save's directory-fsync error path:
+// when the parent directory cannot be opened for syncing after the rename,
+// Save must report it (the data file exists, but the rename's durability
+// could not be established).
+func TestSaveSurfacesDirSyncError(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 80, K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+
+	sentinel := errors.New("injected dir-open failure")
+	orig := openDir
+	openDir = func(string) (*os.File, error) { return nil, sentinel }
+	defer func() { openDir = orig }()
+
+	if err := Save(path, idx); !errors.Is(err, sentinel) {
+		t.Fatalf("Save = %v, want wrapped %v", err, sentinel)
+	}
+	// The rename itself already happened: the artifact is present and
+	// loadable, only its durability was unconfirmed.
+	if _, err := Load(path); err != nil {
+		t.Fatalf("artifact unreadable after dir-sync failure: %v", err)
+	}
+
+	openDir = orig
+	if err := Save(path, idx); err != nil {
+		t.Fatalf("Save with real dir sync failed: %v", err)
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers is the parallel-preprocessing
+// acceptance harness: building the same graph fully sequentially
+// (Workers: 1) and with a worker pool (Workers: 4) must produce
+// byte-identical store.Encode blobs — same shortcuts, same overlay edge
+// ids, same ranks. `make check` runs this under -race, so it also proves
+// the concurrent witness phase is data-race free.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			seqIdx := ah.Build(g, ah.Options{Workers: 1})
+			parIdx := ah.Build(g, ah.Options{Workers: 4})
+			seq, par := Encode(seqIdx), Encode(parIdx)
+			if !bytes.Equal(seq, par) {
+				i := 0
+				for i < len(seq) && i < len(par) && seq[i] == par[i] {
+					i++
+				}
+				t.Fatalf("Workers:1 and Workers:4 blobs differ (len %d vs %d, first diff at byte %d)",
+					len(seq), len(par), i)
+			}
+		})
+	}
+}
+
 // TestRejectsStructurallyInvalidPayload re-checksums a payload whose
 // contents are malformed (a rank array that is not a permutation) and
 // verifies the post-checksum validation layers still reject it.
