@@ -34,11 +34,20 @@ race:
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
 
 # Query + persistence benchmarks on the ~10k-node GridCity graph
-# (settled/op is the machine-independent cost metric), then regenerate
-# both measurement artifacts at the repo root: BENCH_ah.json (query
-# methods plus the sequential-vs-parallel build wall-clock on a ~40k-node
-# GridCity) and BENCH_store.json (Save/Load throughput and the
-# load-vs-rebuild speedup, asserted >= 10x).
+# (settled/op is the machine-independent cost metric; stalled pops are
+# reported separately), then regenerate both measurement artifacts at the
+# repo root: BENCH_ah.json (query methods with settled/stalled counts, the
+# sequential-vs-parallel build wall-clock on the 4x rung, and that rung's
+# query metrics) and BENCH_store.json (v2 Save/Load/Open throughput, the
+# load-vs-rebuild speedup asserted >= 10x, and the v2-mmap-open vs
+# v1-load speedup asserted >= 5x).
+#
+# BENCH_SEED / BENCH_SIDE override the workload's GridCity seed and side
+# length (defaults 2 / 100; the larger rung always uses 2*side, seed+2),
+# e.g. `BENCH_SIDE=200 make bench` to record one rung up the ladder. The
+# export makes the `make bench BENCH_SIDE=200` spelling work too.
+export BENCH_SEED BENCH_SIDE
+
 bench:
 	$(GO) test ./internal/ah/ -run '^$$' -bench . -benchtime 300x
 	$(GO) test ./internal/store/ -run '^$$' -bench . -benchtime 20x

@@ -130,23 +130,134 @@ type Index struct {
 // upward CSR adjacency is rebuilt in O(edges); no preprocessing reruns.
 // The slices are retained, not copied.
 func FromParts(g *graph.Graph, ov *graph.Overlay, rank, elev []int32, gridLevels int) (*Index, error) {
-	n := g.NumNodes()
-	if ov.Base() != g {
-		return nil, fmt.Errorf("ah: overlay base graph mismatch")
-	}
-	if len(rank) != n || len(elev) != n {
-		return nil, fmt.Errorf("ah: rank/elev length %d/%d, want %d", len(rank), len(elev), n)
-	}
-	seen := make([]bool, n)
-	for v, r := range rank {
-		if r < 0 || int(r) >= n || seen[r] {
-			return nil, fmt.Errorf("ah: rank[%d]=%d is not a permutation of [0,%d)", v, r, n)
-		}
-		seen[r] = true
+	if err := validateParts(g, ov, rank, elev); err != nil {
+		return nil, err
 	}
 	x := &Index{g: g, ov: ov, rank: rank, elev: elev, h: gridLevels}
 	x.buildUpwardCSR()
 	return x, nil
+}
+
+// validateParts checks the primary persisted artifacts both reassembly
+// constructors share: the overlay really is over g, the per-node arrays
+// have node length, and rank is a permutation.
+func validateParts(g *graph.Graph, ov *graph.Overlay, rank, elev []int32) error {
+	n := g.NumNodes()
+	if ov.Base() != g {
+		return fmt.Errorf("ah: overlay base graph mismatch")
+	}
+	if len(rank) != n || len(elev) != n {
+		return fmt.Errorf("ah: rank/elev length %d/%d, want %d", len(rank), len(elev), n)
+	}
+	seen := make([]bool, n)
+	for v, r := range rank {
+		if r < 0 || int(r) >= n || seen[r] {
+			return fmt.Errorf("ah: rank[%d]=%d is not a permutation of [0,%d)", v, r, n)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Derived bundles the query-time upward adjacency an Index derives from
+// the overlay: out-edges toward higher ranks (CSR on the tail) and
+// in-edges from higher ranks (CSR on the head), each carrying the overlay
+// edge id for unpacking. Derived exists so the adjacency can cross the
+// persistence boundary: store's AHIX v2 format writes it with
+// Index.Derived and hands it back to FromPartsWithDerived on open, where
+// the slices may live in externally-owned (even read-only, mmap-ed)
+// memory.
+type Derived struct {
+	UpOutStart []int32
+	UpOutTo    []graph.NodeID
+	UpOutW     []float64
+	UpOutEid   []graph.EdgeID
+	UpInStart  []int32
+	UpInFrom   []graph.NodeID
+	UpInW      []float64
+	UpInEid    []graph.EdgeID
+}
+
+// Derived returns the index's upward CSR adjacency as a Derived view over
+// its backing arrays. Callers must not modify the slices.
+func (x *Index) Derived() Derived {
+	return Derived{
+		UpOutStart: x.upOutStart, UpOutTo: x.upOutTo, UpOutW: x.upOutW, UpOutEid: x.upOutEid,
+		UpInStart: x.upInStart, UpInFrom: x.upInFrom, UpInW: x.upInW, UpInEid: x.upInEid,
+	}
+}
+
+// FromPartsWithDerived reassembles a query-ready Index like FromParts but
+// adopts a persisted upward adjacency instead of rebuilding it, making
+// reassembly O(nodes) validation rather than O(edges) construction. The
+// derived arrays are structurally validated — offset shape, bounds of
+// every node and edge id, and that the two CSRs partition the overlay edge
+// set by size — but their contents are otherwise trusted: persisted
+// derived sections sit under the store's checksum, exactly like the rank
+// array. All slices are retained and never written, so they may point into
+// read-only mappings.
+func FromPartsWithDerived(g *graph.Graph, ov *graph.Overlay, rank, elev []int32, gridLevels int, d Derived) (*Index, error) {
+	if err := validateParts(g, ov, rank, elev); err != nil {
+		return nil, err
+	}
+	if err := d.validate(g.NumNodes(), ov.NumEdges()); err != nil {
+		return nil, err
+	}
+	return &Index{
+		g: g, ov: ov, rank: rank, elev: elev, h: gridLevels,
+		upOutStart: d.UpOutStart, upOutTo: d.UpOutTo, upOutW: d.UpOutW, upOutEid: d.UpOutEid,
+		upInStart: d.UpInStart, upInFrom: d.UpInFrom, upInW: d.UpInW, upInEid: d.UpInEid,
+	}, nil
+}
+
+// validate checks the structural invariants that make the derived CSRs
+// memory-safe to query: offset arrays of the right shape, every adjacency
+// entry within the node/edge id spaces, and the two CSRs together exactly
+// covering the overlay edge count.
+func (d Derived) validate(n, overlayEdges int) error {
+	check := func(side string, start []int32, nodes []graph.NodeID, w []float64, eid []graph.EdgeID) (int, error) {
+		if len(start) != n+1 {
+			return 0, fmt.Errorf("ah: derived %s offsets length %d, want %d", side, len(start), n+1)
+		}
+		sz := len(nodes)
+		if len(w) != sz || len(eid) != sz {
+			return 0, fmt.Errorf("ah: derived %s array lengths %d/%d/%d differ", side, sz, len(w), len(eid))
+		}
+		if start[0] != 0 || int(start[n]) != sz {
+			return 0, fmt.Errorf("ah: derived %s bounds [%d,%d], want [0,%d]", side, start[0], start[n], sz)
+		}
+		for i := 0; i < n; i++ {
+			if start[i] > start[i+1] {
+				return 0, fmt.Errorf("ah: derived %s offsets not monotone at node %d", side, i)
+			}
+		}
+		// Separate unsigned-compare sweeps per array: this validation is
+		// most of what an mmap open costs, and negatives wrap past any
+		// valid id.
+		for i, v := range nodes {
+			if uint32(v) >= uint32(n) {
+				return 0, fmt.Errorf("ah: derived %s entry %d node %d out of range [0,%d)", side, i, v, n)
+			}
+		}
+		for i, e := range eid {
+			if uint32(e) >= uint32(overlayEdges) {
+				return 0, fmt.Errorf("ah: derived %s entry %d edge %d out of range [0,%d)", side, i, e, overlayEdges)
+			}
+		}
+		return sz, nil
+	}
+	nOut, err := check("up-out", d.UpOutStart, d.UpOutTo, d.UpOutW, d.UpOutEid)
+	if err != nil {
+		return err
+	}
+	nIn, err := check("up-in", d.UpInStart, d.UpInFrom, d.UpInW, d.UpInEid)
+	if err != nil {
+		return err
+	}
+	if nOut+nIn != overlayEdges {
+		return fmt.Errorf("ah: derived CSRs hold %d+%d edges, overlay has %d", nOut, nIn, overlayEdges)
+	}
+	return nil
 }
 
 // Graph returns the base graph the index answers queries on.
@@ -200,6 +311,10 @@ func (x *Index) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
 // Settled returns how many nodes the last Index-level query popped across
 // both directions, the paper's machine-independent cost metric.
 func (x *Index) Settled() int { return x.querier().Settled() }
+
+// Stalled returns how many popped nodes the last Index-level query stalled
+// (pruned via a cheaper downward entry) instead of expanding.
+func (x *Index) Stalled() int { return x.querier().Stalled() }
 
 // Stats summarises a built index.
 type Stats struct {

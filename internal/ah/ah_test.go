@@ -300,3 +300,47 @@ func TestStatsAndRanks(t *testing.T) {
 		}
 	}
 }
+
+// TestStallOnDemandCounters checks the pruning actually fires on a
+// road-hierarchy graph, that stalled pops are excluded from Settled, and
+// that the counters reset between queries (including the src==dst
+// short-circuit).
+func TestStallOnDemandCounters(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Build(g, Options{})
+	q := NewQuerier(idx)
+	rng := rand.New(rand.NewSource(6))
+	n := g.NumNodes()
+	totalStalled := 0
+	for i := 0; i < 200; i++ {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		q.Distance(s, d)
+		if q.Settled() < 0 || q.Stalled() < 0 {
+			t.Fatalf("negative counters: settled=%d stalled=%d", q.Settled(), q.Stalled())
+		}
+		totalStalled += q.Stalled()
+	}
+	if totalStalled == 0 {
+		t.Error("stall-on-demand never fired across 200 queries on a hierarchy graph")
+	}
+	v := graph.NodeID(rng.Intn(n))
+	q.Distance(v, v)
+	if q.Settled() != 0 || q.Stalled() != 0 {
+		t.Errorf("src==dst left counters %d/%d, want 0/0", q.Settled(), q.Stalled())
+	}
+	// The Index-level conveniences mirror the querier's counters.
+	idx.Distance(0, graph.NodeID(n-1))
+	if idx.Settled() == 0 {
+		t.Error("Index.Settled() = 0 after a real query")
+	}
+	if idx.Stalled() < 0 {
+		t.Error("Index.Stalled() negative")
+	}
+}

@@ -2,10 +2,12 @@ package ah
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -25,11 +27,37 @@ var benchState struct {
 	pairs    [][2]graph.NodeID
 }
 
+// benchConfig returns the benchmark workload's GridCity side length and
+// seed: 100 / 2 (the ladder's NH' configuration) unless overridden via the
+// BENCH_SIDE / BENCH_SEED environment variables (`make bench` passes them
+// through), so the same recorders can be pointed up the dataset ladder
+// without code edits. The larger build rung always uses 2*side and seed+2.
+func benchConfig(tb testing.TB) (side int, seed int64) {
+	tb.Helper()
+	side, seed = 100, 2
+	if v := os.Getenv("BENCH_SIDE"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 4 {
+			tb.Fatalf("BENCH_SIDE=%q: want an integer >= 4", v)
+		}
+		side = n
+	}
+	if v := os.Getenv("BENCH_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			tb.Fatalf("BENCH_SEED=%q: want an integer", v)
+		}
+		seed = n
+	}
+	return side, seed
+}
+
 func benchSetup(tb testing.TB) {
 	benchState.once.Do(func() {
+		side, seed := benchConfig(tb)
 		g, err := gen.GridCity(gen.GridCityConfig{
-			Cols: 100, Rows: 100, ArterialEvery: 8, HighwayEvery: 32,
-			RemoveFrac: 0.15, Jitter: 0.3, Seed: 2, // the ladder's NH' configuration
+			Cols: side, Rows: side, ArterialEvery: 8, HighwayEvery: 32,
+			RemoveFrac: 0.15, Jitter: 0.3, Seed: seed,
 		})
 		if err != nil {
 			tb.Fatal(err)
@@ -155,11 +183,24 @@ type benchReport struct {
 		ParallelSeconds   float64 `json:"parallel_seconds"`
 		Speedup           float64 `json:"speedup"`
 	} `json:"parallel_build"`
+	// LargeRungQueries records the AH query metrics on the 4x larger rung
+	// (the parallel-build graph), so the stall-on-demand win is visible at
+	// two scales, not just the 10k headline. HostCPUs contextualises the
+	// wall-clock number like in ParallelBuild.
+	LargeRungQueries struct {
+		Generator string      `json:"generator"`
+		Nodes     int         `json:"nodes"`
+		Edges     int         `json:"edges"`
+		HostCPUs  int         `json:"host_cpus"`
+		Queries   int         `json:"queries"`
+		AH        benchMethod `json:"ah"`
+	} `json:"queries_40k"`
 }
 
 type benchMethod struct {
 	AvgNsPerQuery  float64 `json:"avg_ns_per_query"`
 	AvgSettledPerQ float64 `json:"avg_settled_per_query"`
+	AvgStalledPerQ float64 `json:"avg_stalled_per_query"`
 }
 
 // TestRecordBench regenerates BENCH_ah.json at the repo root when
@@ -172,9 +213,10 @@ func TestRecordBench(t *testing.T) {
 	benchSetup(t)
 	g, idx := benchState.g, benchState.idx
 	pairs := benchState.pairs
+	side, seed := benchConfig(t)
 
 	var rep benchReport
-	rep.Graph.Generator = "GridCity 100x100 (NH' ladder config, seed 2)"
+	rep.Graph.Generator = fmt.Sprintf("GridCity %dx%d (ladder config, seed %d)", side, side, seed)
 	rep.Graph.Nodes = g.NumNodes()
 	rep.Graph.Edges = g.NumEdges()
 	st := idx.Stats()
@@ -185,35 +227,39 @@ func TestRecordBench(t *testing.T) {
 	rep.Queries = len(pairs)
 	rep.Methods = make(map[string]benchMethod)
 
-	measure := func(name string, run func(s, d graph.NodeID), settledFn func() int) {
+	measure := func(run func(s, d graph.NodeID), settledFn, stalledFn func() int) benchMethod {
 		// Warm up caches and workspaces once.
 		for _, p := range pairs {
 			run(p[0], p[1])
 		}
-		settled := 0
+		settled, stalled := 0, 0
 		start := time.Now()
 		for _, p := range pairs {
 			run(p[0], p[1])
 			settled += settledFn()
+			if stalledFn != nil {
+				stalled += stalledFn()
+			}
 		}
 		dur := time.Since(start)
-		rep.Methods[name] = benchMethod{
+		return benchMethod{
 			AvgNsPerQuery:  float64(dur.Nanoseconds()) / float64(len(pairs)),
 			AvgSettledPerQ: float64(settled) / float64(len(pairs)),
+			AvgStalledPerQ: float64(stalled) / float64(len(pairs)),
 		}
 	}
-	measure("ah", func(s, d graph.NodeID) { idx.Distance(s, d) }, idx.Settled)
+	rep.Methods["ah"] = measure(func(s, d graph.NodeID) { idx.Distance(s, d) }, idx.Settled, idx.Stalled)
 	uni := dijkstra.NewSearch(g)
-	measure("dijkstra", func(s, d graph.NodeID) { uni.Distance(s, d) }, uni.Settled)
+	rep.Methods["dijkstra"] = measure(func(s, d graph.NodeID) { uni.Distance(s, d) }, uni.Settled, nil)
 	bi := dijkstra.NewBiSearch(g)
-	measure("bisearch", func(s, d graph.NodeID) { bi.Distance(s, d) }, bi.Settled)
+	rep.Methods["bisearch"] = measure(func(s, d graph.NodeID) { bi.Distance(s, d) }, bi.Settled, nil)
 
-	// Sequential-vs-parallel preprocessing wall-clock on a ~40k-node
-	// GridCity (a CO'-to-FL'-sized rung of the ladder), the gate for
-	// scaling the harness further up the ladder.
+	// Sequential-vs-parallel preprocessing wall-clock on a 4x larger
+	// GridCity (a CO'-to-FL'-sized rung of the ladder at the defaults),
+	// the gate for scaling the harness further up the ladder.
 	pg, err := gen.GridCity(gen.GridCityConfig{
-		Cols: 200, Rows: 200, ArterialEvery: 8, HighwayEvery: 32,
-		RemoveFrac: 0.15, Jitter: 0.3, Seed: 4,
+		Cols: 2 * side, Rows: 2 * side, ArterialEvery: 8, HighwayEvery: 32,
+		RemoveFrac: 0.15, Jitter: 0.3, Seed: seed + 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +277,7 @@ func TestRecordBench(t *testing.T) {
 	if s, p := seqIdx.Stats(), parIdx.Stats(); s != p {
 		t.Fatalf("sequential and parallel builds diverged: %+v vs %+v", s, p)
 	}
-	rep.ParallelBuild.Generator = "GridCity 200x200 (ladder config, seed 4)"
+	rep.ParallelBuild.Generator = fmt.Sprintf("GridCity %dx%d (ladder config, seed %d)", 2*side, 2*side, seed+2)
 	rep.ParallelBuild.Nodes = pg.NumNodes()
 	rep.ParallelBuild.Edges = pg.NumEdges()
 	rep.ParallelBuild.Workers = workers
@@ -241,6 +287,41 @@ func TestRecordBench(t *testing.T) {
 	rep.ParallelBuild.Speedup = seqDur.Seconds() / parDur.Seconds()
 	t.Logf("parallel build: %d nodes, %d workers on %d CPUs: sequential %v, parallel %v (%.2fx)",
 		pg.NumNodes(), workers, rep.ParallelBuild.HostCPUs, seqDur, parDur, rep.ParallelBuild.Speedup)
+
+	// Query metrics on the larger rung, over a fixed pair set drawn like
+	// the 10k workload's.
+	lrng := rand.New(rand.NewSource(78))
+	lpairs := make([][2]graph.NodeID, 256)
+	for i := range lpairs {
+		lpairs[i] = [2]graph.NodeID{
+			graph.NodeID(lrng.Intn(pg.NumNodes())),
+			graph.NodeID(lrng.Intn(pg.NumNodes())),
+		}
+	}
+	lq := NewQuerier(parIdx)
+	for _, p := range lpairs { // warm-up
+		lq.Distance(p[0], p[1])
+	}
+	settled, stalled := 0, 0
+	start = time.Now()
+	for _, p := range lpairs {
+		lq.Distance(p[0], p[1])
+		settled += lq.Settled()
+		stalled += lq.Stalled()
+	}
+	ldur := time.Since(start)
+	rep.LargeRungQueries.Generator = rep.ParallelBuild.Generator
+	rep.LargeRungQueries.Nodes = pg.NumNodes()
+	rep.LargeRungQueries.Edges = pg.NumEdges()
+	rep.LargeRungQueries.HostCPUs = runtime.GOMAXPROCS(0)
+	rep.LargeRungQueries.Queries = len(lpairs)
+	rep.LargeRungQueries.AH = benchMethod{
+		AvgNsPerQuery:  float64(ldur.Nanoseconds()) / float64(len(lpairs)),
+		AvgSettledPerQ: float64(settled) / float64(len(lpairs)),
+		AvgStalledPerQ: float64(stalled) / float64(len(lpairs)),
+	}
+	t.Logf("large-rung queries: %d nodes, avg settled %.1f stalled %.1f",
+		pg.NumNodes(), rep.LargeRungQueries.AH.AvgSettledPerQ, rep.LargeRungQueries.AH.AvgStalledPerQ)
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -39,6 +39,13 @@ func Build(g *graph.Graph, opts Options) *Index {
 	x.buildUpwardCSR()
 	// The CSRs now hold every overlay edge; only the edge store is still
 	// needed (for unpacking), so the construction-time adjacency can go.
+	// The flattened unpack layout replaces recursive arm-chasing with bulk
+	// appends on the query path and is what AHIX v2 persists. Build
+	// products expand to simple shortest paths, so the layout-size error is
+	// unreachable here — hitting it means the contraction invariants broke.
+	if err := ov.BuildUnpackLayout(); err != nil {
+		panic(err)
+	}
 	ov.DropAdjacency()
 	return x
 }

@@ -27,6 +27,7 @@ type Querier struct {
 	theta          float64 // best meeting value of the in-flight query
 	meet           graph.NodeID
 	settled        int
+	stalled        int
 	scratch        []graph.EdgeID // overlay-path buffer
 	unpacked       []graph.EdgeID // base-edge unpack buffer
 }
@@ -52,8 +53,14 @@ func NewQuerier(x *Index) *Querier {
 func (q *Querier) Index() *Index { return q.x }
 
 // Settled returns how many nodes the last query popped across both
-// directions, the paper's machine-independent cost metric.
+// directions, the paper's machine-independent cost metric. Pops pruned by
+// stall-on-demand are counted by Stalled instead.
 func (q *Querier) Settled() int { return q.settled }
+
+// Stalled returns how many popped nodes the last query stalled: their
+// label was provably reachable more cheaply through a downward edge from
+// an already-labelled node, so their upward edges were never relaxed.
+func (q *Querier) Stalled() int { return q.stalled }
 
 // Distance returns the exact shortest-path distance from src to dst, or
 // +Inf when dst is unreachable. The value is re-summed over the unpacked
@@ -61,7 +68,7 @@ func (q *Querier) Settled() int { return q.settled }
 // Dijkstra's accumulation bit for bit when shortest paths are unique.
 func (q *Querier) Distance(src, dst graph.NodeID) float64 {
 	if src == dst {
-		q.settled = 0
+		q.settled, q.stalled = 0, 0
 		return 0
 	}
 	theta, meet := q.run(src, dst)
@@ -85,7 +92,7 @@ func (q *Querier) Distance(src, dst graph.NodeID) float64 {
 // (nil, +Inf) when dst is unreachable.
 func (q *Querier) Path(src, dst graph.NodeID) ([]graph.NodeID, float64) {
 	if src == dst {
-		q.settled = 0
+		q.settled, q.stalled = 0, 0
 		return []graph.NodeID{src}, 0
 	}
 	theta, meet := q.run(src, dst)
@@ -145,25 +152,75 @@ func (q *Querier) run(src, dst graph.NodeID) (float64, graph.NodeID) {
 		forward = !forward
 		if useF {
 			v, d := q.pqF.Pop()
-			q.settled++
 			if d >= q.theta {
+				q.settled++
 				continue
 			}
+			// Stall-on-demand: the downward edges INTO v are exactly the
+			// up-in entries at v (tail ranked higher). If any labelled tail
+			// u reaches v strictly more cheaply than d, then v's label is
+			// not the cost of any shortest ascent — a strictly shorter
+			// s→u→v walk exists — so no shortest up-down path climbs out of
+			// v and its upward expansion can be skipped. The strict < keeps
+			// equal-cost alternatives alive, preserving bit-exactness.
+			if q.stallF(v, d) {
+				q.stalled++
+				continue
+			}
+			q.settled++
 			for i := x.upOutStart[v]; i < x.upOutStart[v+1]; i++ {
 				q.relaxF(x.upOutTo[i], d+x.upOutW[i], x.upOutEid[i])
 			}
 		} else {
 			v, d := q.pqB.Pop()
-			q.settled++
 			if d >= q.theta {
+				q.settled++
 				continue
 			}
+			// Symmetric stall: in the reversed graph the downward edges
+			// into v are the original out-edges v→t with t ranked higher —
+			// exactly the up-out entries at v.
+			if q.stallB(v, d) {
+				q.stalled++
+				continue
+			}
+			q.settled++
 			for i := x.upInStart[v]; i < x.upInStart[v+1]; i++ {
 				q.relaxB(x.upInFrom[i], d+x.upInW[i], x.upInEid[i])
 			}
 		}
 	}
 	return q.theta, q.meet
+}
+
+// stallF reports whether the forward search can stall v at settle value d:
+// some already-labelled node u with a downward edge u -> v yields a
+// strictly cheaper entry. Labels still in the queue are fine — every label
+// corresponds to a realised walk, which is all the domination argument
+// needs.
+func (q *Querier) stallF(v graph.NodeID, d float64) bool {
+	x := q.x
+	for i := x.upInStart[v]; i < x.upInStart[v+1]; i++ {
+		u := x.upInFrom[i]
+		if q.stampF[u] == q.cur && q.distF[u]+x.upInW[i] < d {
+			return true
+		}
+	}
+	return false
+}
+
+// stallB is stallF mirrored for the backward frontier: downward entries
+// into v in the reversed graph are the original edges v -> t toward
+// higher-ranked t.
+func (q *Querier) stallB(v graph.NodeID, d float64) bool {
+	x := q.x
+	for i := x.upOutStart[v]; i < x.upOutStart[v+1]; i++ {
+		t := x.upOutTo[i]
+		if q.stampB[t] == q.cur && q.distB[t]+x.upOutW[i] < d {
+			return true
+		}
+	}
+	return false
 }
 
 func (q *Querier) relaxF(v graph.NodeID, d float64, eid graph.EdgeID) {
@@ -212,6 +269,7 @@ func (q *Querier) begin() {
 	q.theta = Inf
 	q.meet = -1
 	q.settled = 0
+	q.stalled = 0
 }
 
 // overlayPath reconstructs the winning up-down path as a sequence of

@@ -183,6 +183,91 @@ func (g *Graph) CSR() (outStart []int32, outTo []NodeID, outWeight []float64) {
 	return g.outStart, g.outTo, g.outWeight
 }
 
+// ReverseCSR exposes the reverse CSR arrays for persistence: per-node
+// offsets (len NumNodes+1), edge tails, edge weights, and the forward
+// EdgeID each reverse slot mirrors. The returned slices are the graph's
+// backing arrays; callers must not modify them.
+func (g *Graph) ReverseCSR() (inStart []int32, inFrom []NodeID, inWeight []float64, inEdge []EdgeID) {
+	return g.inStart, g.inFrom, g.inWeight, g.inEdge
+}
+
+// FromCSRAndReverse reconstructs a Graph from node coordinates and BOTH
+// CSR directions, as returned by CSR and ReverseCSR. Unlike FromCSR it
+// performs no O(edges) rebuild: the reverse adjacency is adopted as-is
+// after structural validation (offset monotonicity, bounds, and that each
+// reverse slot mirrors a forward edge entering its node with the same
+// weight), so the constructor works over borrowed — possibly read-only,
+// e.g. mmap-ed — memory. The slices are retained, never copied or written.
+func FromCSRAndReverse(points []geom.Point,
+	outStart []int32, outTo []NodeID, outWeight []float64,
+	inStart []int32, inFrom []NodeID, inWeight []float64, inEdge []EdgeID) (*Graph, error) {
+	n := len(points)
+	m := len(outTo)
+	if len(outStart) != n+1 || len(inStart) != n+1 {
+		return nil, fmt.Errorf("graph: offset lengths %d/%d, want %d", len(outStart), len(inStart), n+1)
+	}
+	if len(outWeight) != m || len(inFrom) != m || len(inWeight) != m || len(inEdge) != m {
+		return nil, fmt.Errorf("graph: edge array lengths %d/%d/%d/%d, want %d",
+			len(outWeight), len(inFrom), len(inWeight), len(inEdge), m)
+	}
+	if outStart[0] != 0 || int(outStart[n]) != m || inStart[0] != 0 || int(inStart[n]) != m {
+		return nil, fmt.Errorf("graph: CSR bounds out [%d,%d] in [%d,%d], want [0,%d]",
+			outStart[0], outStart[n], inStart[0], inStart[n], m)
+	}
+	for i := 0; i < n; i++ {
+		if outStart[i] > outStart[i+1] || inStart[i] > inStart[i+1] {
+			return nil, fmt.Errorf("graph: CSR offsets not monotone at node %d", i)
+		}
+	}
+	g := &Graph{
+		points:    points,
+		outStart:  outStart,
+		outTo:     outTo,
+		outWeight: outWeight,
+		inStart:   inStart,
+		inFrom:    inFrom,
+		inWeight:  inWeight,
+		inEdge:    inEdge,
+	}
+	for _, p := range points {
+		g.bbox.Extend(p)
+	}
+	// Direct array sweeps rather than g.Validate()'s closure-per-edge walk:
+	// this constructor sits on the index-open hot path, where validation IS
+	// the cost (there is no decode or rebuild to hide behind). The unsigned
+	// compares fold the negative check into the upper bound.
+	inf := math.Inf(1)
+	for i, to := range outTo {
+		if uint32(to) >= uint32(n) {
+			return nil, fmt.Errorf("graph: edge %d: head %d out of range [0,%d)", i, to, n)
+		}
+	}
+	for i, w := range outWeight {
+		if !(w > 0 && w < inf) {
+			return nil, fmt.Errorf("graph: edge %d: non-positive or non-finite weight %v", i, w)
+		}
+	}
+	// The reverse arrays must be exactly the canonical layout
+	// fillReverseCSR produces — every edge's reverse slot at its head, in
+	// forward-eid order — which one forward sweep with per-node cursors
+	// verifies completely: tails, weights, edge ids, no duplicates, no
+	// omissions. (Save always writes the canonical layout, so this rejects
+	// nothing legitimate.)
+	inNext := make([]int32, n)
+	copy(inNext, inStart[:n])
+	for u := NodeID(0); u < NodeID(n); u++ {
+		for e := outStart[u]; e < outStart[u+1]; e++ {
+			to := outTo[e]
+			slot := inNext[to]
+			inNext[to]++
+			if slot >= inStart[to+1] || inEdge[slot] != e || inFrom[slot] != u || inWeight[slot] != outWeight[e] {
+				return nil, fmt.Errorf("graph: reverse CSR does not mirror forward edge %d (%d->%d)", e, u, to)
+			}
+		}
+	}
+	return g, nil
+}
+
 // FromCSR reconstructs a Graph from node coordinates and forward CSR
 // arrays as returned by CSR. The reverse CSR and bounding box are rebuilt
 // deterministically (the same procedure Builder.Build uses), so a graph

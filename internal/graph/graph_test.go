@@ -226,3 +226,79 @@ func TestCSRRandomizedAgainstAdjacencyMap(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFromCSRAndReverse round-trips a graph through both CSR directions —
+// the borrowed-memory constructor the mmap loader uses — and checks the
+// result is structurally identical without any rebuild having run.
+func TestFromCSRAndReverse(t *testing.T) {
+	g := paperGraph(t)
+	outStart, outTo, outWeight := g.CSR()
+	inStart, inFrom, inWeight, inEdge := g.ReverseCSR()
+
+	g2, err := FromCSRAndReverse(g.Points(), outStart, outTo, outWeight,
+		inStart, inFrom, inWeight, inEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("counts %d/%d, want %d/%d", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if g2.BBox() != g.BBox() {
+		t.Errorf("bbox %+v, want %+v", g2.BBox(), g.BBox())
+	}
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		var want, got []EdgeID
+		g.InEdges(v, func(eid EdgeID, _ NodeID, _ float64) bool { want = append(want, eid); return true })
+		g2.InEdges(v, func(eid EdgeID, _ NodeID, _ float64) bool { got = append(got, eid); return true })
+		if len(want) != len(got) {
+			t.Fatalf("node %d: in-degree %d, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("node %d: reverse slot %d edge %d, want %d", v, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Malformed reverse arrays must be rejected, not adopted.
+	bad := func(name string, f func() error) {
+		t.Helper()
+		if err := f(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	clone := func(xs []int32) []int32 { return append([]int32(nil), xs...) }
+	bad("short inStart", func() error {
+		_, err := FromCSRAndReverse(g.Points(), outStart, outTo, outWeight,
+			inStart[:len(inStart)-1], inFrom, inWeight, inEdge)
+		return err
+	})
+	bad("non-monotone inStart", func() error {
+		s := clone(inStart)
+		s[1], s[2] = s[2], s[1]+100
+		_, err := FromCSRAndReverse(g.Points(), outStart, outTo, outWeight,
+			s, inFrom, inWeight, inEdge)
+		return err
+	})
+	bad("reverse slot mirrors wrong edge", func() error {
+		e := clone(inEdge)
+		// Point the first reverse slot at an edge that enters a different
+		// node (edge ids are dense, so some other edge's head differs).
+		for cand := range outTo {
+			if outTo[cand] != outTo[e[0]] {
+				e[0] = EdgeID(cand)
+				break
+			}
+		}
+		_, err := FromCSRAndReverse(g.Points(), outStart, outTo, outWeight,
+			inStart, inFrom, inWeight, e)
+		return err
+	})
+	bad("out-of-range tail", func() error {
+		f := clone(inFrom)
+		f[0] = NodeID(g.NumNodes())
+		_, err := FromCSRAndReverse(g.Points(), outStart, outTo, outWeight,
+			inStart, f, inWeight, inEdge)
+		return err
+	})
+}

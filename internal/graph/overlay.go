@@ -36,6 +36,13 @@ type Overlay struct {
 
 	// Shortcut adjacency: per-node lists of shortcut overlay edge ids.
 	sOut, sIn [][]EdgeID
+
+	// Flattened unpack layout: shortcut i expands to the base edge ids
+	// flatEids[flatStart[i]:flatStart[i+1]] in travel order. Optional —
+	// attached by BuildUnpackLayout or SetUnpackLayout; when absent, Unpack
+	// falls back to an explicit-stack walk over the arm references.
+	flatStart []int64
+	flatEids  []EdgeID
 }
 
 // NewOverlay returns an overlay over g with no shortcuts yet.
@@ -129,18 +136,33 @@ func OverlayFromShortcuts(base *Graph, from, to []NodeID, w []float64, left, rig
 		return nil, fmt.Errorf("graph: shortcut array lengths %d/%d/%d/%d/%d differ",
 			len(from), len(to), len(w), len(left), len(right))
 	}
-	n := NodeID(base.NumNodes())
+	// The combined overlay id space must fit int32 — EdgeID's type — which
+	// also keeps the unsigned arm comparisons below unambiguous (an id can
+	// never alias a wrapped negative).
+	if int64(base.NumEdges())+int64(s) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d base edges + %d shortcuts exceed the int32 overlay id space", base.NumEdges(), s)
+	}
+	// Sequential single-purpose sweeps (rather than one loop doing all
+	// checks per shortcut) keep this on-the-open-hot-path validation cache
+	// friendly; the unsigned compares fold the negative checks in. A weight
+	// is valid iff 0 < w < +Inf, which also rejects NaN (all comparisons
+	// with NaN are false).
+	un := uint32(base.NumNodes())
 	mb := EdgeID(base.NumEdges())
+	inf := math.Inf(1)
 	for i := 0; i < s; i++ {
-		if from[i] < 0 || from[i] >= n || to[i] < 0 || to[i] >= n {
-			return nil, fmt.Errorf("graph: shortcut %d endpoints (%d->%d) out of range [0,%d)", i, from[i], to[i], n)
+		if uint32(from[i]) >= un || uint32(to[i]) >= un {
+			return nil, fmt.Errorf("graph: shortcut %d endpoints (%d->%d) out of range [0,%d)", i, from[i], to[i], un)
 		}
-		if !(w[i] > 0) || math.IsInf(w[i], 1) || math.IsNaN(w[i]) {
+	}
+	for i := 0; i < s; i++ {
+		if !(w[i] > 0 && w[i] < inf) {
 			return nil, fmt.Errorf("graph: shortcut %d has invalid weight %v", i, w[i])
 		}
-		eid := mb + EdgeID(i)
-		if left[i] < 0 || left[i] >= eid || right[i] < 0 || right[i] >= eid {
-			return nil, fmt.Errorf("graph: shortcut %d (overlay id %d) arms (%d,%d) not strictly below it", i, eid, left[i], right[i])
+	}
+	for i := 0; i < s; i++ {
+		if eid := uint32(mb) + uint32(i); uint32(left[i]) >= eid || uint32(right[i]) >= eid {
+			return nil, fmt.Errorf("graph: shortcut %d (overlay id %d) arms (%d,%d) not strictly below it", i, mb+EdgeID(i), left[i], right[i])
 		}
 	}
 	return &Overlay{
@@ -226,11 +248,144 @@ func (o *Overlay) ForEachNeighbor(v NodeID, fn func(u NodeID)) {
 // Unpack expands an overlay edge into the base edge ids it covers, in
 // travel order, appending to dst (which may be nil) and returning the
 // extended slice. Base edges expand to themselves.
+//
+// With an attached unpack layout (BuildUnpackLayout / SetUnpackLayout —
+// every ah.Build product and every AHIX v2 load has one) a shortcut
+// expands with a single bulk append. Without one, the arm references are
+// walked iteratively with an explicit stack, so even pathologically deep
+// shortcut chains (which would overflow a goroutine stack under the old
+// recursive formulation) unpack in O(output) heap space.
 func (o *Overlay) Unpack(eid EdgeID, dst []EdgeID) []EdgeID {
 	if !o.IsShortcut(eid) {
 		return append(dst, eid)
 	}
-	left, right := o.Arms(eid)
-	dst = o.Unpack(left, dst)
-	return o.Unpack(right, dst)
+	if o.flatStart != nil {
+		i := int(eid) - o.base.NumEdges()
+		return append(dst, o.flatEids[o.flatStart[i]:o.flatStart[i+1]]...)
+	}
+	// Explicit-stack DFS over the arm DAG: the right arm is pushed first so
+	// the left arm is expanded first, preserving travel order. The small
+	// backing array keeps typical unpacks allocation-free.
+	var buf [32]EdgeID
+	stack := append(buf[:0], eid)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !o.IsShortcut(e) {
+			dst = append(dst, e)
+			continue
+		}
+		left, right := o.Arms(e)
+		stack = append(stack, right, left)
+	}
+	return dst
+}
+
+// maxUnpackEntries caps the flattened unpack layout at 2^38 base-edge
+// references (1 TiB as int32): far above anything a distance-preserving
+// overlay over an int32 edge space produces (expansions of shortest paths
+// are simple), low enough that an adversarial arm structure — shortcuts
+// whose left and right arms both reference their predecessor double the
+// expansion each level — fails with an error instead of an absurd
+// allocation or int64 overflow.
+const maxUnpackEntries = int64(1) << 38
+
+// ComputeUnpackLayout flattens every shortcut's base-edge expansion into
+// two arrays: shortcut i covers eids[start[i]:start[i+1]] in travel order.
+// The construction is a single iterative pass in shortcut-id order — arm
+// references always point strictly below the shortcut that owns them, so
+// each expansion is a concatenation of already-materialised ranges (or
+// single base edges). It is a pure function of the shortcut store; the
+// receiver is not mutated. The error case is a total expansion beyond
+// maxUnpackEntries, which no build product hits but a hostile
+// checksummed-v1-blob re-save could.
+func (o *Overlay) ComputeUnpackLayout() (start []int64, eids []EdgeID, err error) {
+	mb := EdgeID(o.base.NumEdges())
+	s := len(o.sTo)
+	start = make([]int64, s+1)
+	lenOf := func(e EdgeID) int64 {
+		if e < mb {
+			return 1
+		}
+		i := int(e - mb)
+		return start[i+1] - start[i]
+	}
+	for i := 0; i < s; i++ {
+		start[i+1] = start[i] + lenOf(o.sLeft[i]) + lenOf(o.sRight[i])
+		if start[i+1] > maxUnpackEntries {
+			return nil, nil, fmt.Errorf("graph: unpack layout exceeds %d entries at shortcut %d", maxUnpackEntries, i)
+		}
+	}
+	eids = make([]EdgeID, start[s])
+	for i := 0; i < s; i++ {
+		p := start[i]
+		for _, arm := range [2]EdgeID{o.sLeft[i], o.sRight[i]} {
+			if arm < mb {
+				eids[p] = arm
+				p++
+				continue
+			}
+			j := int(arm - mb)
+			p += int64(copy(eids[p:], eids[start[j]:start[j+1]]))
+		}
+	}
+	return start, eids, nil
+}
+
+// BuildUnpackLayout computes the flattened unpack layout and attaches it,
+// switching Unpack to its bulk fast path. Not safe concurrently with
+// readers; call it once at the end of construction, like DropAdjacency.
+func (o *Overlay) BuildUnpackLayout() error {
+	start, eids, err := o.ComputeUnpackLayout()
+	if err != nil {
+		return err
+	}
+	o.flatStart, o.flatEids = start, eids
+	return nil
+}
+
+// SetUnpackLayout attaches a persisted unpack layout (as produced by
+// ComputeUnpackLayout) after validating its shape: one monotone range per
+// shortcut covering eids exactly, every entry a base edge id. Entry
+// contents beyond that are trusted — persisted layouts sit under the
+// store's checksum. The slices are retained, not copied.
+func (o *Overlay) SetUnpackLayout(start []int64, eids []EdgeID) error {
+	s := len(o.sTo)
+	if len(start) != s+1 {
+		return fmt.Errorf("graph: unpack layout has %d offsets, want %d", len(start), s+1)
+	}
+	if s == 0 && len(eids) == 0 {
+		o.flatStart, o.flatEids = start, eids
+		return nil
+	}
+	if start[0] != 0 || start[s] != int64(len(eids)) {
+		return fmt.Errorf("graph: unpack layout bounds [%d,%d], want [0,%d]", start[0], start[s], len(eids))
+	}
+	mb := EdgeID(o.base.NumEdges())
+	for i := 0; i < s; i++ {
+		// A shortcut replaces at least two base edges, so empty or
+		// non-monotone ranges are structural corruption; the upper bound is
+		// checked per element so every accepted offset is a valid eids
+		// index AND so start[i]+2 below can never overflow (inductively
+		// start[i] <= len(eids)).
+		if start[i+1] > int64(len(eids)) || start[i+1] < start[i]+2 {
+			return fmt.Errorf("graph: unpack range of shortcut %d is [%d,%d)", i, start[i], start[i+1])
+		}
+	}
+	// The entries array is the largest thing validated on index open, so
+	// the scan is a bare unsigned compare per element (negatives wrap past
+	// any valid id).
+	for i, e := range eids {
+		if uint32(e) >= uint32(mb) {
+			return fmt.Errorf("graph: unpack entry %d = %d is not a base edge id [0,%d)", i, e, mb)
+		}
+	}
+	o.flatStart, o.flatEids = start, eids
+	return nil
+}
+
+// UnpackLayout returns the attached flattened unpack layout, or (nil, nil)
+// when none is attached. Callers must not modify the slices.
+func (o *Overlay) UnpackLayout() (start []int64, eids []EdgeID) {
+	return o.flatStart, o.flatEids
 }

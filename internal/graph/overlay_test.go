@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/geom"
@@ -116,24 +118,141 @@ func TestOverlayDropAdjacency(t *testing.T) {
 	}
 }
 
-func TestOverlayUnpackRecursive(t *testing.T) {
+func TestOverlayUnpackNested(t *testing.T) {
 	g := chain(t)
 	o := NewOverlay(g)
 	s1 := o.AddShortcut(0, 2, 3, 0, 1)  // covers base 0,1
 	s2 := o.AddShortcut(0, 3, 6, s1, 2) // covers s1 then base 2
 
-	got := o.Unpack(s2, nil)
-	want := []EdgeID{0, 1, 2}
-	if len(got) != len(want) {
-		t.Fatalf("Unpack(s2) = %v, want %v", got, want)
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("Unpack(s2) = %v, want %v", got, want)
+	check := func(what string) {
+		t.Helper()
+		got := o.Unpack(s2, nil)
+		want := []EdgeID{0, 1, 2}
+		if len(got) != len(want) {
+			t.Fatalf("%s: Unpack(s2) = %v, want %v", what, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: Unpack(s2) = %v, want %v", what, got, want)
+			}
+		}
+		// A base edge unpacks to itself.
+		if got := o.Unpack(1, nil); len(got) != 1 || got[0] != 1 {
+			t.Errorf("%s: Unpack(base) = %v, want [1]", what, got)
 		}
 	}
-	// A base edge unpacks to itself.
-	if got := o.Unpack(1, nil); len(got) != 1 || got[0] != 1 {
-		t.Errorf("Unpack(base) = %v, want [1]", got)
+	// Both Unpack implementations must agree: the explicit-stack walk
+	// (no layout attached) and the flattened-layout bulk path.
+	check("stack walk")
+	if err := o.BuildUnpackLayout(); err != nil {
+		t.Fatal(err)
+	}
+	check("flat layout")
+
+	start, eids := o.UnpackLayout()
+	if len(start) != 3 || start[0] != 0 || start[1] != 2 || start[2] != 5 {
+		t.Errorf("layout offsets = %v, want [0 2 5]", start)
+	}
+	if want := []EdgeID{0, 1, 0, 1, 2}; len(eids) != len(want) {
+		t.Errorf("layout eids = %v, want %v", eids, want)
+	} else {
+		for i := range want {
+			if eids[i] != want[i] {
+				t.Errorf("layout eids = %v, want %v", eids, want)
+				break
+			}
+		}
+	}
+}
+
+// TestOverlayUnpackDeepChain nests shortcuts a few hundred thousand levels
+// deep — each new shortcut's left arm is the previous shortcut — and
+// unpacks the top one. Under the old recursive Unpack this recursion depth
+// would blow through the goroutine stack ceiling lowered below (the crash
+// is unrecoverable, which is exactly why Unpack must not recurse); the
+// explicit-stack walk only grows a heap slice. The flattened layout is
+// deliberately NOT built here: a linear chain's flattening is quadratic,
+// and this is the v1-loaded fallback path being exercised.
+func TestOverlayUnpackDeepChain(t *testing.T) {
+	const depth = 300_000
+	b := NewBuilder(depth+2, depth+1)
+	for i := 0; i <= depth+1; i++ {
+		b.AddNode(geom.Point{X: float64(i)})
+	}
+	for i := 0; i <= depth; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	o := NewOverlay(g)
+	// s_k spans 0 -> k+2: left arm is the previous span, right arm the next
+	// base edge.
+	prev := EdgeID(0)
+	for k := 0; k < depth; k++ {
+		prev = o.AddShortcut(0, NodeID(k+2), float64(k+2), prev, EdgeID(k+1))
+	}
+
+	// ~16 MiB ceiling: far above anything the iterative walk needs, far
+	// below what depth recursive frames would demand.
+	old := debug.SetMaxStack(16 << 20)
+	defer debug.SetMaxStack(old)
+
+	got := o.Unpack(prev, nil)
+	if len(got) != depth+1 {
+		t.Fatalf("deep Unpack returned %d edges, want %d", len(got), depth+1)
+	}
+	for i, e := range got {
+		if e != EdgeID(i) {
+			t.Fatalf("deep Unpack edge %d = %d, want %d", i, e, i)
+		}
+	}
+}
+
+// TestSetUnpackLayoutValidation exercises the persisted-layout intake:
+// well-formed layouts attach, malformed shapes are rejected before any
+// query could index out of bounds.
+func TestSetUnpackLayoutValidation(t *testing.T) {
+	g := chain(t)
+	o := NewOverlay(g)
+	s1 := o.AddShortcut(0, 2, 3, 0, 1)
+	o.AddShortcut(0, 3, 6, s1, 2)
+	start, eids, err := o.ComputeUnpackLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Overlay {
+		o2 := NewOverlay(g)
+		s := o2.AddShortcut(0, 2, 3, 0, 1)
+		o2.AddShortcut(0, 3, 6, s, 2)
+		return o2
+	}
+	if err := fresh().SetUnpackLayout(start, eids); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		start []int64
+		eids  []EdgeID
+	}{
+		{"wrong offset count", start[:2], eids},
+		{"bad bounds", []int64{1, 2, 5}, eids},
+		{"range too small", []int64{0, 1, 5}, eids},
+		{"non-monotone", []int64{0, 5, 4}, append([]EdgeID(nil), eids...)},
+		// Near-MaxInt64 offset: the naive start[i]+2 monotone check would
+		// wrap negative and accept this, and the first Unpack would panic
+		// slicing eids — the per-element upper bound must reject it.
+		{"overflowing offset", []int64{0, math.MaxInt64 - 1, 5}, eids},
+		{"shortcut id as entry", start, []EdgeID{0, 1, 0, 1, 3}},
+		{"negative entry", start, []EdgeID{0, 1, 0, 1, -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := fresh().SetUnpackLayout(tc.start, tc.eids); err == nil {
+				t.Fatal("malformed layout accepted")
+			}
+		})
 	}
 }

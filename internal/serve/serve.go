@@ -40,9 +40,11 @@ func (e *RangeError) Error() string {
 }
 
 // Querier is a per-goroutine query handle over a shared immutable
-// ah.Index: it embeds the ah.Querier search workspace and remembers the
-// pool it was checked out of, if any. Like ah.Querier it is not safe for
-// concurrent use — the point is that each goroutine holds its own.
+// ah.Index: it embeds the ah.Querier search workspace — promoting its
+// Distance/Path methods and the per-query Settled/Stalled counters — and
+// remembers the pool it was checked out of, if any. Like ah.Querier it is
+// not safe for concurrent use — the point is that each goroutine holds its
+// own.
 type Querier struct {
 	*ah.Querier
 	pool *QuerierPool
@@ -96,10 +98,14 @@ func (p *QuerierPool) put(q *Querier) { p.pool.Put(q) }
 type Stats struct {
 	// Queries is the number of Distance/Path calls served.
 	Queries uint64
-	// Settled is the total number of nodes popped across all queries; the
-	// ratio Settled/Queries is the paper's machine-independent cost
+	// Settled is the total number of nodes expanded across all queries;
+	// the ratio Settled/Queries is the paper's machine-independent cost
 	// metric, aggregated over the service lifetime.
 	Settled uint64
+	// Stalled is the total number of popped nodes the stall-on-demand
+	// pruning stopped from expanding. Settled+Stalled is the total pop
+	// count; a high Stalled share means the pruning is earning its keep.
+	Stalled uint64
 }
 
 // Service is a goroutine-safe query facade over one shared index: each
@@ -109,6 +115,7 @@ type Service struct {
 	pool    *QuerierPool
 	queries atomic.Uint64
 	settled atomic.Uint64
+	stalled atomic.Uint64
 }
 
 // NewService returns a service answering queries on idx.
@@ -164,6 +171,7 @@ func (s *Service) validate(src, dst graph.NodeID) error {
 func (s *Service) account(q *Querier) {
 	s.queries.Add(1)
 	s.settled.Add(uint64(q.Settled()))
+	s.stalled.Add(uint64(q.Stalled()))
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -171,5 +179,6 @@ func (s *Service) Stats() Stats {
 	return Stats{
 		Queries: s.queries.Load(),
 		Settled: s.settled.Load(),
+		Stalled: s.stalled.Load(),
 	}
 }

@@ -138,6 +138,22 @@ func TestConcurrentEquivalence(t *testing.T) {
 			if st.Settled == 0 {
 				t.Error("Stats.Settled = 0, want > 0")
 			}
+			// Searches are deterministic and every goroutine ran the same
+			// workload, so the aggregate counters must equal goroutines ×
+			// the single-threaded per-query counters exposed on Querier;
+			// any drift means the atomic accounting raced or a stalled pop
+			// leaked into Settled.
+			q := NewQuerier(idx)
+			var wantSettled, wantStalled uint64
+			for i := range wl.pairs {
+				q.Distance(wl.pairs[i][0], wl.pairs[i][1])
+				wantSettled += uint64(q.Settled())
+				wantStalled += uint64(q.Stalled())
+			}
+			if st.Settled != goroutines*wantSettled || st.Stalled != goroutines*wantStalled {
+				t.Errorf("Stats settled/stalled = %d/%d, want %d/%d",
+					st.Settled, st.Stalled, goroutines*wantSettled, goroutines*wantStalled)
+			}
 		})
 	}
 }
@@ -183,6 +199,61 @@ func TestConcurrentLoadedIndex(t *testing.T) {
 		}(gi)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentMappedIndex runs the same acceptance scenario over a
+// zero-copy mmap-opened index: 12 goroutines query arrays that alias a
+// read-only file mapping, under the race detector, and must reproduce
+// sequential Dijkstra exactly. The per-query stall counters stay visible
+// through the Service.
+func TestConcurrentMappedIndex(t *testing.T) {
+	const goroutines = 12
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := store.Save(path, ah.Build(g, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	wl := makeWorkload(g, 128, 33)
+	svc := NewService(m.Index())
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for k := range wl.pairs {
+				i := (k + gi*5) % len(wl.pairs)
+				got, err := svc.Distance(wl.pairs[i][0], wl.pairs[i][1])
+				if err != nil {
+					t.Errorf("goroutine %d pair %d: %v", gi, i, err)
+					return
+				}
+				if !sameDist(got, wl.want[i]) {
+					t.Errorf("goroutine %d pair %d: got %v, want %v", gi, i, got, wl.want[i])
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if want := uint64(goroutines * len(wl.pairs)); st.Queries != want {
+		t.Errorf("Stats.Queries = %d, want %d", st.Queries, want)
+	}
+	if st.Stalled == 0 {
+		t.Error("Stats.Stalled = 0 on a road-hierarchy graph; stall-on-demand never fired")
+	}
 }
 
 // TestServiceRangeError checks out-of-range ids come back as a typed

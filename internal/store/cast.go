@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"repro/internal/geom"
+)
+
+// The unsafe slice-cast layer behind zero-copy loading: AHIX v2 sections
+// are raw little-endian arrays at 8-byte-aligned offsets, so on a
+// little-endian host an int32/float64 slice header can point straight into
+// the mapped (or heap-resident) blob — no per-element decode, no copy, and
+// when the blob is an mmap-ed file, no private memory at all beyond page
+// tables. The cast functions require the section base to be suitably
+// aligned and the byte length to be an exact multiple of the element size;
+// the v2 section-table validation establishes both before any cast runs.
+//
+// Hosts where the casts would misread the bytes — big-endian targets — and
+// tests use the copying converters instead, selected by sliceCaster.
+
+// geom.Point must be exactly two float64s for the points cast to be valid;
+// both expressions compile to zero-length arrays only while that holds.
+var (
+	_ [16 - unsafe.Sizeof(geom.Point{})]byte
+	_ [unsafe.Sizeof(geom.Point{}) - 16]byte
+)
+
+// hostLittleEndian reports whether the running host stores multi-byte
+// integers little-endian, the precondition for the zero-copy casts.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// sliceCaster converts raw v2 section bytes into typed slices, either by
+// aliasing (zeroCopy, little-endian hosts) or by element-wise decode
+// (big-endian hosts, and tests covering the portable path).
+type sliceCaster struct {
+	zeroCopy bool
+}
+
+func (c sliceCaster) int32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if c.zeroCopy {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (c sliceCaster) int64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if c.zeroCopy {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (c sliceCaster) float64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if c.zeroCopy {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (c sliceCaster) points(b []byte) []geom.Point {
+	if len(b) == 0 {
+		return nil
+	}
+	if c.zeroCopy {
+		return unsafe.Slice((*geom.Point)(unsafe.Pointer(&b[0])), len(b)/16)
+	}
+	out := make([]geom.Point, len(b)/16)
+	for i := range out {
+		out[i] = geom.Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:])),
+		}
+	}
+	return out
+}
+
+// aligned8 returns an 8-byte-aligned byte slice of length n. make([]byte)
+// only guarantees element alignment, so the buffer is carved out of a
+// []uint64 allocation instead; Decode uses it to realign heap blobs whose
+// base address would invalidate the casts.
+func aligned8(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	buf := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), n)
+}
+
+// baseAligned8 reports whether b's backing array starts on an 8-byte
+// boundary.
+func baseAligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}

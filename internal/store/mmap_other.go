@@ -1,0 +1,21 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable gates store.Open's zero-copy path. Platforms without a
+// wired-up mmap fall back to reading the file into memory; Open still
+// works, it just owns a private copy.
+const mmapAvailable = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error {
+	return nil
+}

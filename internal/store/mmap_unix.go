@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable gates store.Open's zero-copy path; on unix it can still be
+// disabled per-call via the error return of mmapFile.
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// serving the same index file shares one page-cache copy.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,28 +1,30 @@
 // Package store persists a built Arterial Hierarchy index to disk and
 // loads it back without re-running preprocessing.
 //
-// The on-disk format is a single versioned binary blob:
+// Two on-disk formats share the "AHIX" magic and a version field:
 //
-//	offset  size  field
-//	0       4     magic "AHIX"
-//	4       4     format version (uint32, currently 1)
-//	8       4     CRC32-C checksum of the payload
-//	12      8     payload length in bytes (uint64)
-//	20      ...   payload
+//   - v2 (current, written by Save/Encode): a section-table layout that
+//     persists the complete query-ready memory image — primary artifacts
+//     plus every derived structure (reverse CSR, upward CSRs, flattened
+//     shortcut-unpack layout), all 8-byte aligned. See v2.go for the
+//     byte-level spec. Because nothing needs rebuilding, Open can
+//     memory-map the file and point the index's int32/float64 arrays
+//     straight into the mapping: opening is O(validation) rather than
+//     O(edges), and every serving process on the host shares one
+//     page-cache copy of the index.
+//   - v1 (legacy, readable forever): the fixed section sequence written
+//     before derived persistence existed. Load/Open/Decode rebuild the
+//     derived structures exactly as they always did; re-Saving a v1-loaded
+//     index writes v2, which is the promotion path.
 //
-// The payload is a fixed sequence of little-endian sections: the section
-// counts (nodes, base edges, shortcuts, grid levels), the node
-// coordinates, the base graph's forward CSR arrays, the shortcut store
-// (tails, heads, weights, and the two replaced-edge ids per shortcut, in
-// shortcut-id order), and the rank and elevation arrays. Float64 values
-// are stored as their IEEE-754 bit patterns, so a Save/Load round trip is
-// bit-identical: the loaded index answers every query with exactly the
-// distances and paths of the index that was saved.
+// Float64 values are stored as IEEE-754 bit patterns in both formats, so
+// round trips are bit-identical: the loaded index answers every query with
+// exactly the distances and paths of the index that was saved.
 //
-// Load rebuilds the derived structures the format omits — the reverse CSR
-// and the upward query adjacency — in O(edges), which is orders of
-// magnitude cheaper than the witness-search-bound preprocessing (see
-// BENCH_store.json for the measured load-vs-rebuild speedup).
+// Load reads a whole file into memory and decodes it (copying for v1,
+// zero-copy aliasing into the heap buffer for v2). Open prefers the mmap
+// path and falls back to Load-like behaviour when mapping is unavailable;
+// it returns a Mapped handle whose Close releases the mapping.
 package store
 
 import (
@@ -32,22 +34,25 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
-	"math"
 	"os"
 	"path/filepath"
 	"syscall"
 
 	"repro/internal/ah"
-	"repro/internal/geom"
-	"repro/internal/graph"
 )
 
 // Format constants.
 const (
-	// Version is the current format version written by Save.
-	Version   = 1
-	magic     = "AHIX"
-	headerLen = 20
+	// Version is the current format version written by Save and Encode.
+	Version = 2
+	// VersionV1 is the legacy format, still accepted by Load/Open/Decode
+	// and still writable via EncodeLegacy.
+	VersionV1 = 1
+
+	magic = "AHIX"
+	// headerCommon is the shared prefix both versions start with: magic
+	// plus the version field that selects the codec.
+	headerCommon = 8
 )
 
 // Errors distinguishing the ways a blob can be rejected.
@@ -56,25 +61,32 @@ var (
 	ErrBadMagic = errors.New("store: not an AH index file (bad magic)")
 	// ErrBadVersion means the format version is not supported.
 	ErrBadVersion = errors.New("store: unsupported format version")
-	// ErrChecksum means the payload does not match its stored CRC32-C.
+	// ErrChecksum means the body does not match its stored CRC32-C.
 	ErrChecksum = errors.New("store: payload checksum mismatch")
 	// ErrTruncated means the input ended before the declared payload did.
 	ErrTruncated = errors.New("store: truncated input")
+	// ErrSectionTable means a v2 section table is structurally invalid:
+	// wrong section set, misaligned or out-of-bounds offsets, overlaps,
+	// or section lengths that contradict the index counts.
+	ErrSectionTable = errors.New("store: invalid section table")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Save writes idx to path atomically: the blob is assembled in memory,
-// written to a temporary file in the same directory, synced, and renamed
-// into place, so a crash never leaves a half-written index behind. After
-// the rename the parent directory is fsynced as well — without it a crash
-// shortly after Save returns could durably keep the old directory entry
-// even though the data blocks were synced, silently undoing the "atomic
-// save" contract. Platforms or filesystems that refuse to fsync a
-// directory degrade to best-effort: the rename is still atomic, just not
-// yet guaranteed durable.
+// Save writes idx to path atomically in the current (v2) format: the blob
+// is assembled in memory, written to a temporary file in the same
+// directory, synced, and renamed into place, so a crash never leaves a
+// half-written index behind. After the rename the parent directory is
+// fsynced as well — without it a crash shortly after Save returns could
+// durably keep the old directory entry even though the data blocks were
+// synced, silently undoing the "atomic save" contract. Platforms or
+// filesystems that refuse to fsync a directory degrade to best-effort:
+// the rename is still atomic, just not yet guaranteed durable.
 func Save(path string, idx *ah.Index) error {
-	blob := Encode(idx)
+	blob, err := Encode(idx)
+	if err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ahix-*")
 	if err != nil {
@@ -137,8 +149,10 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Load reads an index previously written by Save and returns it ready for
-// queries (wrap it in a serve.Querier / QuerierPool for concurrent use).
+// Load reads an index previously written by Save — either format version —
+// into process-private memory and returns it ready for queries (wrap it in
+// a serve.Querier / QuerierPool for concurrent use). For the zero-copy
+// shared mapping, use Open instead.
 func Load(path string) (*ah.Index, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -147,9 +161,133 @@ func Load(path string) (*ah.Index, error) {
 	return Decode(blob)
 }
 
+// Mapped is an index opened by Open together with the memory backing it.
+// When Mapped() reports true the index's arrays alias a read-only file
+// mapping: the handle must stay open for as long as the index is in use,
+// and Close invalidates the index (queries after Close fault). When false
+// (mmap unavailable, or a v1 file that needs rebuilding anyway) the index
+// owns private memory and Close is a no-op.
+type Mapped struct {
+	idx    *ah.Index
+	data   []byte
+	mapped bool
+}
+
+// Index returns the opened index.
+func (m *Mapped) Index() *ah.Index { return m.idx }
+
+// Mapped reports whether the index's arrays point into a shared file
+// mapping rather than private memory.
+func (m *Mapped) Mapped() bool { return m.mapped }
+
+// Verify runs the O(file) payload checksum that Open's mmap path skips
+// (Load and Decode always verify it): it faults in every page once and
+// confirms the mapped data sections match the checksum recorded at Save
+// time. Structural validation already ran at Open, so an unverified index
+// is memory-safe regardless — Verify is for operators who want
+// end-to-end integrity before trusting query results from a file of
+// uncertain provenance. A handle that fell back to Load semantics
+// returns nil (its payload was verified on the way in).
+func (m *Mapped) Verify() error {
+	if !m.mapped {
+		return nil
+	}
+	payloadBase, err := v2Header(m.data)
+	if err != nil {
+		return err
+	}
+	return verifyV2Payload(m.data, payloadBase)
+}
+
+// Close releases the file mapping, if any. The index must not be used
+// afterwards when Mapped() was true.
+func (m *Mapped) Close() error {
+	if !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	data := m.data
+	m.data, m.idx = nil, nil
+	return munmapFile(data)
+}
+
+// Open opens an index file for serving. For a v2 file on a platform with
+// mmap, the file is memory-mapped read-only and the index's arrays are
+// cast views straight into the mapping — open cost is header + section
+// table verification and structural validation, no per-element decode, no
+// private copies, and concurrent serving processes share the page cache.
+// The O(file) payload checksum is NOT run on this path (call
+// Mapped.Verify to run it on demand); Load/Decode always run it. For v1
+// files, or when mapping is unavailable, Open degrades to Load semantics
+// (private memory, derived structures rebuilt for v1) behind the same
+// API.
+func Open(path string) (*Mapped, error) {
+	if mmapAvailable {
+		if m, ok, err := openMmap(path); ok {
+			return m, err
+		}
+	}
+	idx, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{idx: idx}, nil
+}
+
+// openMmap attempts the zero-copy path. ok=false means "not applicable,
+// fall back to Load" (mapping failed, v1 file, big-endian host); ok=true
+// returns the mmap outcome, including validation errors.
+func openMmap(path string) (*Mapped, bool, error) {
+	if !hostLittleEndian || forceCopyDecode {
+		return nil, false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, true, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, true, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size < headerCommon {
+		return nil, true, ErrTruncated
+	}
+	if size != int64(int(size)) {
+		return nil, true, fmt.Errorf("store: %d-byte file exceeds the address space", size)
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		// Filesystems without mmap support degrade to the copying path.
+		return nil, false, nil
+	}
+	if string(data[:4]) != magic {
+		munmapFile(data)
+		return nil, true, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		// v1 needs its derived structures rebuilt into private memory, so
+		// the mapping buys nothing; unknown versions fail in Decode with
+		// the right error either way.
+		munmapFile(data)
+		return nil, false, nil
+	}
+	idx, err := decodeV2(data, false)
+	if err != nil {
+		munmapFile(data)
+		return nil, true, err
+	}
+	return &Mapped{idx: idx, data: data, mapped: true}, true, nil
+}
+
 // Write streams the encoded index to w.
 func Write(w io.Writer, idx *ah.Index) error {
-	_, err := w.Write(Encode(idx))
+	blob, err := Encode(idx)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
 	return err
 }
 
@@ -162,231 +300,36 @@ func Read(r io.Reader) (*ah.Index, error) {
 	return Decode(blob)
 }
 
-// Encode serialises idx into a self-contained blob (header + payload).
-func Encode(idx *ah.Index) []byte {
-	g := idx.Graph()
-	ov := idx.Overlay()
-	points := g.Points()
-	outStart, outTo, outWeight := g.CSR()
-	sFrom, sTo, sWeight, sLeft, sRight := ov.ShortcutArrays()
-	rank, elev := idx.Ranks(), idx.Elevations()
+// Encode serialises idx into a self-contained blob in the current (v2)
+// format. The error case is an index whose flattened unpack layout cannot
+// be materialised (possible only for hostile v1-loaded inputs; see
+// graph.Overlay.ComputeUnpackLayout).
+func Encode(idx *ah.Index) ([]byte, error) { return encodeV2(idx) }
 
-	n := len(points)
-	m := len(outTo)
-	s := len(sFrom)
+// EncodeLegacy serialises idx in the v1 format, which persists only the
+// primary artifacts and forces loaders to rebuild the derived structures.
+// It exists for compatibility tooling and tests; new artifacts should use
+// Encode/Save.
+func EncodeLegacy(idx *ah.Index) []byte { return encodeV1(idx) }
 
-	payloadLen := 8*4 + // counts: n, m, s, levels (each uint64)
-		n*16 + // points
-		(n+1)*4 + m*4 + m*8 + // forward CSR
-		s*(4+4+8+4+4) + // shortcut store
-		n*4 + n*4 // rank + elev
-
-	buf := make([]byte, 0, headerLen+payloadLen)
-	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
-	buf = binary.LittleEndian.AppendUint32(buf, 0) // checksum, patched below
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(payloadLen))
-
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(idx.GridLevels()))
-	for _, p := range points {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
-	}
-	buf = appendInt32s(buf, outStart)
-	buf = appendInt32s(buf, outTo)
-	buf = appendFloat64s(buf, outWeight)
-	buf = appendInt32s(buf, sFrom)
-	buf = appendInt32s(buf, sTo)
-	buf = appendFloat64s(buf, sWeight)
-	buf = appendInt32s(buf, sLeft)
-	buf = appendInt32s(buf, sRight)
-	buf = appendInt32s(buf, rank)
-	buf = appendInt32s(buf, elev)
-
-	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[headerLen:], castagnoli))
-	return buf
-}
-
-// Decode parses a blob produced by Encode, verifying magic, version,
-// declared length, and checksum before reconstructing the index.
+// Decode parses a blob produced by Encode or EncodeLegacy, verifying
+// magic, version, declared length, and checksum before reconstructing the
+// index. v2 blobs are adopted zero-copy where the host allows: the
+// returned index aliases blob, which must stay immutable for the index's
+// lifetime.
 func Decode(blob []byte) (*ah.Index, error) {
-	if len(blob) < headerLen {
+	if len(blob) < headerCommon {
 		return nil, ErrTruncated
 	}
 	if string(blob[:4]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(blob[4:8]); v != Version {
-		return nil, fmt.Errorf("%w: got %d, support %d", ErrBadVersion, v, Version)
+	switch v := binary.LittleEndian.Uint32(blob[4:8]); v {
+	case VersionV1:
+		return decodeV1(blob)
+	case Version:
+		return decodeV2(blob, true)
+	default:
+		return nil, fmt.Errorf("%w: got %d, support %d and %d", ErrBadVersion, v, VersionV1, Version)
 	}
-	wantSum := binary.LittleEndian.Uint32(blob[8:12])
-	payloadLen := binary.LittleEndian.Uint64(blob[12:20])
-	if have := uint64(len(blob) - headerLen); have != payloadLen {
-		if have < payloadLen {
-			return nil, fmt.Errorf("%w: have %d payload bytes, header declares %d",
-				ErrTruncated, have, payloadLen)
-		}
-		// Bytes beyond the declared payload escape the checksum, so a
-		// concatenated or partially overwritten file must not load.
-		return nil, fmt.Errorf("store: %d bytes after the declared payload", have-payloadLen)
-	}
-	payload := blob[headerLen:]
-	if got := crc32.Checksum(payload, castagnoli); got != wantSum {
-		return nil, fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, wantSum)
-	}
-
-	r := reader{buf: payload}
-	n, err := r.count("nodes")
-	if err != nil {
-		return nil, err
-	}
-	m, err := r.count("edges")
-	if err != nil {
-		return nil, err
-	}
-	s, err := r.count("shortcuts")
-	if err != nil {
-		return nil, err
-	}
-	levels, err := r.count("grid levels")
-	if err != nil {
-		return nil, err
-	}
-
-	points := make([]geom.Point, n)
-	for i := range points {
-		x, err1 := r.float64()
-		y, err2 := r.float64()
-		if err1 != nil || err2 != nil {
-			return nil, ErrTruncated
-		}
-		points[i] = geom.Point{X: x, Y: y}
-	}
-	outStart, err := r.int32s(n + 1)
-	if err != nil {
-		return nil, err
-	}
-	outTo, err := r.int32s(m)
-	if err != nil {
-		return nil, err
-	}
-	outWeight, err := r.float64s(m)
-	if err != nil {
-		return nil, err
-	}
-	sFrom, err := r.int32s(s)
-	if err != nil {
-		return nil, err
-	}
-	sTo, err := r.int32s(s)
-	if err != nil {
-		return nil, err
-	}
-	sWeight, err := r.float64s(s)
-	if err != nil {
-		return nil, err
-	}
-	sLeft, err := r.int32s(s)
-	if err != nil {
-		return nil, err
-	}
-	sRight, err := r.int32s(s)
-	if err != nil {
-		return nil, err
-	}
-	rank, err := r.int32s(n)
-	if err != nil {
-		return nil, err
-	}
-	elev, err := r.int32s(n)
-	if err != nil {
-		return nil, err
-	}
-	if r.off != len(r.buf) {
-		return nil, fmt.Errorf("store: %d trailing payload bytes", len(r.buf)-r.off)
-	}
-
-	g, err := graph.FromCSR(points, outStart, outTo, outWeight)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	ov, err := graph.OverlayFromShortcuts(g, sFrom, sTo, sWeight, sLeft, sRight)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	idx, err := ah.FromParts(g, ov, rank, elev, levels)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return idx, nil
-}
-
-func appendInt32s(buf []byte, xs []int32) []byte {
-	for _, x := range xs {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
-	}
-	return buf
-}
-
-func appendFloat64s(buf []byte, xs []float64) []byte {
-	for _, x := range xs {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
-	}
-	return buf
-}
-
-// reader is a bounds-checked cursor over the payload.
-type reader struct {
-	buf []byte
-	off int
-}
-
-// count reads a uint64 section count and checks it fits the int32 id
-// space the in-memory structures use.
-func (r *reader) count(what string) (int, error) {
-	if r.off+8 > len(r.buf) {
-		return 0, ErrTruncated
-	}
-	v := binary.LittleEndian.Uint64(r.buf[r.off:])
-	r.off += 8
-	if v > math.MaxInt32 {
-		return 0, fmt.Errorf("store: %s count %d exceeds int32 id space", what, v)
-	}
-	return int(v), nil
-}
-
-func (r *reader) float64() (float64, error) {
-	if r.off+8 > len(r.buf) {
-		return 0, ErrTruncated
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
-	r.off += 8
-	return v, nil
-}
-
-func (r *reader) int32s(n int) ([]int32, error) {
-	if r.off+4*n > len(r.buf) {
-		return nil, ErrTruncated
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(r.buf[r.off+4*i:]))
-	}
-	r.off += 4 * n
-	return out, nil
-}
-
-func (r *reader) float64s(n int) ([]float64, error) {
-	if r.off+8*n > len(r.buf) {
-		return nil, ErrTruncated
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
-	}
-	r.off += 8 * n
-	return out, nil
 }

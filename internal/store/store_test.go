@@ -17,6 +17,17 @@ import (
 	"repro/internal/graph"
 )
 
+// mustEncode is Encode for indexes known to be encodable (every test
+// fixture is).
+func mustEncode(t testing.TB, idx *ah.Index) []byte {
+	t.Helper()
+	blob, err := Encode(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
 // topologies mirrors the ah equivalence harness: the same three graph
 // families, fixed seeds, so failures reproduce.
 func topologies(t *testing.T) map[string]*graph.Graph {
@@ -68,7 +79,7 @@ func TestRoundTripBitIdentical(t *testing.T) {
 
 			// Structural identity: re-encoding the loaded index must
 			// reproduce the original blob byte for byte.
-			if !bytes.Equal(Encode(fresh), Encode(loaded)) {
+			if !bytes.Equal(mustEncode(t, fresh), mustEncode(t, loaded)) {
 				t.Fatal("Encode(loaded) differs from Encode(fresh)")
 			}
 			fs, ls := fresh.Stats(), loaded.Stats()
@@ -123,7 +134,7 @@ func TestWriteReadStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(Encode(fresh), Encode(loaded)) {
+	if !bytes.Equal(mustEncode(t, fresh), mustEncode(t, loaded)) {
 		t.Fatal("stream round trip not byte-identical")
 	}
 }
@@ -135,7 +146,7 @@ func TestRejectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := Encode(ah.Build(g, ah.Options{}))
+	blob := mustEncode(t, ah.Build(g, ah.Options{}))
 	if _, err := Decode(blob); err != nil {
 		t.Fatalf("pristine blob rejected: %v", err)
 	}
@@ -238,7 +249,7 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			seqIdx := ah.Build(g, ah.Options{Workers: 1})
 			parIdx := ah.Build(g, ah.Options{Workers: 4})
-			seq, par := Encode(seqIdx), Encode(parIdx)
+			seq, par := mustEncode(t, seqIdx), mustEncode(t, parIdx)
 			if !bytes.Equal(seq, par) {
 				i := 0
 				for i < len(seq) && i < len(par) && seq[i] == par[i] {
@@ -251,33 +262,413 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// sectionRange resolves a v2 section id to its absolute [off, off+ln)
+// byte range in blob, via the section table like the decoder does.
+func sectionRange(t *testing.T, blob []byte, id int) (off, ln int) {
+	t.Helper()
+	entry := headerLenV2 + (id-secMeta)*secEntryLen
+	if got := int(binary.LittleEndian.Uint64(blob[entry:])); got != id {
+		t.Fatalf("table entry %d has id %d, want %d", id-secMeta, got, id)
+	}
+	payloadBase := headerLenV2 + numSections*secEntryLen
+	off = payloadBase + int(binary.LittleEndian.Uint64(blob[entry+8:]))
+	ln = int(binary.LittleEndian.Uint64(blob[entry+16:]))
+	return off, ln
+}
+
 // TestRejectsStructurallyInvalidPayload re-checksums a payload whose
 // contents are malformed (a rank array that is not a permutation) and
-// verifies the post-checksum validation layers still reject it.
+// verifies the post-checksum validation layers still reject it — in both
+// formats.
 func TestRejectsStructurallyInvalidPayload(t *testing.T) {
 	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 120, K: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := Encode(ah.Build(g, ah.Options{}))
-	// rank is the second-to-last section: n int32s ending 4*n bytes before
-	// the elevation section at the blob's end.
+	idx := ah.Build(g, ah.Options{})
 	n := g.NumNodes()
-	rankOff := len(blob) - 8*n
-	for i := 0; i < n; i++ {
+
+	t.Run("v2", func(t *testing.T) {
+		blob := mustEncode(t, idx)
+		off, ln := sectionRange(t, blob, secRank)
+		if ln != 4*n {
+			t.Fatalf("rank section is %d bytes, want %d", ln, 4*n)
+		}
 		// All-zero ranks: in range but not a permutation.
-		for j := 0; j < 4; j++ {
-			blob[rankOff+4*i+j] = 0
+		for i := 0; i < ln; i++ {
+			blob[off+i] = 0
+		}
+		reseal(blob)
+		if _, err := Decode(blob); err == nil {
+			t.Fatal("Decode accepted a non-permutation rank array")
+		}
+	})
+	t.Run("v1", func(t *testing.T) {
+		blob := EncodeLegacy(idx)
+		// rank is the second-to-last v1 section: n int32s ending 4*n bytes
+		// before the elevation section at the blob's end.
+		rankOff := len(blob) - 8*n
+		for i := 0; i < 4*n; i++ {
+			blob[rankOff+i] = 0
+		}
+		reseal(blob)
+		if _, err := Decode(blob); err == nil {
+			t.Fatal("Decode accepted a non-permutation rank array")
+		}
+	})
+}
+
+// TestV1BlobStillLoads is the compatibility gate: a legacy v1 blob decodes
+// through the same public API, answers exactly the same queries as the
+// fresh index and its own v2 re-save, and re-encoding it promotes it to
+// the current version.
+func TestV1BlobStillLoads(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			fresh := ah.Build(g, ah.Options{})
+			v1 := EncodeLegacy(fresh)
+			if got := binary.LittleEndian.Uint32(v1[4:8]); got != VersionV1 {
+				t.Fatalf("EncodeLegacy wrote version %d, want %d", got, VersionV1)
+			}
+			loaded, err := Decode(v1)
+			if err != nil {
+				t.Fatalf("v1 blob rejected: %v", err)
+			}
+
+			// Promotion: re-encoding the v1-loaded index must produce the
+			// same v2 blob as encoding the fresh index (the unpack layout
+			// is recomputed deterministically).
+			v2 := mustEncode(t, loaded)
+			if got := binary.LittleEndian.Uint32(v2[4:8]); got != Version {
+				t.Fatalf("Encode wrote version %d, want %d", got, Version)
+			}
+			if !bytes.Equal(v2, mustEncode(t, fresh)) {
+				t.Fatal("v2 re-save of a v1-loaded index differs from the fresh encode")
+			}
+			promoted, err := Decode(v2)
+			if err != nil {
+				t.Fatalf("promoted blob rejected: %v", err)
+			}
+
+			rng := rand.New(rand.NewSource(23))
+			n := g.NumNodes()
+			for i := 0; i < 150; i++ {
+				s := graph.NodeID(rng.Intn(n))
+				d := graph.NodeID(rng.Intn(n))
+				fd := fresh.Distance(s, d)
+				ld := loaded.Distance(s, d)
+				pd := promoted.Distance(s, d)
+				if !sameOrBothInf(fd, ld) || !sameOrBothInf(fd, pd) {
+					t.Fatalf("pair %d (%d->%d): fresh=%v v1=%v v2=%v", i, s, d, fd, ld, pd)
+				}
+				fp, _ := fresh.Path(s, d)
+				lp, _ := loaded.Path(s, d)
+				pp, _ := promoted.Path(s, d)
+				if len(fp) != len(lp) || len(fp) != len(pp) {
+					t.Fatalf("pair %d (%d->%d): path lengths %d/%d/%d", i, s, d, len(fp), len(lp), len(pp))
+				}
+				for j := range fp {
+					if fp[j] != lp[j] || fp[j] != pp[j] {
+						t.Fatalf("pair %d (%d->%d): paths diverge at step %d", i, s, d, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sameOrBothInf(a, b float64) bool {
+	return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1))
+}
+
+// TestOpenZeroCopy covers the tentpole path end to end: Save (v2), Open,
+// and — on hosts where the mapping is expected to work — assert the index
+// really is zero-copy, answers bit-identically to the saved one, and
+// serves many queries after the file handle is long gone.
+func TestOpenZeroCopy(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := Save(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if mmapAvailable && !m.Mapped() {
+		t.Error("Open did not mmap on a platform with mmap support")
+	}
+	if !bytes.Equal(mustEncode(t, fresh), mustEncode(t, m.Index())) {
+		t.Fatal("Encode(opened) differs from mustEncode(t, fresh)")
+	}
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(31))
+	n := g.NumNodes()
+	for i := 0; i < 200; i++ {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		fd := fresh.Distance(s, d)
+		od := m.Index().Distance(s, d)
+		if !sameOrBothInf(fd, od) {
+			t.Fatalf("pair %d (%d->%d): fresh=%v opened=%v", i, s, d, fd, od)
+		}
+		if want := uni.Distance(s, d); !sameOrBothInf(od, want) {
+			t.Fatalf("pair %d (%d->%d): opened=%v dijkstra=%v", i, s, d, od, want)
 		}
 	}
-	reseal(blob)
-	if _, err := Decode(blob); err == nil {
-		t.Fatal("Decode accepted a non-permutation rank array")
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestOpenV1FallsBackToLoad checks Open on a legacy blob: it must load
+// (derived structures rebuilt) without claiming a mapping.
+func TestOpenV1FallsBackToLoad(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 200, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := os.WriteFile(path, EncodeLegacy(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Error("Open claims a v1 file is mapped")
+	}
+	rng := rand.New(rand.NewSource(37))
+	n := g.NumNodes()
+	for i := 0; i < 100; i++ {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if fd, od := fresh.Distance(s, d), m.Index().Distance(s, d); !sameOrBothInf(fd, od) {
+			t.Fatalf("pair %d (%d->%d): fresh=%v opened=%v", i, s, d, fd, od)
+		}
+	}
+}
+
+// TestOpenRejectsCorruptFiles extends the corruption harness to the
+// mmap path: truncated mappings and files that fail validation must come
+// back as errors from Open, never as a partially usable index.
+func TestOpenRejectsCorruptFiles(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := mustEncode(t, ah.Build(g, ah.Options{}))
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"truncated mapping", blob[:len(blob)-1024], ErrTruncated},
+		{"truncated header", blob[:10], ErrTruncated},
+		{"flipped table byte", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[headerLenV2+secEntryLen] ^= 0x10 // second table entry's id field
+			return b
+		}(), ErrChecksum},
+		{"bad magic", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[0] = 'Z'
+			return b
+		}(), ErrBadMagic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if m, err := Open(write(tc.name, tc.blob)); !errors.Is(err, tc.want) {
+				if err == nil {
+					m.Close()
+				}
+				t.Fatalf("Open = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Open(filepath.Join(dir, "nope.ahix")); err == nil {
+			t.Fatal("Open succeeded on a missing file")
+		}
+	})
+}
+
+// TestOpenDefersPayloadChecksum pins down the division of labour between
+// Open and Verify: a payload-only corruption (a flipped weight mantissa
+// byte — structurally valid, so no validation layer can see it) is let
+// through by Open's O(table) checks, caught by Mapped.Verify's full
+// checksum pass, and always caught by Load/Decode.
+func TestOpenDefersPayloadChecksum(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := mustEncode(t, ah.Build(g, ah.Options{}))
+	// The upward-CSR weights are pure content: bounds checks can't see
+	// them (unlike forward weights, whose reverse-CSR mirror check would
+	// fire), so only a checksum can catch this flip.
+	off, _ := sectionRange(t, blob, secUpOutW)
+	blob[off] ^= 0x01 // low mantissa byte of the first upward weight
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Decode(blob); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Decode = %v, want ErrChecksum", err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Load = %v, want ErrChecksum", err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open = %v, want success (payload checksum is deferred)", err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		if err := m.Verify(); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("Verify = %v, want ErrChecksum", err)
+		}
+	}
+}
+
+// TestRejectsBadSectionTable corrupts each structural aspect of the v2
+// section table, reseals the checksum so the table itself is what the
+// decoder judges, and expects ErrSectionTable every time.
+func TestRejectsBadSectionTable(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := mustEncode(t, ah.Build(g, ah.Options{}))
+	if _, err := Decode(pristine); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	entry := func(b []byte, i int) []byte { return b[headerLenV2+i*secEntryLen:] }
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), pristine...)
+		f(b)
+		reseal(b)
+		return b
+	}
+
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"wrong section id", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(entry(b, 3), 99)
+		})},
+		{"misaligned offset", mutate(func(b []byte) {
+			e := entry(b, 3)
+			off := binary.LittleEndian.Uint64(e[8:])
+			binary.LittleEndian.PutUint64(e[8:], off+4)
+		})},
+		{"overlapping sections", mutate(func(b []byte) {
+			e := entry(b, 3)
+			off := binary.LittleEndian.Uint64(e[8:])
+			binary.LittleEndian.PutUint64(e[8:], off-8)
+		})},
+		{"gap between sections", mutate(func(b []byte) {
+			e := entry(b, 3)
+			off := binary.LittleEndian.Uint64(e[8:])
+			binary.LittleEndian.PutUint64(e[8:], off+8)
+		})},
+		{"length past the payload", mutate(func(b []byte) {
+			e := entry(b, numSections-1)
+			binary.LittleEndian.PutUint64(e[16:], 1<<40)
+		})},
+		{"wrong section count", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[16:20], numSections-1)
+		})},
+		{"section length contradicts counts", mutate(func(b []byte) {
+			// Shrink the rank section; the successor sections stay put, so
+			// either contiguity or the size check must fire.
+			e := entry(b, secRank-secMeta)
+			ln := binary.LittleEndian.Uint64(e[16:])
+			binary.LittleEndian.PutUint64(e[16:], ln-8)
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.blob); !errors.Is(err, ErrSectionTable) {
+				t.Fatalf("Decode = %v, want ErrSectionTable", err)
+			}
+		})
+	}
+}
+
+// TestCopyDecodeMatchesZeroCopy forces the portable element-wise decoder
+// (the big-endian / no-unsafe fallback) and checks it reconstructs the
+// identical index.
+func TestCopyDecodeMatchesZeroCopy(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 200, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	blob := mustEncode(t, fresh)
+
+	forceCopyDecode = true
+	defer func() { forceCopyDecode = false }()
+	copied, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustEncode(t, copied), blob) {
+		t.Fatal("copy-path decode is not bit-identical")
+	}
+	// Open must also degrade gracefully (no zero-copy claim).
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Error("Open claims zero-copy while the copying decoder is forced")
 	}
 }
 
 // reseal recomputes the header checksum after a deliberate payload edit,
-// so Decode gets past CRC verification to the structural checks.
+// so Decode gets past CRC verification to the structural checks. It
+// handles both format versions (their checksums cover different ranges).
 func reseal(blob []byte) {
-	binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[headerLen:], castagnoli))
+	switch binary.LittleEndian.Uint32(blob[4:8]) {
+	case VersionV1:
+		binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[headerLenV1:], castagnoli))
+	case Version:
+		payloadBase := headerLenV2 + numSections*secEntryLen
+		binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[16:payloadBase], castagnoli))
+		binary.LittleEndian.PutUint32(blob[12:16], crc32.Checksum(blob[payloadBase:], castagnoli))
+	default:
+		panic("reseal: unknown version")
+	}
 }

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/ah"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Legacy AHIX v1: a fixed little-endian section sequence behind a 20-byte
+// header (magic, version, payload CRC32-C, payload length). The format
+// persists only the primary artifacts — points, forward CSR, shortcut
+// store, rank, elevation — so loading rebuilds the reverse CSR and the
+// upward query adjacency in O(edges). Kept bit-compatible so every blob
+// written since PR 2 still loads; new saves use v2 (see v2.go).
+
+const headerLenV1 = 20
+
+// encodeV1 serialises idx into a self-contained v1 blob (header + payload).
+func encodeV1(idx *ah.Index) []byte {
+	g := idx.Graph()
+	ov := idx.Overlay()
+	points := g.Points()
+	outStart, outTo, outWeight := g.CSR()
+	sFrom, sTo, sWeight, sLeft, sRight := ov.ShortcutArrays()
+	rank, elev := idx.Ranks(), idx.Elevations()
+
+	n := len(points)
+	m := len(outTo)
+	s := len(sFrom)
+
+	payloadLen := 8*4 + // counts: n, m, s, levels (each uint64)
+		n*16 + // points
+		(n+1)*4 + m*4 + m*8 + // forward CSR
+		s*(4+4+8+4+4) + // shortcut store
+		n*4 + n*4 // rank + elev
+
+	buf := make([]byte, 0, headerLenV1+payloadLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, VersionV1)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // checksum, patched below
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payloadLen))
+
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(idx.GridLevels()))
+	for _, p := range points {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	}
+	buf = appendInt32s(buf, outStart)
+	buf = appendInt32s(buf, outTo)
+	buf = appendFloat64s(buf, outWeight)
+	buf = appendInt32s(buf, sFrom)
+	buf = appendInt32s(buf, sTo)
+	buf = appendFloat64s(buf, sWeight)
+	buf = appendInt32s(buf, sLeft)
+	buf = appendInt32s(buf, sRight)
+	buf = appendInt32s(buf, rank)
+	buf = appendInt32s(buf, elev)
+
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[headerLenV1:], castagnoli))
+	return buf
+}
+
+// decodeV1 parses a v1 blob, verifying declared length and checksum before
+// reconstructing the index (magic and version were already checked by the
+// Decode dispatcher). The derived structures the format omits — reverse
+// CSR, upward adjacency, unpack layout — are rebuilt except the unpack
+// layout, which is deliberately left unattached so the explicit-stack
+// Unpack fallback keeps serving v1-loaded indexes (re-saving promotes them
+// to v2, layout included).
+func decodeV1(blob []byte) (*ah.Index, error) {
+	if len(blob) < headerLenV1 {
+		return nil, ErrTruncated
+	}
+	wantSum := binary.LittleEndian.Uint32(blob[8:12])
+	payloadLen := binary.LittleEndian.Uint64(blob[12:20])
+	if have := uint64(len(blob) - headerLenV1); have != payloadLen {
+		if have < payloadLen {
+			return nil, fmt.Errorf("%w: have %d payload bytes, header declares %d",
+				ErrTruncated, have, payloadLen)
+		}
+		// Bytes beyond the declared payload escape the checksum, so a
+		// concatenated or partially overwritten file must not load.
+		return nil, fmt.Errorf("store: %d bytes after the declared payload", have-payloadLen)
+	}
+	payload := blob[headerLenV1:]
+	if got := crc32.Checksum(payload, castagnoli); got != wantSum {
+		return nil, fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, wantSum)
+	}
+
+	r := reader{buf: payload}
+	n, err := r.count("nodes")
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.count("edges")
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.count("shortcuts")
+	if err != nil {
+		return nil, err
+	}
+	levels, err := r.count("grid levels")
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]geom.Point, n)
+	for i := range points {
+		x, err1 := r.float64()
+		y, err2 := r.float64()
+		if err1 != nil || err2 != nil {
+			return nil, ErrTruncated
+		}
+		points[i] = geom.Point{X: x, Y: y}
+	}
+	outStart, err := r.int32s(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	outTo, err := r.int32s(m)
+	if err != nil {
+		return nil, err
+	}
+	outWeight, err := r.float64s(m)
+	if err != nil {
+		return nil, err
+	}
+	sFrom, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sTo, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sWeight, err := r.float64s(s)
+	if err != nil {
+		return nil, err
+	}
+	sLeft, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	sRight, err := r.int32s(s)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := r.int32s(n)
+	if err != nil {
+		return nil, err
+	}
+	elev, err := r.int32s(n)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("store: %d trailing payload bytes", len(r.buf)-r.off)
+	}
+
+	g, err := graph.FromCSR(points, outStart, outTo, outWeight)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ov, err := graph.OverlayFromShortcuts(g, sFrom, sTo, sWeight, sLeft, sRight)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	idx, err := ah.FromParts(g, ov, rank, elev, levels)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return idx, nil
+}
+
+func appendInt32s(buf []byte, xs []int32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func appendFloat64s(buf []byte, xs []float64) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// reader is a bounds-checked cursor over the payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+// count reads a uint64 section count and checks it fits the int32 id
+// space the in-memory structures use.
+func (r *reader) count(what string) (int, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("store: %s count %d exceeds int32 id space", what, v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) float64() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) int32s(n int) ([]int32, error) {
+	if r.off+4*n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.buf[r.off+4*i:]))
+	}
+	r.off += 4 * n
+	return out, nil
+}
+
+func (r *reader) float64s(n int) ([]float64, error) {
+	if r.off+8*n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off+8*i:]))
+	}
+	r.off += 8 * n
+	return out, nil
+}

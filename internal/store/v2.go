@@ -1,0 +1,378 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/ah"
+	"repro/internal/graph"
+)
+
+// AHIX v2: the query-ready memory image of an index, laid out so a
+// serving process can point its slices straight into the file.
+//
+//	offset  size  field
+//	0       4     magic "AHIX"
+//	4       4     format version (uint32, 2)
+//	8       4     table CRC32-C: covers [16, end of section table)
+//	12      4     payload CRC32-C: covers [end of section table, EOF)
+//	16      4     section count (uint32)
+//	20      4     reserved (zero)
+//	24      8     body length in bytes (uint64, = file size - 32)
+//	32      ...   section table: count entries of {id, offset, length},
+//	              each field a little-endian uint64
+//	...           sections, in table order
+//
+// Two checksums with different verification costs: the table CRC guards
+// the few hundred bytes that drive all pointer arithmetic and is verified
+// on every parse, while the payload CRC spans the data sections — O(file)
+// to verify — and is checked by Load/Decode but deliberately skipped by
+// the mmap fast path in Open, whose whole point is not touching every
+// page up front (Mapped.Verify runs the full check on demand). Structural
+// validation below is what keeps a corrupt-but-unverified payload
+// memory-safe: every array a query indexes with is bounds-checked before
+// the index is returned.
+//
+// Section offsets are relative to the end of the table (which is 8-byte
+// aligned by construction: 32 + 24*count). Every section starts on an
+// 8-byte boundary and is zero-padded to one, so int32/float64/int64 array
+// sections can be reinterpreted in place by the cast layer (cast.go); the
+// table must list sections in ascending id order, contiguously (padding
+// only) and exactly covering the body — any gap, overlap, misalignment, or
+// unknown id is structural corruption and rejected before a single cast.
+//
+// Beyond v1's primary artifacts (points, forward CSR, shortcut store,
+// rank, elevation), v2 persists every derived structure a query needs:
+// the reverse CSR, both upward CSRs with their overlay edge ids, and the
+// flattened shortcut-unpack layout. Opening therefore performs no
+// O(edges) reconstruction — just validation — and with mmap no copying
+// either.
+const (
+	headerLenV2 = 32
+	secEntryLen = 24
+)
+
+// Section ids, in file order. Every v2 blob contains exactly these.
+const (
+	secMeta       = 1 + iota // n, m, s, gridLevels, flatLen (uint64 each)
+	secPoints                // node coordinates, n × {X, Y float64}
+	secOutStart              // forward CSR offsets, (n+1) × int32
+	secOutTo                 // forward CSR heads, m × int32
+	secOutWeight             // forward CSR weights, m × float64
+	secInStart               // reverse CSR offsets, (n+1) × int32
+	secInFrom                // reverse CSR tails, m × int32
+	secInWeight              // reverse CSR weights, m × float64
+	secInEdge                // reverse slot -> forward EdgeID, m × int32
+	secSFrom                 // shortcut tails, s × int32
+	secSTo                   // shortcut heads, s × int32
+	secSWeight               // shortcut weights, s × float64
+	secSLeft                 // replaced left arms, s × int32
+	secSRight                // replaced right arms, s × int32
+	secRank                  // contraction ranks, n × int32
+	secElev                  // elevations, n × int32
+	secUpOutStart            // upward-out CSR offsets, (n+1) × int32
+	secUpOutTo               // upward-out heads, nOut × int32
+	secUpOutW                // upward-out weights, nOut × float64
+	secUpOutEid              // upward-out overlay edge ids, nOut × int32
+	secUpInStart             // upward-in CSR offsets, (n+1) × int32
+	secUpInFrom              // upward-in tails, nIn × int32
+	secUpInW                 // upward-in weights, nIn × float64
+	secUpInEid               // upward-in overlay edge ids, nIn × int32
+	secFlatStart             // unpack layout offsets, (s+1) × int64
+	secFlatEids              // unpack layout base edge ids, flatLen × int32
+	secEnd                   // one past the last id
+)
+
+const numSections = secEnd - secMeta
+
+// encodeV2 serialises idx into a self-contained v2 blob. An index that
+// carries no unpack layout (one loaded from a v1 blob) gets one computed
+// on the fly — re-saving is the promotion path from v1 to v2.
+func encodeV2(idx *ah.Index) ([]byte, error) {
+	g := idx.Graph()
+	ov := idx.Overlay()
+	points := g.Points()
+	outStart, outTo, outWeight := g.CSR()
+	inStart, inFrom, inWeight, inEdge := g.ReverseCSR()
+	sFrom, sTo, sWeight, sLeft, sRight := ov.ShortcutArrays()
+	rank, elev := idx.Ranks(), idx.Elevations()
+	d := idx.Derived()
+	flatStart, flatEids := ov.UnpackLayout()
+	if flatStart == nil {
+		var err error
+		flatStart, flatEids, err = ov.ComputeUnpackLayout()
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+
+	n := len(points)
+	m := len(outTo)
+	s := len(sFrom)
+
+	w := &v2Writer{}
+	w.buf = make([]byte, headerLenV2+numSections*secEntryLen, headerLenV2+numSections*secEntryLen+
+		40+16*n+8*(4*(n+1)+4*n)+m*(4*4+2*8)+s*(4*4+8)+(m+s)*(2*4+8)+8*(s+1)+4*len(flatEids)+8*numSections)
+
+	w.section(secMeta, func() {
+		for _, c := range [5]uint64{uint64(n), uint64(m), uint64(s), uint64(idx.GridLevels()), uint64(len(flatEids))} {
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, c)
+		}
+	})
+	w.section(secPoints, func() {
+		for _, p := range points {
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(p.X))
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(p.Y))
+		}
+	})
+	w.i32(secOutStart, outStart)
+	w.i32(secOutTo, outTo)
+	w.f64(secOutWeight, outWeight)
+	w.i32(secInStart, inStart)
+	w.i32(secInFrom, inFrom)
+	w.f64(secInWeight, inWeight)
+	w.i32(secInEdge, inEdge)
+	w.i32(secSFrom, sFrom)
+	w.i32(secSTo, sTo)
+	w.f64(secSWeight, sWeight)
+	w.i32(secSLeft, sLeft)
+	w.i32(secSRight, sRight)
+	w.i32(secRank, rank)
+	w.i32(secElev, elev)
+	w.i32(secUpOutStart, d.UpOutStart)
+	w.i32(secUpOutTo, d.UpOutTo)
+	w.f64(secUpOutW, d.UpOutW)
+	w.i32(secUpOutEid, d.UpOutEid)
+	w.i32(secUpInStart, d.UpInStart)
+	w.i32(secUpInFrom, d.UpInFrom)
+	w.f64(secUpInW, d.UpInW)
+	w.i32(secUpInEid, d.UpInEid)
+	w.section(secFlatStart, func() {
+		for _, x := range flatStart {
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(x))
+		}
+	})
+	w.i32(secFlatEids, flatEids)
+
+	buf := w.buf
+	payloadBase := headerLenV2 + numSections*secEntryLen
+	copy(buf[:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], Version)
+	binary.LittleEndian.PutUint32(buf[16:20], numSections)
+	binary.LittleEndian.PutUint32(buf[20:24], 0)
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(len(buf)-headerLenV2))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[16:payloadBase], castagnoli))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(buf[payloadBase:], castagnoli))
+	return buf, nil
+}
+
+// v2Writer appends sections to buf, recording each one's table entry and
+// zero-padding to the 8-byte alignment the cast layer needs.
+type v2Writer struct {
+	buf  []byte
+	next int // table slot of the next section
+}
+
+func (w *v2Writer) section(id int, emit func()) {
+	payloadBase := headerLenV2 + numSections*secEntryLen
+	off := len(w.buf) - payloadBase
+	emit()
+	ln := len(w.buf) - payloadBase - off
+	for len(w.buf)%8 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+	entry := headerLenV2 + w.next*secEntryLen
+	binary.LittleEndian.PutUint64(w.buf[entry:], uint64(id))
+	binary.LittleEndian.PutUint64(w.buf[entry+8:], uint64(off))
+	binary.LittleEndian.PutUint64(w.buf[entry+16:], uint64(ln))
+	w.next++
+}
+
+func (w *v2Writer) i32(id int, xs []int32) {
+	w.section(id, func() { w.buf = appendInt32s(w.buf, xs) })
+}
+
+func (w *v2Writer) f64(id int, xs []float64) {
+	w.section(id, func() { w.buf = appendFloat64s(w.buf, xs) })
+}
+
+// v2Header validates the fixed header and section-table region of a v2
+// blob — length accounting and the table CRC, the cheap O(table) checks
+// every open performs — and returns the payload base offset.
+func v2Header(blob []byte) (payloadBase int, err error) {
+	if len(blob) < headerLenV2 {
+		return 0, ErrTruncated
+	}
+	bodyLen := binary.LittleEndian.Uint64(blob[24:32])
+	if have := uint64(len(blob) - headerLenV2); have != bodyLen {
+		if have < bodyLen {
+			return 0, fmt.Errorf("%w: have %d body bytes, header declares %d", ErrTruncated, have, bodyLen)
+		}
+		return 0, fmt.Errorf("store: %d bytes after the declared body", have-bodyLen)
+	}
+	count := int(binary.LittleEndian.Uint32(blob[16:20]))
+	if count != numSections {
+		return 0, fmt.Errorf("%w: %d sections, want %d", ErrSectionTable, count, numSections)
+	}
+	payloadBase = headerLenV2 + count*secEntryLen
+	if payloadBase > len(blob) {
+		return 0, fmt.Errorf("%w: table of %d entries exceeds the file", ErrSectionTable, count)
+	}
+	wantTable := binary.LittleEndian.Uint32(blob[8:12])
+	if got := crc32.Checksum(blob[16:payloadBase], castagnoli); got != wantTable {
+		return 0, fmt.Errorf("%w (section table): got %08x, want %08x", ErrChecksum, got, wantTable)
+	}
+	return payloadBase, nil
+}
+
+// verifyV2Payload runs the O(file) payload checksum of a v2 blob whose
+// header already validated.
+func verifyV2Payload(blob []byte, payloadBase int) error {
+	want := binary.LittleEndian.Uint32(blob[12:16])
+	if got := crc32.Checksum(blob[payloadBase:], castagnoli); got != want {
+		return fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, want)
+	}
+	return nil
+}
+
+// decodeV2 parses a v2 blob (magic and version already checked by the
+// dispatcher), reconstructing the index as typed views over the blob's own
+// memory when zero-copy casting is possible on this host — the blob may be
+// an mmap-ed file, a heap buffer, anything 8-byte aligned and immutable
+// for the index's lifetime. A misaligned heap blob is realigned by one
+// copy; a big-endian host decodes element-wise. verifyPayload selects
+// whether the O(file) payload checksum runs now (Load/Decode) or is left
+// to the caller (Open's mmap path, which must not fault in every page).
+func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
+	c := sliceCaster{zeroCopy: hostLittleEndian && !forceCopyDecode}
+	if c.zeroCopy && !baseAligned8(blob) && len(blob) >= headerLenV2 {
+		nb := aligned8(len(blob))
+		copy(nb, blob)
+		blob = nb
+	}
+	payloadBase, err := v2Header(blob)
+	if err != nil {
+		return nil, err
+	}
+	if verifyPayload {
+		if err := verifyV2Payload(blob, payloadBase); err != nil {
+			return nil, err
+		}
+	}
+	payload := blob[payloadBase:]
+
+	// The table must list the known ids in order, each section 8-aligned,
+	// in bounds, and contiguous with its predecessor up to padding — one
+	// canonical layout, so every malformed table is detectable.
+	secs := make([][]byte, numSections)
+	prevEnd := uint64(0)
+	for i := 0; i < numSections; i++ {
+		entry := blob[headerLenV2+i*secEntryLen:]
+		id := binary.LittleEndian.Uint64(entry)
+		off := binary.LittleEndian.Uint64(entry[8:])
+		ln := binary.LittleEndian.Uint64(entry[16:])
+		if id != uint64(secMeta+i) {
+			return nil, fmt.Errorf("%w: entry %d has id %d, want %d", ErrSectionTable, i, id, secMeta+i)
+		}
+		if off%8 != 0 {
+			return nil, fmt.Errorf("%w: section %d offset %d not 8-byte aligned", ErrSectionTable, id, off)
+		}
+		if off < prevEnd || off-prevEnd >= 8 {
+			return nil, fmt.Errorf("%w: section %d at offset %d, previous section ended at %d", ErrSectionTable, id, off, prevEnd)
+		}
+		if off+ln < off || off+ln > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: section %d range [%d,%d) exceeds %d payload bytes", ErrSectionTable, id, off, off+ln, len(payload))
+		}
+		secs[i] = payload[off : off+ln]
+		prevEnd = off + ln
+	}
+	if pad := uint64(len(payload)) - prevEnd; pad >= 8 {
+		return nil, fmt.Errorf("%w: %d bytes after the last section", ErrSectionTable, pad)
+	}
+
+	sec := func(id int) []byte { return secs[id-secMeta] }
+	meta := sec(secMeta)
+	if len(meta) != 5*8 {
+		return nil, fmt.Errorf("%w: meta section is %d bytes, want 40", ErrSectionTable, len(meta))
+	}
+	var counts [5]uint64
+	for i := range counts {
+		counts[i] = binary.LittleEndian.Uint64(meta[8*i:])
+	}
+	for i, what := range [4]string{"node", "edge", "shortcut", "grid level"} {
+		if counts[i] > math.MaxInt32 {
+			return nil, fmt.Errorf("store: %s count %d exceeds int32 id space", what, counts[i])
+		}
+	}
+	n, m, s, levels := int(counts[0]), int(counts[1]), int(counts[2]), int(counts[3])
+	if counts[4] > uint64(len(payload))/4 {
+		return nil, fmt.Errorf("store: unpack layout length %d exceeds the payload", counts[4])
+	}
+	flatLen := int(counts[4])
+
+	// Fixed-shape sections must match the meta counts exactly; the upward
+	// CSR adjacency sections carry their own entry counts, which
+	// ah.FromPartsWithDerived cross-validates against the overlay.
+	want := map[int]int{
+		secPoints:   16 * n,
+		secOutStart: 4 * (n + 1), secOutTo: 4 * m, secOutWeight: 8 * m,
+		secInStart: 4 * (n + 1), secInFrom: 4 * m, secInWeight: 8 * m, secInEdge: 4 * m,
+		secSFrom: 4 * s, secSTo: 4 * s, secSWeight: 8 * s, secSLeft: 4 * s, secSRight: 4 * s,
+		secRank: 4 * n, secElev: 4 * n,
+		secUpOutStart: 4 * (n + 1), secUpInStart: 4 * (n + 1),
+		secFlatStart: 8 * (s + 1), secFlatEids: 4 * flatLen,
+	}
+	for id, ln := range want {
+		if len(sec(id)) != ln {
+			return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrSectionTable, id, len(sec(id)), ln)
+		}
+	}
+	for _, pair := range [2][3]int{{secUpOutTo, secUpOutW, secUpOutEid}, {secUpInFrom, secUpInW, secUpInEid}} {
+		if len(sec(pair[0]))%4 != 0 {
+			return nil, fmt.Errorf("%w: section %d length %d not a multiple of 4", ErrSectionTable, pair[0], len(sec(pair[0])))
+		}
+		cnt := len(sec(pair[0])) / 4
+		if len(sec(pair[1])) != 8*cnt || len(sec(pair[2])) != 4*cnt {
+			return nil, fmt.Errorf("%w: upward CSR sections %d/%d/%d disagree on entry count", ErrSectionTable, pair[0], pair[1], pair[2])
+		}
+	}
+
+	g, err := graph.FromCSRAndReverse(
+		c.points(sec(secPoints)),
+		c.int32s(sec(secOutStart)), c.int32s(sec(secOutTo)), c.float64s(sec(secOutWeight)),
+		c.int32s(sec(secInStart)), c.int32s(sec(secInFrom)), c.float64s(sec(secInWeight)), c.int32s(sec(secInEdge)))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ov, err := graph.OverlayFromShortcuts(g,
+		c.int32s(sec(secSFrom)), c.int32s(sec(secSTo)), c.float64s(sec(secSWeight)),
+		c.int32s(sec(secSLeft)), c.int32s(sec(secSRight)))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := ov.SetUnpackLayout(c.int64s(sec(secFlatStart)), c.int32s(sec(secFlatEids))); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	idx, err := ah.FromPartsWithDerived(g, ov,
+		c.int32s(sec(secRank)), c.int32s(sec(secElev)), levels,
+		ah.Derived{
+			UpOutStart: c.int32s(sec(secUpOutStart)),
+			UpOutTo:    c.int32s(sec(secUpOutTo)),
+			UpOutW:     c.float64s(sec(secUpOutW)),
+			UpOutEid:   c.int32s(sec(secUpOutEid)),
+			UpInStart:  c.int32s(sec(secUpInStart)),
+			UpInFrom:   c.int32s(sec(secUpInFrom)),
+			UpInW:      c.float64s(sec(secUpInW)),
+			UpInEid:    c.int32s(sec(secUpInEid)),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return idx, nil
+}
+
+// forceCopyDecode makes decodeV2 take the element-wise copying path even
+// on little-endian hosts; tests use it to cover the portable decoder.
+var forceCopyDecode = false
