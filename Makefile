@@ -24,12 +24,14 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages run again under the race detector:
-# serve's N-goroutine equivalence harness, store's load path (whose
-# indexes feed the shared-Index serving model) plus its Workers:1 vs
-# Workers:4 byte-identical-blob harness, and the parallel-build
-# determinism + region-sharding tests in ah/gridindex.
+# serve's N-goroutine equivalence harnesses (point-to-point AND concurrent
+# distance tables), the batch-vs-Dijkstra table equivalence gate in
+# internal/batch, store's load path (whose indexes feed the shared-Index
+# serving model) plus its Workers:1 vs Workers:4 byte-identical-blob
+# harness, and the parallel-build determinism + region-sharding tests in
+# ah/gridindex.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/...
 	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
 
@@ -37,16 +39,19 @@ race:
 # (settled/op is the machine-independent cost metric; stalled pops are
 # reported separately), then regenerate both measurement artifacts at the
 # repo root: BENCH_ah.json (query methods with settled/stalled counts, the
-# sequential-vs-parallel build wall-clock on the 4x rung, and that rung's
-# query metrics) and BENCH_store.json (v2 Save/Load/Open throughput, the
-# load-vs-rebuild speedup asserted >= 10x, and the v2-mmap-open vs
-# v1-load speedup asserted >= 5x).
+# one_to_many distance-table section — batch engine vs K repeated
+# point-to-point queries, speedup asserted >= 5x at the K=256 default —
+# the sequential-vs-parallel build wall-clock on the 4x rung, and that
+# rung's query metrics) and BENCH_store.json (v2 Save/Load/Open
+# throughput, the load-vs-rebuild speedup asserted >= 10x, and the
+# v2-mmap-open vs v1-load speedup asserted >= 5x).
 #
 # BENCH_SEED / BENCH_SIDE override the workload's GridCity seed and side
 # length (defaults 2 / 100; the larger rung always uses 2*side, seed+2),
-# e.g. `BENCH_SIDE=200 make bench` to record one rung up the ladder. The
-# export makes the `make bench BENCH_SIDE=200` spelling work too.
-export BENCH_SEED BENCH_SIDE
+# e.g. `BENCH_SIDE=200 make bench` to record one rung up the ladder.
+# BENCH_TARGETS overrides the one_to_many target count K (default 256).
+# The export makes the `make bench BENCH_SIDE=200` spelling work too.
+export BENCH_SEED BENCH_SIDE BENCH_TARGETS
 
 bench:
 	$(GO) test ./internal/ah/ -run '^$$' -bench . -benchtime 300x

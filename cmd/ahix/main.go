@@ -1,0 +1,243 @@
+// Command ahix wires the repository end to end over real DIMACS datasets:
+// parse a .gr/.co pair, build the Arterial Hierarchy, persist it as an
+// AHIX artifact, and answer point-to-point and distance-table queries from
+// the mmap-opened file through the serving layer.
+//
+//	ahix build -gr USA-road-t.NY.gr -co USA-road-d.NY.co -out ny.ahix
+//	ahix query -index ny.ahix 1 264346
+//	ahix query -index ny.ahix -path 1 264346
+//	ahix table -index ny.ahix -sources 1,2,3 -targets 7,8,9
+//
+// Node ids on the command line are 1-based, exactly as they appear in the
+// DIMACS files; table output is a tab-separated matrix with one row per
+// source. Unreachable pairs print +Inf.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ahix:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage:
+  ahix build -gr FILE.gr -co FILE.co -out FILE.ahix [-workers N]
+  ahix query -index FILE.ahix [-path] SRC DST
+  ahix table -index FILE.ahix -sources IDS -targets IDS
+
+Node ids are 1-based DIMACS ids; IDS is a comma-separated list.`
+
+// run dispatches the subcommands; it is the whole CLI, factored off main
+// so the end-to-end test can drive it in-process.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:], out)
+	case "query":
+		return runQuery(args[1:], out)
+	case "table":
+		return runTable(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", args[0], usage)
+	}
+}
+
+func runBuild(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	gr := fs.String("gr", "", "DIMACS arc file (.gr)")
+	co := fs.String("co", "", "DIMACS coordinate file (.co)")
+	outPath := fs.String("out", "", "output AHIX index path")
+	workers := fs.Int("workers", 0, "preprocessing goroutines (0 = GOMAXPROCS; output is identical for every value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gr == "" || *co == "" || *outPath == "" {
+		return fmt.Errorf("build needs -gr, -co, and -out")
+	}
+	grF, err := os.Open(*gr)
+	if err != nil {
+		return err
+	}
+	defer grF.Close()
+	coF, err := os.Open(*co)
+	if err != nil {
+		return err
+	}
+	defer coF.Close()
+
+	start := time.Now()
+	g, err := graph.ReadDIMACS(grF, coF)
+	if err != nil {
+		return err
+	}
+	parsed := time.Now()
+	idx := ah.Build(g, ah.Options{Workers: *workers})
+	built := time.Now()
+	if err := store.Save(*outPath, idx); err != nil {
+		return err
+	}
+	st := idx.Stats()
+	fmt.Fprintf(out, "parsed %d nodes / %d edges in %v\n", st.Nodes, st.BaseEdges, parsed.Sub(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "built AH index in %v: %d shortcuts, %d grid levels, max elevation %d\n",
+		built.Sub(parsed).Round(time.Millisecond), st.Shortcuts, st.GridLevels, st.MaxElevation)
+	fmt.Fprintf(out, "saved %s in %v\n", *outPath, time.Since(built).Round(time.Millisecond))
+	return nil
+}
+
+// openIndex mmap-opens an AHIX artifact and wraps it in the concurrent
+// service facade. The caller must Close the returned handle after its last
+// query.
+func openIndex(path string) (*store.Mapped, *serve.Service, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("missing -index")
+	}
+	m, err := store.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, serve.NewService(m.Index()), nil
+}
+
+func runQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	index := fs.String("index", "", "AHIX index path")
+	withPath := fs.Bool("path", false, "print the node sequence of a shortest path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("query needs exactly SRC and DST, got %d args", fs.NArg())
+	}
+	src, err := parseID(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	dst, err := parseID(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	m, svc, err := openIndex(*index)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if *withPath {
+		p, d, err := svc.Path(src, dst)
+		if err != nil {
+			return asCLIErr(err)
+		}
+		fmt.Fprintf(out, "%g\n", d)
+		for _, v := range p {
+			fmt.Fprintf(out, "%d\n", v+1)
+		}
+		return nil
+	}
+	d, err := svc.Distance(src, dst)
+	if err != nil {
+		return asCLIErr(err)
+	}
+	fmt.Fprintf(out, "%g\n", d)
+	return nil
+}
+
+// asCLIErr rewrites a serve.RangeError — which speaks the index's 0-based
+// dense ids — back into the 1-based DIMACS numbering the command line
+// accepts, so the reported id matches what the operator typed.
+func asCLIErr(err error) error {
+	var re *serve.RangeError
+	if errors.As(err, &re) {
+		return fmt.Errorf("node id %d out of range [1, %d] (ids are 1-based DIMACS ids)", re.Node+1, re.Nodes)
+	}
+	return err
+}
+
+func runTable(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("table", flag.ContinueOnError)
+	index := fs.String("index", "", "AHIX index path")
+	srcList := fs.String("sources", "", "comma-separated 1-based source ids")
+	dstList := fs.String("targets", "", "comma-separated 1-based target ids")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources, err := parseIDList(*srcList)
+	if err != nil {
+		return fmt.Errorf("-sources: %w", err)
+	}
+	targets, err := parseIDList(*dstList)
+	if err != nil {
+		return fmt.Errorf("-targets: %w", err)
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return fmt.Errorf("table needs non-empty -sources and -targets")
+	}
+	m, svc, err := openIndex(*index)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	rows, err := svc.DistanceTable(sources, targets)
+	if err != nil {
+		return asCLIErr(err)
+	}
+	var sb strings.Builder
+	for _, row := range rows {
+		for j, d := range row {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			fmt.Fprintf(&sb, "%g", d)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err = io.WriteString(out, sb.String())
+	return err
+}
+
+// parseID converts a 1-based DIMACS node id to the dense 0-based ids the
+// index uses. Range checking against the index happens in serve; asCLIErr
+// converts its 0-based errors back to the operator's numbering.
+func parseID(s string) (graph.NodeID, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("node id %q: %w", s, err)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("node id %d: DIMACS ids are 1-based", v)
+	}
+	return graph.NodeID(v - 1), nil
+}
+
+func parseIDList(s string) ([]graph.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]graph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		id, err := parseID(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// writeDIMACS materialises a generated graph as a DIMACS .gr/.co pair in
+// dir, returning the two paths — the CLI's input format, produced by the
+// same writer the parser round-trips against.
+func writeDIMACS(t *testing.T, dir string, g *graph.Graph) (grPath, coPath string) {
+	t.Helper()
+	grPath = filepath.Join(dir, "g.gr")
+	coPath = filepath.Join(dir, "g.co")
+	grF, err := os.Create(grPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grF.Close()
+	coF, err := os.Create(coPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coF.Close()
+	if err := graph.WriteDIMACS(g, grF, coF); err != nil {
+		t.Fatal(err)
+	}
+	return grPath, coPath
+}
+
+// TestEndToEnd drives the full pipeline the command exists for: DIMACS
+// files -> build -> Save -> Open -> point-to-point and table queries, all
+// through run(), with answers checked against Dijkstra on the original
+// graph.
+func TestEndToEnd(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	grPath, coPath := writeDIMACS(t, dir, g)
+	idxPath := filepath.Join(dir, "g.ahix")
+
+	var buildOut strings.Builder
+	if err := run([]string{"build", "-gr", grPath, "-co", coPath, "-out", idxPath}, &buildOut); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !strings.Contains(buildOut.String(), "shortcuts") {
+		t.Fatalf("build output missing stats: %q", buildOut.String())
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index not written: %v", err)
+	}
+
+	uni := dijkstra.NewSearch(g)
+	n := g.NumNodes()
+
+	// query: a handful of pairs, 1-based on the command line.
+	for _, pair := range [][2]graph.NodeID{{0, graph.NodeID(n - 1)}, {5, 5}, {3, graph.NodeID(n / 2)}} {
+		var out strings.Builder
+		err := run([]string{"query", "-index", idxPath,
+			strconv.Itoa(int(pair[0]) + 1), strconv.Itoa(int(pair[1]) + 1)}, &out)
+		if err != nil {
+			t.Fatalf("query %v: %v", pair, err)
+		}
+		got, err := strconv.ParseFloat(strings.TrimSpace(out.String()), 64)
+		if err != nil {
+			t.Fatalf("query %v output %q: %v", pair, out.String(), err)
+		}
+		want := uni.Distance(pair[0], pair[1])
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("query %v: got %v, want %v", pair, got, want)
+		}
+	}
+
+	// query -path: endpoints in 1-based ids, length consistent.
+	var pathOut strings.Builder
+	if err := run([]string{"query", "-index", idxPath, "-path", "1", strconv.Itoa(n)}, &pathOut); err != nil {
+		t.Fatalf("query -path: %v", err)
+	}
+	lines := strings.Fields(pathOut.String())
+	if len(lines) < 2 {
+		t.Fatalf("query -path output %q", pathOut.String())
+	}
+	if lines[1] != "1" || lines[len(lines)-1] != strconv.Itoa(n) {
+		t.Fatalf("path endpoints %s..%s, want 1..%d", lines[1], lines[len(lines)-1], n)
+	}
+
+	// table: 3x4 matrix, every cell vs Dijkstra.
+	sources := []graph.NodeID{0, 7, graph.NodeID(n - 1)}
+	targets := []graph.NodeID{1, 0, graph.NodeID(n / 3), graph.NodeID(n - 2)}
+	toArg := func(ids []graph.NodeID) string {
+		parts := make([]string, len(ids))
+		for i, v := range ids {
+			parts[i] = strconv.Itoa(int(v) + 1)
+		}
+		return strings.Join(parts, ",")
+	}
+	var tableOut strings.Builder
+	err = run([]string{"table", "-index", idxPath,
+		"-sources", toArg(sources), "-targets", toArg(targets)}, &tableOut)
+	if err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	rows := strings.Split(strings.TrimSpace(tableOut.String()), "\n")
+	if len(rows) != len(sources) {
+		t.Fatalf("table printed %d rows, want %d", len(rows), len(sources))
+	}
+	for i, row := range rows {
+		cells := strings.Split(row, "\t")
+		if len(cells) != len(targets) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(cells), len(targets))
+		}
+		for j, cell := range cells {
+			got, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("cell [%d][%d] = %q: %v", i, j, cell, err)
+			}
+			want := uni.Distance(sources[i], targets[j])
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("cell [%d][%d]: got %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestCLIErrors pins the operator-facing failure modes: unknown
+// subcommand, missing flags, malformed and out-of-range ids.
+func TestCLIErrors(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 60, K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	grPath, coPath := writeDIMACS(t, dir, g)
+	idxPath := filepath.Join(dir, "g.ahix")
+	if err := run([]string{"build", "-gr", grPath, "-co", coPath, "-out", idxPath}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"build", "-gr", grPath},
+		{"query", "-index", idxPath, "1"},
+		{"query", "-index", idxPath, "0", "2"}, // DIMACS ids are 1-based
+		{"query", "-index", idxPath, "1", "99999"},      // past the node range
+		{"query", "1", "2"},                             // missing -index
+		{"table", "-index", idxPath, "-sources", "1,2"}, // missing -targets
+		{"table", "-index", idxPath, "-sources", "1,x", "-targets", "2"},
+		{"query", "-index", filepath.Join(dir, "absent.ahix"), "1", "2"},
+	}
+	for _, args := range cases {
+		t.Run(fmt.Sprintf("%v", args), func(t *testing.T) {
+			if err := run(args, &strings.Builder{}); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+
+	// Range errors must speak the operator's 1-based numbering: id n+1 is
+	// the first invalid one, and the error must echo it verbatim.
+	n := g.NumNodes()
+	err = run([]string{"query", "-index", idxPath, strconv.Itoa(n + 1), "1"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("out-of-range query succeeded")
+	}
+	if want := fmt.Sprintf("node id %d out of range [1, %d]", n+1, n); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+	err = run([]string{"table", "-index", idxPath, "-sources", "1", "-targets", strconv.Itoa(n + 1)}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "1-based") {
+		t.Fatalf("table range error %v does not mention the 1-based numbering", err)
+	}
+}

@@ -43,6 +43,7 @@ package ah
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -118,6 +119,12 @@ type Index struct {
 	upInFrom   []graph.NodeID
 	upInW      []float64
 	upInEid    []graph.EdgeID
+
+	// down is the rank-descending downward CSR backing the batched
+	// one-to-many sweeps (see downward.go): adopted from a persisted AHIX
+	// section by AdoptDownward, or derived once on first use.
+	downOnce sync.Once
+	down     *graph.DownCSR
 
 	// compat is the lazily created Querier backing the convenience
 	// Distance/Path/Settled methods on Index.

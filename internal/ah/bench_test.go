@@ -1,4 +1,7 @@
-package ah
+// Package ah_test (externally) hosts the benchmark suite and the
+// BENCH_ah.json recorder: an external test package so it can drive
+// internal/batch — which imports ah — against the same shared index.
+package ah_test
 
 import (
 	"encoding/json"
@@ -12,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ah"
+	"repro/internal/batch"
 	"repro/internal/dijkstra"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -22,7 +27,7 @@ import (
 var benchState struct {
 	once     sync.Once
 	g        *graph.Graph
-	idx      *Index
+	idx      *ah.Index
 	buildDur time.Duration
 	pairs    [][2]graph.NodeID
 }
@@ -52,6 +57,22 @@ func benchConfig(tb testing.TB) (side int, seed int64) {
 	return side, seed
 }
 
+// benchTargets returns the distance-table workload's target count K: 256
+// (the acceptance configuration) unless overridden via BENCH_TARGETS
+// (`make bench BENCH_TARGETS=1024` passes it through).
+func benchTargets(tb testing.TB) int {
+	tb.Helper()
+	k := 256
+	if v := os.Getenv("BENCH_TARGETS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			tb.Fatalf("BENCH_TARGETS=%q: want a positive integer", v)
+		}
+		k = n
+	}
+	return k
+}
+
 func benchSetup(tb testing.TB) {
 	benchState.once.Do(func() {
 		side, seed := benchConfig(tb)
@@ -64,7 +85,7 @@ func benchSetup(tb testing.TB) {
 		}
 		benchState.g = g
 		start := time.Now()
-		benchState.idx = Build(g, Options{})
+		benchState.idx = ah.Build(g, ah.Options{})
 		benchState.buildDur = time.Since(start)
 		rng := rand.New(rand.NewSource(77))
 		benchState.pairs = make([][2]graph.NodeID, 512)
@@ -102,6 +123,31 @@ func BenchmarkDijkstraDistance(b *testing.B) {
 		settled += s.Settled()
 	}
 	b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+}
+
+// BenchmarkDistanceTable measures one source's row of a K-target distance
+// table (upward search + restricted sweep + exact re-sum, selection built
+// once outside the loop), the batched counterpart of BenchmarkAHDistance —
+// whose per-query cost times K is what the batch engine amortises away.
+func BenchmarkDistanceTable(b *testing.B) {
+	benchSetup(b)
+	idx := benchState.idx
+	k := benchTargets(b)
+	rng := rand.New(rand.NewSource(79))
+	n := benchState.g.NumNodes()
+	targets := make([]graph.NodeID, k)
+	for i := range targets {
+		targets[i] = graph.NodeID(rng.Intn(n))
+	}
+	e := batch.NewEngine(idx)
+	sel := e.Select(targets)
+	out := make([]float64, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := benchState.pairs[i%len(benchState.pairs)]
+		e.Row(p[0], sel, out)
+	}
+	b.ReportMetric(float64(k), "targets/op")
 }
 
 func BenchmarkBiSearchDistance(b *testing.B) {
@@ -183,6 +229,26 @@ type benchReport struct {
 		ParallelSeconds   float64 `json:"parallel_seconds"`
 		Speedup           float64 `json:"speedup"`
 	} `json:"parallel_build"`
+	// OneToMany compares the batched distance-table engine (one upward
+	// search + one restricted downward sweep per source, internal/batch)
+	// against K repeated point-to-point queries on the 10k workload. Both
+	// sides produce bit-identical distances (the race-gated equivalence
+	// harness in internal/batch asserts it against per-pair Dijkstra);
+	// only wall-clock differs. Speedup = P2PNsPerSource/EngineNsPerSource,
+	// asserted >= 5x at the acceptance configuration (K=256, default
+	// graph). SelectionNodes is the restricted sweep's node count — the
+	// RPHAST restriction working — and the two Avg costs split a source's
+	// work into its upward-search and sweep halves.
+	OneToMany struct {
+		KTargets              int     `json:"k_targets"`
+		Sources               int     `json:"sources"`
+		SelectionNodes        int     `json:"selection_nodes"`
+		EngineNsPerSource     float64 `json:"engine_ns_per_source"`
+		P2PNsPerSource        float64 `json:"p2p_ns_per_source"`
+		Speedup               float64 `json:"speedup"`
+		AvgUpSettledPerSource float64 `json:"avg_up_settled_per_source"`
+		AvgSweptPerSource     float64 `json:"avg_swept_per_source"`
+	} `json:"one_to_many"`
 	// LargeRungQueries records the AH query metrics on the 4x larger rung
 	// (the parallel-build graph), so the stall-on-demand win is visible at
 	// two scales, not just the 10k headline. HostCPUs contextualises the
@@ -254,6 +320,62 @@ func TestRecordBench(t *testing.T) {
 	bi := dijkstra.NewBiSearch(g)
 	rep.Methods["bisearch"] = measure(func(s, d graph.NodeID) { bi.Distance(s, d) }, bi.Settled, nil)
 
+	// Batched one-to-many vs K repeated point-to-point queries: the same
+	// K-target table computed both ways on the 10k graph, timed per
+	// source, with a cell-by-cell bit-identity check in between.
+	k := benchTargets(t)
+	trng := rand.New(rand.NewSource(79))
+	targets := make([]graph.NodeID, k)
+	for i := range targets {
+		targets[i] = graph.NodeID(trng.Intn(g.NumNodes()))
+	}
+	sources := make([]graph.NodeID, 16)
+	for i := range sources {
+		sources[i] = graph.NodeID(trng.Intn(g.NumNodes()))
+	}
+	eng := batch.NewEngine(idx)
+	eng.DistanceTable(sources, targets) // warm-up (and workspace growth)
+	start := time.Now()
+	rows := eng.DistanceTable(sources, targets)
+	engDur := time.Since(start)
+	sel := eng.Select(targets)
+
+	q := ah.NewQuerier(idx)
+	for _, s := range sources[:2] { // warm-up
+		for _, d := range targets {
+			q.Distance(s, d)
+		}
+	}
+	start = time.Now()
+	p2p := make([][]float64, len(sources))
+	for i, s := range sources {
+		p2p[i] = make([]float64, len(targets))
+		for j, d := range targets {
+			p2p[i][j] = q.Distance(s, d)
+		}
+	}
+	p2pDur := time.Since(start)
+	for i := range sources {
+		for j := range targets {
+			if rows[i][j] != p2p[i][j] && !(math.IsInf(rows[i][j], 1) && math.IsInf(p2p[i][j], 1)) {
+				t.Fatalf("one_to_many cell [%d][%d]: engine=%v p2p=%v", i, j, rows[i][j], p2p[i][j])
+			}
+		}
+	}
+	rep.OneToMany.KTargets = k
+	rep.OneToMany.Sources = len(sources)
+	rep.OneToMany.SelectionNodes = sel.Size()
+	rep.OneToMany.EngineNsPerSource = float64(engDur.Nanoseconds()) / float64(len(sources))
+	rep.OneToMany.P2PNsPerSource = float64(p2pDur.Nanoseconds()) / float64(len(sources))
+	rep.OneToMany.Speedup = rep.OneToMany.P2PNsPerSource / rep.OneToMany.EngineNsPerSource
+	rep.OneToMany.AvgUpSettledPerSource = float64(eng.Settled()) / float64(len(sources))
+	rep.OneToMany.AvgSweptPerSource = float64(eng.Swept()) / float64(len(sources))
+	t.Logf("one_to_many: K=%d, selection %d nodes, engine %.2fms/source vs p2p %.2fms/source (%.1fx)",
+		k, sel.Size(), rep.OneToMany.EngineNsPerSource/1e6, rep.OneToMany.P2PNsPerSource/1e6, rep.OneToMany.Speedup)
+	if side == 100 && k == 256 && rep.OneToMany.Speedup < 5 {
+		t.Errorf("one_to_many speedup %.2fx at the acceptance configuration, want >= 5x", rep.OneToMany.Speedup)
+	}
+
 	// Sequential-vs-parallel preprocessing wall-clock on a 4x larger
 	// GridCity (a CO'-to-FL'-sized rung of the ladder at the defaults),
 	// the gate for scaling the harness further up the ladder.
@@ -268,11 +390,11 @@ func TestRecordBench(t *testing.T) {
 	if workers < 4 {
 		workers = 4
 	}
-	start := time.Now()
-	seqIdx := Build(pg, Options{Workers: 1})
+	start = time.Now()
+	seqIdx := ah.Build(pg, ah.Options{Workers: 1})
 	seqDur := time.Since(start)
 	start = time.Now()
-	parIdx := Build(pg, Options{Workers: workers})
+	parIdx := ah.Build(pg, ah.Options{Workers: workers})
 	parDur := time.Since(start)
 	if s, p := seqIdx.Stats(), parIdx.Stats(); s != p {
 		t.Fatalf("sequential and parallel builds diverged: %+v vs %+v", s, p)
@@ -298,7 +420,7 @@ func TestRecordBench(t *testing.T) {
 			graph.NodeID(lrng.Intn(pg.NumNodes())),
 		}
 	}
-	lq := NewQuerier(parIdx)
+	lq := ah.NewQuerier(parIdx)
 	for _, p := range lpairs { // warm-up
 		lq.Distance(p[0], p[1])
 	}

@@ -1,0 +1,96 @@
+package ah
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file derives the index's *downward CSR*: the upward-in adjacency
+// (every overlay edge whose tail outranks its head — exactly the descent
+// edges of every up-down path) re-laid-out in descending contraction-rank
+// order, with tails expressed as sweep positions. A PHAST-style one-to-many
+// query (internal/batch) runs the forward upward search from a source and
+// then resolves distances to every node with one ascending scan over this
+// structure: position i only reads positions < i, all already final.
+//
+// The structure is pure derived state — a deterministic function of the
+// rank array and the upward-in CSR — so it can either be rebuilt in memory
+// (v1 blobs, pre-downward v2 blobs, fresh builds) or persisted by AHIX v2
+// and adopted zero-copy from a read-only mapping (store.Open).
+
+// RankDescending returns the nodes ordered by descending contraction rank:
+// element 0 is the last-contracted (most important) node. This is the sweep
+// order of the downward CSR; Downward().Order is the cached copy. The
+// returned slice is freshly allocated and owned by the caller.
+func (x *Index) RankDescending() []graph.NodeID {
+	n := len(x.rank)
+	order := make([]graph.NodeID, n)
+	for v, r := range x.rank {
+		order[n-1-int(r)] = graph.NodeID(v)
+	}
+	return order
+}
+
+// Downward returns the index's downward CSR, deriving and caching it on
+// first use (O(nodes + downward edges), no preprocessing). The result is
+// immutable and safe to share across goroutines; callers must not modify
+// its slices. An index reassembled from an AHIX blob that persisted the
+// structure returns the adopted — possibly mmap-backed — copy instead of
+// deriving one.
+func (x *Index) Downward() *graph.DownCSR {
+	x.downOnce.Do(func() {
+		if x.down == nil {
+			x.down = graph.BuildDownCSR(x.RankDescending(), x.upInStart, x.upInFrom, x.upInW, x.upInEid)
+		}
+	})
+	return x.down
+}
+
+// AdoptDownward attaches a persisted downward CSR instead of deriving one,
+// after structural validation in the style of the other adopted derived
+// sections: the sweep order must be the descending-rank permutation (which
+// pins the row layout completely), the entry count must match the
+// upward-in adjacency, and graph.DownCSR.Validate must prove every
+// position and edge id in bounds — so sweeping a corrupt-but-unverified
+// payload stays memory-safe. Entry contents beyond that are trusted here,
+// exactly like the persisted upward CSRs: they sit under the store's
+// checksum, and the Load/Decode paths (which verify that checksum anyway)
+// additionally run the full ValidateMirror content check. The slices are
+// retained and never written, so they may point into a read-only mapping.
+// Call during reassembly, before the index is shared; it must not race
+// Downward.
+func (x *Index) AdoptDownward(d *graph.DownCSR) error {
+	n := len(x.rank)
+	if len(d.Order) != n {
+		return fmt.Errorf("ah: downward CSR covers %d nodes, index has %d", len(d.Order), n)
+	}
+	if len(d.From) != len(x.upInFrom) {
+		return fmt.Errorf("ah: downward CSR holds %d edges, upward-in CSR has %d", len(d.From), len(x.upInFrom))
+	}
+	for i, v := range d.Order {
+		// Bounds before rank lookup: Validate re-proves the permutation,
+		// but it must not be handed wild indexes.
+		if uint32(v) >= uint32(n) {
+			return fmt.Errorf("ah: downward Order[%d]=%d out of range [0,%d)", i, v, n)
+		}
+		if int(x.rank[v]) != n-1-i {
+			return fmt.Errorf("ah: downward Order[%d]=%d has rank %d, want %d (descending-rank order)",
+				i, v, x.rank[v], n-1-i)
+		}
+	}
+	if err := d.Validate(x.ov.NumEdges()); err != nil {
+		return err
+	}
+	x.down = d
+	return nil
+}
+
+// ValidateDownwardMirror runs the full content check on an adopted (or
+// about-to-be-adopted) downward CSR: every row must mirror the upward-in
+// adjacency entry for entry. O(nodes + downward edges); the store's
+// Load/Decode paths call it alongside the payload checksum, while the mmap
+// open path skips it like the checksum itself.
+func (x *Index) ValidateDownwardMirror(d *graph.DownCSR) error {
+	return d.ValidateMirror(x.upInStart, x.upInFrom, x.upInW, x.upInEid)
+}

@@ -1,0 +1,157 @@
+package ah
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDownwardInvariants checks, on every harness topology, that the lazily
+// derived downward CSR is the descending-rank reorder of the upward-in
+// adjacency: order follows rank exactly, rows mirror up-in rows, every tail
+// position precedes its row, and the edge count matches.
+func TestDownwardInvariants(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := Build(g, Options{})
+			d := idx.Downward()
+			n := g.NumNodes()
+			if d.NumNodes() != n {
+				t.Fatalf("downward covers %d nodes, want %d", d.NumNodes(), n)
+			}
+			if d.NumEdges() != len(idx.upInFrom) {
+				t.Fatalf("downward has %d edges, up-in CSR has %d", d.NumEdges(), len(idx.upInFrom))
+			}
+			for i, v := range d.Order {
+				if int(idx.Rank(v)) != n-1-i {
+					t.Fatalf("Order[%d]=%d has rank %d, want %d", i, v, idx.Rank(v), n-1-i)
+				}
+			}
+			if err := d.ValidateMirror(idx.upInStart, idx.upInFrom, idx.upInW, idx.upInEid); err != nil {
+				t.Fatalf("derived downward CSR fails its own validation: %v", err)
+			}
+			if again := idx.Downward(); again != d {
+				t.Fatal("Downward is not cached")
+			}
+		})
+	}
+}
+
+// TestAdoptDownward covers the persistence-adoption path: the canonical
+// structure is accepted (and then returned by Downward), while wrong-order
+// and tampered copies are rejected.
+func TestAdoptDownward(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := Build(g, Options{})
+	canonical := idx.Downward()
+
+	rebuilt := func() (*Index, error) {
+		return FromParts(g, idx.Overlay(), idx.Ranks(), idx.Elevations(), idx.GridLevels())
+	}
+
+	fresh, err := rebuilt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyOf := func() *graph.DownCSR {
+		return &graph.DownCSR{
+			Order: append([]graph.NodeID(nil), canonical.Order...),
+			Start: append([]int32(nil), canonical.Start...),
+			From:  append([]int32(nil), canonical.From...),
+			W:     append([]float64(nil), canonical.W...),
+			Eid:   append([]graph.EdgeID(nil), canonical.Eid...),
+		}
+	}
+	adopted := copyOf()
+	if err := fresh.AdoptDownward(adopted); err != nil {
+		t.Fatalf("canonical structure rejected: %v", err)
+	}
+	if fresh.Downward() != adopted {
+		t.Fatal("Downward did not return the adopted structure")
+	}
+
+	// Structural corruption is rejected at adoption (the mmap-open-path
+	// check): wrong order, out-of-range positions or ids.
+	structural := []struct {
+		name    string
+		mutate  func(d *graph.DownCSR)
+		errLike string
+	}{
+		{"swapped order", func(d *graph.DownCSR) { d.Order[0], d.Order[1] = d.Order[1], d.Order[0] }, "descending-rank"},
+		{"order out of range", func(d *graph.DownCSR) { d.Order[0] = graph.NodeID(g.NumNodes()) }, "out of range"},
+		{"tail past its row", func(d *graph.DownCSR) { d.From[0] = int32(g.NumNodes() - 1) }, "tail position"},
+		{"eid past the overlay", func(d *graph.DownCSR) { d.Eid[0] = graph.EdgeID(idx.Overlay().NumEdges()) }, "out of range"},
+	}
+	for _, tc := range structural {
+		t.Run(tc.name, func(t *testing.T) {
+			target, err := rebuilt()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := copyOf()
+			tc.mutate(d)
+			err = target.AdoptDownward(d)
+			if err == nil {
+				t.Fatal("structurally corrupt downward CSR accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+
+	// In-bounds content tampering passes adoption (contents are trusted
+	// under the store checksum, like the upward CSRs) but is pinned by the
+	// mirror check the Load/Decode paths run.
+	for _, tc := range []struct {
+		name   string
+		mutate func(d *graph.DownCSR)
+	}{
+		{"tampered weight", func(d *graph.DownCSR) { d.W[0] += 1 }},
+		{"tampered in-range eid", func(d *graph.DownCSR) { d.Eid[0] = (d.Eid[0] + 1) % graph.EdgeID(idx.Overlay().NumEdges()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			target, err := rebuilt()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := copyOf()
+			tc.mutate(d)
+			if err := target.AdoptDownward(d); err != nil {
+				t.Fatalf("structural adoption rejected content tamper: %v", err)
+			}
+			if err := target.ValidateDownwardMirror(d); err == nil {
+				t.Fatal("mirror check accepted tampered contents")
+			} else if !strings.Contains(err.Error(), "mirror") {
+				t.Fatalf("error %q does not mention the mirror", err)
+			}
+		})
+	}
+
+	short, err := rebuilt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := short.AdoptDownward(&graph.DownCSR{Order: canonical.Order[:1], Start: []int32{0, 0}}); err == nil {
+		t.Fatal("accepted a downward CSR over the wrong node count")
+	}
+}
+
+// TestRankDescending checks the exported order helper against the rank
+// array directly.
+func TestRankDescending(t *testing.T) {
+	g := topologies(t)["RandomGeometric"]
+	idx := Build(g, Options{})
+	order := idx.RankDescending()
+	n := g.NumNodes()
+	if len(order) != n {
+		t.Fatalf("len %d, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if int(idx.Rank(v)) != n-1-i {
+			t.Fatalf("order[%d]=%d has rank %d, want %d", i, v, idx.Rank(v), n-1-i)
+		}
+	}
+}

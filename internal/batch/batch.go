@@ -1,0 +1,356 @@
+// Package batch answers one-to-many and many-to-many distance queries over
+// a built Arterial Hierarchy index, the distance-table workload the paper
+// benchmarks against.
+//
+// Repeated point-to-point queries are the wrong tool for a distance table:
+// each one re-runs a bidirectional search whose backward half depends on
+// the target. The batch engine amortises the target side away,
+// PHAST-style. A query runs the forward *upward* search from the source
+// once (a plain Dijkstra over the upward-out CSR — no termination
+// heuristic, no stalling, so every node of the upward search space carries
+// its exact pure-ascent distance) and then resolves distances to targets
+// with a single rank-descending linear sweep over the index's downward CSR
+// (ah.Index.Downward): position i only reads positions < i, so one
+// cache-friendly pass finalises min over all up-down paths for every node.
+//
+// Two resolutions are offered:
+//
+//   - Engine.OneToMany sweeps the full downward CSR — O(nodes + downward
+//     edges) per source regardless of the target count, the right tool
+//     when targets number in the thousands or the same source fans out to
+//     many target sets.
+//   - Engine.DistanceTable restricts the sweep RPHAST-style to the union
+//     of the targets' upward search spaces (every node with a downward
+//     path into some target, found by one reachability climb per target
+//     set): the restricted CSR is built once per Selection and reused for
+//     every source, so an S×K table costs S upward searches plus S sweeps
+//     over a structure proportional to the targets' spaces, not the graph.
+//
+// Both report distances bit-identical to per-pair Dijkstra (whenever
+// shortest paths are unique, the repo-wide caveat): the sweep tracks
+// parent edges, and each requested target's winning up-down path is
+// unpacked to its original-graph edge sequence and re-summed in travel
+// order — exactly the accumulation ah.Querier.Distance performs, gated by
+// the same kind of equivalence harness.
+//
+// An Engine holds only per-search mutable state over a shared immutable
+// Index, mirroring the ah.Querier contract: one Engine per goroutine (see
+// serve.TablePool for pooling), any number of Engines per Index. All
+// workspace arrays are generation-stamped, so back-to-back queries cost
+// O(work), never O(n) clears. A Selection is immutable once built and may
+// be shared by any number of Engines concurrently.
+package batch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ah"
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// Inf is the distance reported for unreachable targets.
+var Inf = math.Inf(1)
+
+// Engine is a reusable batched-query workspace over a shared immutable
+// ah.Index. Not safe for concurrent use; clone one per goroutine.
+type Engine struct {
+	x  *ah.Index
+	g  *graph.Graph
+	ov *graph.Overlay
+	d  ah.Derived
+
+	// Upward-search workspace (node-indexed, generation-stamped: begin()
+	// bumps cur instead of clearing the O(n) label arrays).
+	dist  []float64
+	pe    []graph.EdgeID
+	stamp []uint32
+	cur   uint32
+	pq    *pqueue.Queue
+
+	// Selection-build workspace (node-indexed). selPos needs no stamping:
+	// a Select writes the positions of every member before any are read,
+	// and positions are only ever read for members of the same selection.
+	selStamp []uint32
+	selCur   uint32
+	selStack []graph.NodeID
+	selPos   []int32
+
+	// Sweep workspace, position-indexed and grown to the largest selection
+	// seen. Every sweep writes all positions it reads, so no clearing or
+	// stamping is needed here.
+	sd    []float64
+	sEid  []graph.EdgeID
+	sFrom []int32
+
+	// Path re-sum buffers.
+	ovPath   []graph.EdgeID
+	basePath []graph.EdgeID
+
+	settled int
+	swept   int
+}
+
+// NewEngine returns a fresh batched-query workspace over x. The cost is a
+// few O(n) slices; all index structure is shared.
+func NewEngine(x *ah.Index) *Engine {
+	n := x.Graph().NumNodes()
+	return &Engine{
+		x:        x,
+		g:        x.Graph(),
+		ov:       x.Overlay(),
+		d:        x.Derived(),
+		dist:     make([]float64, n),
+		pe:       make([]graph.EdgeID, n),
+		stamp:    make([]uint32, n),
+		pq:       pqueue.New(n),
+		selStamp: make([]uint32, n),
+		selPos:   make([]int32, n),
+	}
+}
+
+// Index returns the shared index this engine answers queries on.
+func (e *Engine) Index() *ah.Index { return e.x }
+
+// Settled returns how many nodes the last batched call popped across all
+// of its upward searches, the machine-independent cost of the source side.
+func (e *Engine) Settled() int { return e.settled }
+
+// Swept returns how many downward CSR entries the last batched call
+// relaxed across all of its sweeps, the cost of the target side.
+func (e *Engine) Swept() int { return e.swept }
+
+// OneToMany returns the exact shortest-path distances from src to every
+// node of targets (+Inf where unreachable), appending to dst and returning
+// the extended slice. Duplicate targets are answered independently; a
+// target equal to src reports exactly 0. The cost is one upward search
+// plus one full downward sweep — independent of len(targets) — so prefer
+// DistanceTable when the target set is small and reused across sources.
+func (e *Engine) OneToMany(src graph.NodeID, targets []graph.NodeID, dst []float64) []float64 {
+	down := e.x.Downward()
+	e.settled, e.swept = 0, 0
+	e.upward(src)
+	e.sweep(down)
+	n := len(down.Order)
+	for _, t := range targets {
+		dst = append(dst, e.resolve(src, down.Order, int32(n-1)-e.x.Rank(t)))
+	}
+	return dst
+}
+
+// Selection is the target-side preprocessing of a many-to-many query: the
+// union of the targets' upward search spaces in descending rank order,
+// with the downward CSR restricted to it. Build one with Engine.Select and
+// reuse it for any number of sources; a Selection is immutable and safe
+// for concurrent use by many Engines.
+type Selection struct {
+	targets []graph.NodeID
+	tpos    []int32 // sweep position of each target
+
+	// csr is the restricted downward CSR: member nodes in descending rank
+	// order, rows = their upward-in entries re-pointed at restricted
+	// positions — the same shape (and invariants) as the full
+	// ah.Index.Downward structure the unrestricted sweep uses.
+	csr *graph.DownCSR
+}
+
+// Targets returns the target list the selection was built for (the
+// column order of every table row). Callers must not modify it.
+func (s *Selection) Targets() []graph.NodeID { return s.targets }
+
+// Size returns the number of nodes in the restricted sweep.
+func (s *Selection) Size() int { return len(s.csr.Order) }
+
+// Select computes the sweep restriction for a target set: a reachability
+// climb over reversed downward edges (from a node to the tails of its
+// upward-in entries) collects every node that can reach a target downward
+// — the only candidates for the peak or descent of an up-down path into
+// one — and the downward CSR rows of those nodes, re-pointed at restricted
+// positions. The member set is closed under the climb, so every restricted
+// edge's tail is a member. The targets slice is copied; the selection does
+// not alias caller memory.
+func (e *Engine) Select(targets []graph.NodeID) *Selection {
+	e.selCur++
+	if e.selCur == 0 {
+		for i := range e.selStamp {
+			e.selStamp[i] = 0
+		}
+		e.selCur = 1
+	}
+	members := make([]graph.NodeID, 0, 4*len(targets))
+	stack := e.selStack[:0]
+	for _, t := range targets {
+		if e.selStamp[t] != e.selCur {
+			e.selStamp[t] = e.selCur
+			stack = append(stack, t)
+			members = append(members, t)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := e.d.UpInStart[v]; i < e.d.UpInStart[v+1]; i++ {
+			if u := e.d.UpInFrom[i]; e.selStamp[u] != e.selCur {
+				e.selStamp[u] = e.selCur
+				stack = append(stack, u)
+				members = append(members, u)
+			}
+		}
+	}
+	e.selStack = stack[:0]
+
+	rank := e.x.Ranks()
+	sort.Slice(members, func(i, j int) bool { return rank[members[i]] > rank[members[j]] })
+
+	pos := e.selPos
+	for i, v := range members {
+		pos[v] = int32(i)
+	}
+	sel := &Selection{
+		targets: append([]graph.NodeID(nil), targets...),
+		csr:     graph.BuildDownCSRRestricted(members, pos, e.d.UpInStart, e.d.UpInFrom, e.d.UpInW, e.d.UpInEid),
+	}
+	sel.tpos = make([]int32, len(sel.targets))
+	for j, t := range sel.targets {
+		sel.tpos[j] = pos[t]
+	}
+	return sel
+}
+
+// Row computes one source's distances to every target of sel, writing
+// len(sel.Targets()) values into out (which must have that length): one
+// upward search plus one sweep over the restricted CSR. Settled/Swept
+// accumulate; DistanceTable resets them per table.
+func (e *Engine) Row(src graph.NodeID, sel *Selection, out []float64) {
+	e.upward(src)
+	e.sweep(sel.csr)
+	for j, tp := range sel.tpos {
+		out[j] = e.resolve(src, sel.csr.Order, tp)
+	}
+}
+
+// DistanceTable returns the exact shortest-path distance matrix
+// rows[i][j] = dist(sources[i], targets[j]), +Inf where unreachable. The
+// target restriction is computed once and reused across sources; see
+// Select/Row to manage that explicitly (e.g. to reuse a Selection across
+// tables or engines).
+func (e *Engine) DistanceTable(sources, targets []graph.NodeID) [][]float64 {
+	sel := e.Select(targets)
+	e.settled, e.swept = 0, 0
+	rows := make([][]float64, len(sources))
+	for i, s := range sources {
+		rows[i] = make([]float64, len(targets))
+		e.Row(s, sel, rows[i])
+	}
+	return rows
+}
+
+// upward runs the forward upward Dijkstra from src: relax only upward
+// out-edges, settle until the queue drains. Unlike the point-to-point
+// query there is no θ bound and no stall-on-demand — the sweep needs every
+// node of the upward search space labelled with its exact pure-ascent
+// distance, because any of them may be the peak for some target.
+func (e *Engine) upward(src graph.NodeID) {
+	e.cur++
+	if e.cur == 0 {
+		for i := range e.stamp {
+			e.stamp[i] = 0
+		}
+		e.cur = 1
+	}
+	e.pq.Reset()
+	e.relax(src, 0, -1)
+	for e.pq.Len() > 0 {
+		v, d := e.pq.Pop()
+		e.settled++
+		for i := e.d.UpOutStart[v]; i < e.d.UpOutStart[v+1]; i++ {
+			e.relax(e.d.UpOutTo[i], d+e.d.UpOutW[i], e.d.UpOutEid[i])
+		}
+	}
+}
+
+func (e *Engine) relax(v graph.NodeID, d float64, eid graph.EdgeID) {
+	if e.stamp[v] == e.cur && d >= e.dist[v] {
+		return
+	}
+	e.stamp[v] = e.cur
+	e.dist[v] = d
+	e.pe[v] = eid
+	e.pq.Push(v, d)
+}
+
+// sweep resolves the downward side over a sweep-ordered CSR (the full
+// index structure or a selection's restriction): ascending positions, each
+// initialised from its node's upward label (if any) and improved by the
+// downward edges from earlier — already final — positions. sFrom records
+// the winning predecessor position (-1 = the upward label won, continue in
+// the upward tree), sEid the winning overlay edge, so resolve can walk the
+// up-down path back for the exact re-sum. Every position is written before
+// any later position reads it, which is why the arrays need no clearing.
+func (e *Engine) sweep(down *graph.DownCSR) {
+	k := len(down.Order)
+	if cap(e.sd) < k {
+		e.sd = make([]float64, k)
+		e.sEid = make([]graph.EdgeID, k)
+		e.sFrom = make([]int32, k)
+	}
+	sd, sEid, sFrom := e.sd[:k], e.sEid[:k], e.sFrom[:k]
+	for i := 0; i < k; i++ {
+		v := down.Order[i]
+		best, bestEid, bestFrom := Inf, graph.EdgeID(-1), int32(-1)
+		if e.stamp[v] == e.cur {
+			best = e.dist[v]
+		}
+		for p := down.Start[i]; p < down.Start[i+1]; p++ {
+			// Strict <, like every other tie-break in the query path: the
+			// first-found / upward label survives equal-cost alternatives.
+			if d := sd[down.From[p]] + down.W[p]; d < best {
+				best, bestEid, bestFrom = d, down.Eid[p], down.From[p]
+			}
+		}
+		sd[i], sEid[i], sFrom[i] = best, bestEid, bestFrom
+	}
+	e.swept += len(down.From)
+}
+
+// resolve reports the distance at sweep position tp after a sweep over
+// order: +Inf when unlabelled, otherwise the winning up-down path is
+// reconstructed (descent via the sweep's parent positions, ascent via the
+// upward tree), unpacked to original-graph edges, and re-summed in travel
+// order — the accumulation that makes the result bit-identical to
+// unidirectional Dijkstra whenever shortest paths are unique.
+func (e *Engine) resolve(src graph.NodeID, order []graph.NodeID, tp int32) float64 {
+	if math.IsInf(e.sd[tp], 1) {
+		return Inf
+	}
+	// Walk backward from the target: descent edges first, then the upward
+	// tree from the peak. The buffer ends up in reverse travel order, so
+	// one reversal yields ascent-then-descent in travel order.
+	buf := e.ovPath[:0]
+	p := tp
+	for e.sFrom[p] >= 0 {
+		buf = append(buf, e.sEid[p])
+		p = e.sFrom[p]
+	}
+	for v := order[p]; v != src; {
+		oe := e.pe[v]
+		buf = append(buf, oe)
+		from, _ := e.ov.Endpoints(oe)
+		v = from
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	e.ovPath = buf
+	base := e.basePath[:0]
+	for _, oe := range buf {
+		base = e.ov.Unpack(oe, base)
+	}
+	e.basePath = base
+	d := 0.0
+	for _, be := range base {
+		d += e.g.EdgeWeight(be)
+	}
+	return d
+}

@@ -1,0 +1,256 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// topologies mirrors the ah equivalence harness: GridCity, the
+// hierarchy-free RandomGeometric network, and the first dataset-ladder
+// rung, all with fixed seeds.
+func topologies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+
+	gc, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["GridCity"] = gc
+
+	rg, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 800, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["RandomGeometric"] = rg
+
+	ladder := gen.SmallLadder(1)[0]
+	lg, err := ladder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["Ladder/"+ladder.Name] = lg
+
+	return out
+}
+
+func randomNodes(rng *rand.Rand, n, k int) []graph.NodeID {
+	out := make([]graph.NodeID, k)
+	for i := range out {
+		out[i] = graph.NodeID(rng.Intn(n))
+	}
+	return out
+}
+
+// TestDistanceTableMatchesDijkstra is the batched equivalence harness: on
+// every topology, a 16×32 table (sources and targets drawn at random,
+// duplicates allowed) must be bit-identical to per-pair unidirectional
+// Dijkstra. Makefile's race gate runs this under -race.
+func TestDistanceTableMatchesDijkstra(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			e := NewEngine(idx)
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(11))
+			n := g.NumNodes()
+			sources := randomNodes(rng, n, 16)
+			targets := randomNodes(rng, n, 32)
+			// Force the interesting coincidences regardless of the draw.
+			targets[0] = sources[0] // src == dst cell
+			targets[1] = targets[2] // duplicate targets
+
+			rows := e.DistanceTable(sources, targets)
+			if len(rows) != len(sources) {
+				t.Fatalf("%d rows, want %d", len(rows), len(sources))
+			}
+			for i, s := range sources {
+				if len(rows[i]) != len(targets) {
+					t.Fatalf("row %d has %d columns, want %d", i, len(rows[i]), len(targets))
+				}
+				for j, d := range targets {
+					want := uni.Distance(s, d)
+					got := rows[i][j]
+					if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+						t.Fatalf("table[%d][%d] (%d->%d): batch=%v dijkstra=%v (diff %g)",
+							i, j, s, d, got, want, got-want)
+					}
+				}
+			}
+			if e.Settled() == 0 || e.Swept() == 0 {
+				t.Errorf("counters settled=%d swept=%d after a real table", e.Settled(), e.Swept())
+			}
+		})
+	}
+}
+
+// TestOneToManyMatchesDijkstra checks the full-sweep path against per-pair
+// Dijkstra, including reuse of one engine across sources.
+func TestOneToManyMatchesDijkstra(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			e := NewEngine(idx)
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(12))
+			n := g.NumNodes()
+			targets := randomNodes(rng, n, 64)
+			for trial := 0; trial < 8; trial++ {
+				src := graph.NodeID(rng.Intn(n))
+				got := e.OneToMany(src, targets, nil)
+				for j, d := range targets {
+					want := uni.Distance(src, d)
+					if got[j] != want && !(math.IsInf(got[j], 1) && math.IsInf(want, 1)) {
+						t.Fatalf("trial %d (%d->%d): batch=%v dijkstra=%v", trial, src, d, got[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableEdgeCases pins the boundary behaviour down on a two-component
+// graph: src==dst is exactly 0, cross-component cells are +Inf, duplicate
+// targets answer identically, and empty source/target sets yield empty
+// shapes rather than panics.
+func TestTableEdgeCases(t *testing.T) {
+	b := graph.NewBuilder(8, 20)
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: float64(i % 2), Y: float64(i / 2)})
+	}
+	for i := 0; i < 4; i++ {
+		b.AddNode(geom.Point{X: 100 + float64(i%2), Y: 100 + float64(i/2)})
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, base := range []graph.NodeID{0, 4} {
+		must(b.AddBidirectional(base, base+1, 1))
+		must(b.AddBidirectional(base, base+2, 1.5))
+		must(b.AddBidirectional(base+1, base+3, 1.25))
+		must(b.AddBidirectional(base+2, base+3, 1))
+	}
+	g := b.Build()
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngine(idx)
+
+	sources := []graph.NodeID{0, 5}
+	targets := []graph.NodeID{0, 3, 3, 6}
+	rows := e.DistanceTable(sources, targets)
+	if rows[0][0] != 0 {
+		t.Errorf("dist(0,0) = %v, want exactly 0", rows[0][0])
+	}
+	if rows[0][1] != rows[0][2] {
+		t.Errorf("duplicate target columns differ: %v vs %v", rows[0][1], rows[0][2])
+	}
+	if !math.IsInf(rows[0][3], 1) || !math.IsInf(rows[1][0], 1) {
+		t.Errorf("cross-component cells not +Inf: %v / %v", rows[0][3], rows[1][0])
+	}
+	if math.IsInf(rows[1][3], 1) {
+		t.Errorf("dist(5,6) = +Inf, want finite")
+	}
+	uni := dijkstra.NewSearch(g)
+	for i, s := range sources {
+		for j, d := range targets {
+			want := uni.Distance(s, d)
+			if rows[i][j] != want && !(math.IsInf(rows[i][j], 1) && math.IsInf(want, 1)) {
+				t.Errorf("table[%d][%d]: %v, want %v", i, j, rows[i][j], want)
+			}
+		}
+	}
+
+	if got := e.DistanceTable(nil, targets); len(got) != 0 {
+		t.Errorf("empty sources produced %d rows", len(got))
+	}
+	empty := e.DistanceTable(sources, nil)
+	if len(empty) != 2 || len(empty[0]) != 0 || len(empty[1]) != 0 {
+		t.Errorf("empty targets produced %v", empty)
+	}
+	if got := e.OneToMany(0, nil, nil); len(got) != 0 {
+		t.Errorf("OneToMany with no targets produced %v", got)
+	}
+}
+
+// TestSelectionReuse checks a Selection built once answers several sources
+// and that its restriction really is smaller than the graph on a
+// hierarchy topology (the point of RPHAST).
+func TestSelectionReuse(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 30, Rows: 30, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngine(idx)
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(13))
+	n := g.NumNodes()
+	targets := randomNodes(rng, n, 8)
+	sel := e.Select(targets)
+	if sel.Size() == 0 || sel.Size() >= n {
+		t.Fatalf("selection size %d of %d nodes", sel.Size(), n)
+	}
+	if len(sel.Targets()) != len(targets) {
+		t.Fatalf("selection holds %d targets, want %d", len(sel.Targets()), len(targets))
+	}
+	out := make([]float64, len(targets))
+	for trial := 0; trial < 16; trial++ {
+		src := graph.NodeID(rng.Intn(n))
+		e.Row(src, sel, out)
+		for j, d := range targets {
+			want := uni.Distance(src, d)
+			if out[j] != want && !(math.IsInf(out[j], 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d (%d->%d): %v, want %v", trial, src, d, out[j], want)
+			}
+		}
+	}
+}
+
+// TestEngineWorkspaceReuse interleaves tables, one-to-many calls, and
+// selections on one engine to catch stale generation-stamp leaks, the
+// assertion backing the epoch-stamped (never-cleared) workspace arrays.
+func TestEngineWorkspaceReuse(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 12, Rows: 12, ArterialEvery: 4, RemoveFrac: 0.1, Jitter: 0.2, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngine(idx)
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(14))
+	n := g.NumNodes()
+	for round := 0; round < 40; round++ {
+		targets := randomNodes(rng, n, 1+rng.Intn(12))
+		src := graph.NodeID(rng.Intn(n))
+		var got []float64
+		if round%2 == 0 {
+			got = e.DistanceTable([]graph.NodeID{src}, targets)[0]
+		} else {
+			got = e.OneToMany(src, targets, nil)
+		}
+		for j, d := range targets {
+			want := uni.Distance(src, d)
+			if got[j] != want && !(math.IsInf(got[j], 1) && math.IsInf(want, 1)) {
+				t.Fatalf("round %d (%d->%d): %v, want %v", round, src, d, got[j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package graph
+
+import "fmt"
+
+// DownCSR is a sweep-ordered view of a "downward" edge set: the rows are
+// nodes in the order a linear PHAST-style sweep must process them, and row
+// i lists the edges INTO Order[i] whose tails were processed earlier
+// (From[k] < i). The tails are stored as sweep positions rather than node
+// ids, so the sweep's distance array is indexed by position and every read
+// during row i hits an already-finalised slot — the property that turns a
+// one-to-many resolution into a single cache-friendly array scan.
+//
+// For the Arterial Hierarchy the order is descending contraction rank and
+// the edge set is exactly the upward-in CSR (edges whose tail outranks
+// their head, i.e. the descent edges of every up-down path); see
+// ah.Index.Downward. The structure itself is rank-agnostic: it only
+// promises the positional invariants its validators check.
+//
+// A DownCSR is immutable after construction; the slices may live in
+// externally-owned read-only memory (AHIX v2 persists them, and store.Open
+// maps them in place).
+type DownCSR struct {
+	Order []NodeID  // Order[i] = the node swept at position i
+	Start []int32   // row offsets, len(Order)+1
+	From  []int32   // tail sweep position of each edge, From[k] < its row
+	W     []float64 // edge weights
+	Eid   []EdgeID  // originating overlay edge ids (for path unpacking)
+}
+
+// NumNodes returns the number of sweep positions (= nodes covered).
+func (d *DownCSR) NumNodes() int { return len(d.Order) }
+
+// NumEdges returns the number of downward edges.
+func (d *DownCSR) NumEdges() int { return len(d.From) }
+
+// BuildDownCSR reorders an in-CSR (per-head offsets inStart with parallel
+// tail/weight/edge-id arrays, as in ah.Derived's upward-in adjacency) into
+// sweep order: row i of the result is the in-row of order[i], with each
+// tail rewritten to its own position in order. order must be a permutation
+// of [0, len(inStart)-1); the inputs are read, never retained.
+func BuildDownCSR(order []NodeID, inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID) *DownCSR {
+	pos := make([]int32, len(order))
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	return BuildDownCSRRestricted(order, pos, inStart, inFrom, inW, inEid)
+}
+
+// BuildDownCSRRestricted is BuildDownCSR over a subset of nodes: order
+// lists the members and pos maps node id -> member position (entries for
+// non-members are never read; callers may reuse one node-sized scratch
+// slice). Every tail appearing in a member's in-row must itself be a
+// member — the closure the RPHAST target selection guarantees — or the
+// produced From positions are garbage. The in-CSR stays indexed by
+// original node ids; only member rows are materialised.
+func BuildDownCSRRestricted(order []NodeID, pos, inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID) *DownCSR {
+	n := len(order)
+	d := &DownCSR{
+		Order: order,
+		Start: make([]int32, n+1),
+	}
+	for i, v := range order {
+		d.Start[i+1] = d.Start[i] + (inStart[v+1] - inStart[v])
+	}
+	m := d.Start[n]
+	d.From = make([]int32, m)
+	d.W = make([]float64, m)
+	d.Eid = make([]EdgeID, m)
+	for i, v := range order {
+		p := d.Start[i]
+		for j := inStart[v]; j < inStart[v+1]; j, p = j+1, p+1 {
+			d.From[p] = pos[inFrom[j]]
+			d.W[p] = inW[j]
+			d.Eid[p] = inEid[j]
+		}
+	}
+	return d
+}
+
+// Validate checks the structural invariants that make sweeping d
+// memory-safe, without judging its contents: offset shape and
+// monotonicity, Order a permutation, every tail position strictly below
+// its row (the invariant that lets a single ascending pass read only
+// finalised slots), and every edge id inside the overlay id space (sweep
+// winners are handed to Overlay.Unpack). This is the open-hot-path check,
+// in the style of the PR 4 validators: bounds proven on everything a query
+// indexes with, contents trusted under the store's checksum exactly like
+// the persisted upward CSRs. ValidateMirror adds the content check.
+func (d *DownCSR) Validate(overlayEdges int) error {
+	n := len(d.Order)
+	m := len(d.From)
+	if len(d.Start) != n+1 {
+		return fmt.Errorf("graph: downward offsets length %d, want %d", len(d.Start), n+1)
+	}
+	if len(d.W) != m || len(d.Eid) != m {
+		return fmt.Errorf("graph: downward array lengths %d/%d/%d differ", m, len(d.W), len(d.Eid))
+	}
+	if d.Start[0] != 0 || int(d.Start[n]) != m {
+		return fmt.Errorf("graph: downward offset bounds [%d,%d], want [0,%d]", d.Start[0], d.Start[n], m)
+	}
+	for i := 0; i < n; i++ {
+		if d.Start[i] > d.Start[i+1] {
+			return fmt.Errorf("graph: downward offsets not monotone at position %d", i)
+		}
+	}
+	seen := make([]bool, n)
+	for i, v := range d.Order {
+		if uint32(v) >= uint32(n) || seen[v] {
+			return fmt.Errorf("graph: Order[%d]=%d is not a permutation of [0,%d)", i, v, n)
+		}
+		seen[v] = true
+	}
+	// Sweep-order monotonicity: a tail at or past its own row would be read
+	// before it is finalised. Unsigned compare folds the negative check in.
+	for i := 0; i < n; i++ {
+		for k := d.Start[i]; k < d.Start[i+1]; k++ {
+			if uint32(d.From[k]) >= uint32(i) {
+				return fmt.Errorf("graph: downward edge %d in row %d has tail position %d, want < %d", k, i, d.From[k], i)
+			}
+		}
+	}
+	for k, e := range d.Eid {
+		if uint32(e) >= uint32(overlayEdges) {
+			return fmt.Errorf("graph: downward edge %d has id %d out of range [0,%d)", k, e, overlayEdges)
+		}
+	}
+	return nil
+}
+
+// ValidateMirror checks that d is exactly the canonical BuildDownCSR
+// reorder of the given in-CSR: the structural invariants of Validate plus
+// a full mirror sweep comparing every row against the in-row of its node,
+// entry for entry (tails through the position map, weights and edge ids
+// verbatim) — the same one-pass full-coverage check FromCSRAndReverse
+// runs on the reverse CSR. Load/Decode run it (they already pay O(file)
+// for the payload checksum); the mmap open path runs only Validate.
+func (d *DownCSR) ValidateMirror(inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID) error {
+	n := len(d.Order)
+	m := len(d.From)
+	if len(inStart) != n+1 {
+		return fmt.Errorf("graph: downward CSR covers %d nodes, in-CSR has %d", n, len(inStart)-1)
+	}
+	if len(inFrom) != m {
+		return fmt.Errorf("graph: downward CSR holds %d edges, in-CSR has %d", m, len(inFrom))
+	}
+	if err := d.Validate(int(findMaxEid(inEid)) + 1); err != nil {
+		return err
+	}
+	// Mirror sweep: row i must replay the in-row of Order[i] exactly.
+	// Per-row lengths are forced equal before walking both cursors.
+	for i, v := range d.Order {
+		if d.Start[i+1]-d.Start[i] != inStart[v+1]-inStart[v] {
+			return fmt.Errorf("graph: downward row %d (node %d) has %d edges, in-CSR row has %d",
+				i, v, d.Start[i+1]-d.Start[i], inStart[v+1]-inStart[v])
+		}
+		for k, j := d.Start[i], inStart[v]; k < d.Start[i+1]; k, j = k+1, j+1 {
+			if d.Order[d.From[k]] != inFrom[j] || d.W[k] != inW[j] || d.Eid[k] != inEid[j] {
+				return fmt.Errorf("graph: downward edge %d does not mirror in-CSR edge %d of node %d", k, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// findMaxEid returns the largest edge id in eids, or -1 when empty; it
+// bounds the id space ValidateMirror's structural pre-check accepts (the
+// mirror sweep then pins every id exactly).
+func findMaxEid(eids []EdgeID) EdgeID {
+	max := EdgeID(-1)
+	for _, e := range eids {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// downFixture builds a 4-node in-CSR by hand plus an order, exercising
+// BuildDownCSR away from any index machinery. Nodes 0..3; in-edges (tail ->
+// head): 3->1 (w 2, eid 10), 2->1 (w 5, eid 11), 3->2 (w 1, eid 12),
+// 1->0 (w 4, eid 13). order = 3,2,1,0 (every tail earlier than its head).
+func downFixture() (order []NodeID, inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID) {
+	order = []NodeID{3, 2, 1, 0}
+	inStart = []int32{0, 1, 3, 4, 4} // node 0 has 1 in-edge, node 1 has 2, node 2 has 1, node 3 none
+	inFrom = []NodeID{1, 3, 2, 3}
+	inW = []float64{4, 2, 5, 1}
+	inEid = []EdgeID{13, 10, 11, 12}
+	return
+}
+
+func TestBuildDownCSRMirrorsInCSR(t *testing.T) {
+	order, inStart, inFrom, inW, inEid := downFixture()
+	d := BuildDownCSR(order, inStart, inFrom, inW, inEid)
+	if d.NumNodes() != 4 || d.NumEdges() != 4 {
+		t.Fatalf("got %d nodes / %d edges, want 4/4", d.NumNodes(), d.NumEdges())
+	}
+	// Row layout: pos 0 = node 3 (no in-edges), pos 1 = node 2 (3->2),
+	// pos 2 = node 1 (3->1, 2->1), pos 3 = node 0 (1->0).
+	wantStart := []int32{0, 0, 1, 3, 4}
+	for i, s := range wantStart {
+		if d.Start[i] != s {
+			t.Fatalf("Start = %v, want %v", d.Start, wantStart)
+		}
+	}
+	wantFrom := []int32{0, 0, 1, 2} // tails 3, 3, 2, 1 at their positions
+	wantW := []float64{1, 2, 5, 4}
+	wantEid := []EdgeID{12, 10, 11, 13}
+	for k := range wantFrom {
+		if d.From[k] != wantFrom[k] || d.W[k] != wantW[k] || d.Eid[k] != wantEid[k] {
+			t.Fatalf("edge %d = (%d, %v, %d), want (%d, %v, %d)",
+				k, d.From[k], d.W[k], d.Eid[k], wantFrom[k], wantW[k], wantEid[k])
+		}
+	}
+	if err := d.ValidateMirror(inStart, inFrom, inW, inEid); err != nil {
+		t.Fatalf("canonical build failed its own validation: %v", err)
+	}
+	// Every tail position strictly precedes its row (the sweep invariant).
+	for i := 0; i < d.NumNodes(); i++ {
+		for k := d.Start[i]; k < d.Start[i+1]; k++ {
+			if int(d.From[k]) >= i {
+				t.Fatalf("edge %d in row %d has tail position %d", k, i, d.From[k])
+			}
+		}
+	}
+}
+
+// TestDownCSRValidateRejects corrupts each array of a valid structure in
+// turn and asserts the validator notices.
+func TestDownCSRValidateRejects(t *testing.T) {
+	_, inStart, inFrom, inW, inEid := downFixture()
+	// BuildDownCSR retains the order slice, and some mutations below write
+	// through d.Order — build from a fresh fixture every time.
+	build := func() *DownCSR {
+		order, s, f, w, e := downFixture()
+		return BuildDownCSR(order, s, f, w, e)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(d *DownCSR)
+		errLike string
+	}{
+		{"order not a permutation", func(d *DownCSR) { d.Order[0] = d.Order[1] }, "permutation"},
+		{"order out of range", func(d *DownCSR) { d.Order[0] = 99 }, "permutation"},
+		{"offsets not monotone", func(d *DownCSR) { d.Start[1] = 3; d.Start[2] = 1 }, "monotone"},
+		{"offset bounds", func(d *DownCSR) { d.Start[4] = 3 }, "bounds"},
+		{"tail at own row", func(d *DownCSR) { d.From[1] = 2 }, "tail position"},
+		{"negative tail", func(d *DownCSR) { d.From[0] = -1 }, "tail position"},
+		{"weight mismatch", func(d *DownCSR) { d.W[2] = 6 }, "mirror"},
+		{"edge id out of range", func(d *DownCSR) { d.Eid[3] = 99 }, "out of range"},
+		{"edge id mismatch in range", func(d *DownCSR) { d.Eid[3] = 10 }, "mirror"},
+		{"tail node mismatch", func(d *DownCSR) { d.From[2] = 0 }, "mirror"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := build()
+			tc.mutate(d)
+			err := d.ValidateMirror(inStart, inFrom, inW, inEid)
+			if err == nil {
+				t.Fatal("corrupted structure validated")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+	// Shape mismatches against the in-CSR itself.
+	d := build()
+	if err := d.ValidateMirror(inStart[:4], inFrom, inW, inEid); err == nil {
+		t.Fatal("accepted a shorter in-CSR")
+	}
+	if err := d.ValidateMirror(inStart, inFrom[:3], inW[:3], inEid[:3]); err == nil {
+		t.Fatal("accepted an in-CSR with fewer edges")
+	}
+}
+
+// TestDownCSRDegenerateGraphs covers the empty and singleton cases the
+// sweep must tolerate.
+func TestDownCSRDegenerateGraphs(t *testing.T) {
+	empty := BuildDownCSR(nil, []int32{0}, nil, nil, nil)
+	if empty.NumNodes() != 0 || empty.NumEdges() != 0 {
+		t.Fatalf("empty: %d nodes / %d edges", empty.NumNodes(), empty.NumEdges())
+	}
+	if err := empty.ValidateMirror([]int32{0}, nil, nil, nil); err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+
+	single := BuildDownCSR([]NodeID{0}, []int32{0, 0}, nil, nil, nil)
+	if single.NumNodes() != 1 || single.NumEdges() != 0 {
+		t.Fatalf("singleton: %d nodes / %d edges", single.NumNodes(), single.NumEdges())
+	}
+	if err := single.ValidateMirror([]int32{0, 0}, nil, nil, nil); err != nil {
+		t.Fatalf("singleton: %v", err)
+	}
+}
+
+// TestBuildDownCSRFromGraphReverse reorders a real graph's reverse CSR (a
+// plain in-CSR) under a topological-ish order and checks the mirror
+// validation round-trips, tying the helper to the Graph machinery it will
+// be fed from.
+func TestBuildDownCSRFromGraphReverse(t *testing.T) {
+	b := NewBuilder(5, 8)
+	for i := 0; i < 5; i++ {
+		b.AddNode(geom.Point{X: float64(i), Y: 0})
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// DAG edges flowing from higher ids to lower, so ascending-id order
+	// reversed (4,3,2,1,0) satisfies the tail-before-head invariant.
+	must(b.AddEdge(4, 2, 1))
+	must(b.AddEdge(4, 3, 2))
+	must(b.AddEdge(3, 1, 1))
+	must(b.AddEdge(2, 1, 3))
+	must(b.AddEdge(1, 0, 1))
+	g := b.Build()
+	inStart, inFrom, inW, inEdge := g.ReverseCSR()
+	d := BuildDownCSR([]NodeID{4, 3, 2, 1, 0}, inStart, inFrom, inW, inEdge)
+	if err := d.ValidateMirror(inStart, inFrom, inW, inEdge); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != g.NumEdges() {
+		t.Fatalf("downward edges %d, want %d", d.NumEdges(), g.NumEdges())
+	}
+}

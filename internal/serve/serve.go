@@ -7,14 +7,17 @@
 // edges, priority queues). This package layers two conveniences on top:
 //
 //   - QuerierPool, a sync.Pool-backed free list that amortises workspace
-//     allocation across bursts of requests, and
-//   - Service, a goroutine-safe facade whose Distance/Path methods check a
-//     querier out, run the query, and return it, while keeping atomic
-//     aggregate counters (queries served, nodes settled).
+//     allocation across bursts of requests,
+//   - TablePool, the same free list over batch.Engine workspaces for the
+//     batched one-to-many / many-to-many distance-table workload, and
+//   - Service, a goroutine-safe facade whose Distance/Path/DistanceTable
+//     methods check a workspace out, run the query, and return it, while
+//     keeping atomic aggregate counters (queries and tables served, nodes
+//     settled, sweep entries relaxed).
 //
-// The equivalence harness in serve_test.go drives a Service from many
-// goroutines under the race detector and asserts every answer matches
-// sequential Dijkstra.
+// The equivalence harnesses in serve_test.go drive a Service from many
+// goroutines under the race detector and assert every answer — point to
+// point and whole tables — matches sequential Dijkstra.
 package serve
 
 import (
@@ -24,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ah"
+	"repro/internal/batch"
 	"repro/internal/graph"
 )
 
@@ -93,6 +97,58 @@ func (p *QuerierPool) Get() *Querier {
 
 func (p *QuerierPool) put(q *Querier) { p.pool.Put(q) }
 
+// TableQuerier is a per-goroutine batched-query handle over a shared
+// immutable ah.Index: it embeds the batch.Engine workspace — promoting
+// OneToMany, Select/Row, DistanceTable, and the Settled/Swept counters —
+// and remembers the pool it was checked out of, if any. Not safe for
+// concurrent use; each goroutine holds its own.
+type TableQuerier struct {
+	*batch.Engine
+	pool *TablePool
+}
+
+// NewTableQuerier returns a standalone batched-query handle over idx (not
+// attached to any pool; Release is a no-op).
+func NewTableQuerier(idx *ah.Index) *TableQuerier {
+	return &TableQuerier{Engine: batch.NewEngine(idx)}
+}
+
+// Release returns the handle to the pool it came from. Using it after
+// Release is a data race; a standalone handle ignores the call.
+func (q *TableQuerier) Release() {
+	if q.pool != nil {
+		q.pool.put(q)
+	}
+}
+
+// TablePool is QuerierPool's sibling for batched queries: a
+// sync.Pool-backed free list of batch.Engine workspaces over one shared
+// index.
+type TablePool struct {
+	idx  *ah.Index
+	pool sync.Pool
+}
+
+// NewTablePool returns an empty pool serving table queriers over idx.
+func NewTablePool(idx *ah.Index) *TablePool {
+	p := &TablePool{idx: idx}
+	p.pool.New = func() any {
+		return &TableQuerier{Engine: batch.NewEngine(idx), pool: p}
+	}
+	return p
+}
+
+// Index returns the shared index the pool's queriers answer queries on.
+func (p *TablePool) Index() *ah.Index { return p.idx }
+
+// Get checks a table querier out of the pool, allocating a fresh
+// workspace only when the pool is empty. Pair every Get with a Release.
+func (p *TablePool) Get() *TableQuerier {
+	return p.pool.Get().(*TableQuerier)
+}
+
+func (p *TablePool) put(q *TableQuerier) { p.pool.Put(q) }
+
 // Stats are cumulative service counters, read atomically via
 // Service.Stats.
 type Stats struct {
@@ -106,21 +162,40 @@ type Stats struct {
 	// pruning stopped from expanding. Settled+Stalled is the total pop
 	// count; a high Stalled share means the pruning is earning its keep.
 	Stalled uint64
+	// Tables is the number of DistanceTable calls served.
+	Tables uint64
+	// TablePairs is the total number of matrix cells those calls resolved
+	// (Σ sources × targets); TablePairs/Tables is the average table size.
+	TablePairs uint64
+	// TableSettled is the total number of nodes the table engines' upward
+	// searches popped — the source-side cost, comparable to Settled (which
+	// counts only point-to-point queries).
+	TableSettled uint64
+	// TableSwept is the total number of downward-CSR entries the table
+	// engines' sweeps relaxed — the amortised target-side cost; compare
+	// TableSwept/TablePairs against Settled/Queries to see the batching
+	// win per resolved distance.
+	TableSwept uint64
 }
 
 // Service is a goroutine-safe query facade over one shared index: each
 // call borrows a pooled querier for its duration, so N concurrent callers
 // cost N workspaces, not N index copies.
 type Service struct {
-	pool    *QuerierPool
-	queries atomic.Uint64
-	settled atomic.Uint64
-	stalled atomic.Uint64
+	pool         *QuerierPool
+	tables       *TablePool
+	queries      atomic.Uint64
+	settled      atomic.Uint64
+	stalled      atomic.Uint64
+	tableCalls   atomic.Uint64
+	tablePairs   atomic.Uint64
+	tableSettled atomic.Uint64
+	tableSwept   atomic.Uint64
 }
 
 // NewService returns a service answering queries on idx.
 func NewService(idx *ah.Index) *Service {
-	return &Service{pool: NewQuerierPool(idx)}
+	return &Service{pool: NewQuerierPool(idx), tables: NewTablePool(idx)}
 }
 
 // Index returns the shared index the service answers queries on.
@@ -155,6 +230,33 @@ func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
 	return p, d, nil
 }
 
+// DistanceTable returns the exact shortest-path distance matrix
+// rows[i][j] = dist(sources[i], targets[j]), +Inf where unreachable,
+// computed by a pooled batch engine: one upward search per source plus one
+// restricted downward sweep, instead of len(sources)×len(targets)
+// point-to-point queries. Any id outside the index's node range returns a
+// *RangeError before any work happens. Safe for concurrent use; cells are
+// bit-identical to the corresponding Distance calls.
+func (s *Service) DistanceTable(sources, targets []graph.NodeID) ([][]float64, error) {
+	n := s.pool.Index().Graph().NumNodes()
+	for _, list := range [2][]graph.NodeID{sources, targets} {
+		for _, v := range list {
+			if v < 0 || int(v) >= n {
+				return nil, &RangeError{Node: v, Nodes: n}
+			}
+		}
+	}
+	q := s.tables.Get()
+	defer func() {
+		s.tableCalls.Add(1)
+		s.tablePairs.Add(uint64(len(sources)) * uint64(len(targets)))
+		s.tableSettled.Add(uint64(q.Settled()))
+		s.tableSwept.Add(uint64(q.Swept()))
+		q.Release()
+	}()
+	return q.DistanceTable(sources, targets), nil
+}
+
 // validate bounds-checks both endpoints against the index. Rejected
 // queries never check out a querier and are not counted in Stats.
 func (s *Service) validate(src, dst graph.NodeID) error {
@@ -177,8 +279,12 @@ func (s *Service) account(q *Querier) {
 // Stats returns a snapshot of the cumulative counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Queries: s.queries.Load(),
-		Settled: s.settled.Load(),
-		Stalled: s.stalled.Load(),
+		Queries:      s.queries.Load(),
+		Settled:      s.settled.Load(),
+		Stalled:      s.stalled.Load(),
+		Tables:       s.tableCalls.Load(),
+		TablePairs:   s.tablePairs.Load(),
+		TableSettled: s.tableSettled.Load(),
+		TableSwept:   s.tableSwept.Load(),
 	}
 }

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// tableWorkload is a fixed source/target set with per-pair Dijkstra ground
+// truth.
+type tableWorkload struct {
+	sources, targets []graph.NodeID
+	want             [][]float64
+}
+
+func makeTableWorkload(g *graph.Graph, nSources, nTargets int, seed int64) tableWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	uni := dijkstra.NewSearch(g)
+	n := g.NumNodes()
+	wl := tableWorkload{
+		sources: make([]graph.NodeID, nSources),
+		targets: make([]graph.NodeID, nTargets),
+	}
+	for i := range wl.sources {
+		wl.sources[i] = graph.NodeID(rng.Intn(n))
+	}
+	for j := range wl.targets {
+		wl.targets[j] = graph.NodeID(rng.Intn(n))
+	}
+	wl.sources[0] = wl.targets[0] // force a diagonal hit
+	wl.want = make([][]float64, nSources)
+	for i, s := range wl.sources {
+		wl.want[i] = make([]float64, nTargets)
+		for j, d := range wl.targets {
+			wl.want[i][j] = uni.Distance(s, d)
+		}
+	}
+	return wl
+}
+
+// TestConcurrentDistanceTables is the batched counterpart of the
+// point-to-point concurrency harness: on every topology, 8 goroutines
+// request distance tables (interleaved with point-to-point queries so both
+// pools are hot simultaneously) and every cell must match per-pair
+// sequential Dijkstra. `make check` runs this under -race.
+func TestConcurrentDistanceTables(t *testing.T) {
+	const goroutines = 8
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			wl := makeTableWorkload(g, 6, 24, 31)
+			svc := NewService(idx)
+
+			var wg sync.WaitGroup
+			for gi := 0; gi < goroutines; gi++ {
+				wg.Add(1)
+				go func(gi int) {
+					defer wg.Done()
+					for round := 0; round < 4; round++ {
+						rows, err := svc.DistanceTable(wl.sources, wl.targets)
+						if err != nil {
+							t.Errorf("goroutine %d round %d: %v", gi, round, err)
+							return
+						}
+						for i := range wl.sources {
+							for j := range wl.targets {
+								if !sameDist(rows[i][j], wl.want[i][j]) {
+									t.Errorf("goroutine %d cell [%d][%d]: got %v, want %v",
+										gi, i, j, rows[i][j], wl.want[i][j])
+									return
+								}
+							}
+						}
+						// Interleave a point-to-point query to exercise both
+						// pools against each other.
+						si, tj := (gi+round)%len(wl.sources), (gi*5+round)%len(wl.targets)
+						got, err := svc.Distance(wl.sources[si], wl.targets[tj])
+						if err != nil || !sameDist(got, wl.want[si][tj]) {
+							t.Errorf("goroutine %d interleaved p2p [%d][%d]: got %v err %v, want %v",
+								gi, si, tj, got, err, wl.want[si][tj])
+							return
+						}
+					}
+				}(gi)
+			}
+			wg.Wait()
+
+			st := svc.Stats()
+			if want := uint64(goroutines * 4); st.Tables != want {
+				t.Errorf("Stats.Tables = %d, want %d", st.Tables, want)
+			}
+			if want := uint64(goroutines*4) * uint64(len(wl.sources)*len(wl.targets)); st.TablePairs != want {
+				t.Errorf("Stats.TablePairs = %d, want %d", st.TablePairs, want)
+			}
+			// The engine is deterministic, so aggregate costs must be an
+			// exact multiple of one table's single-threaded counters.
+			q := NewTableQuerier(idx)
+			q.DistanceTable(wl.sources, wl.targets)
+			if want := uint64(goroutines*4) * uint64(q.Settled()); st.TableSettled != want {
+				t.Errorf("Stats.TableSettled = %d, want %d", st.TableSettled, want)
+			}
+			if want := uint64(goroutines*4) * uint64(q.Swept()); st.TableSwept != want {
+				t.Errorf("Stats.TableSwept = %d, want %d", st.TableSwept, want)
+			}
+		})
+	}
+}
+
+// TestDistanceTableMappedIndex serves tables from an mmap-opened index —
+// the zero-copy downward sections feeding the sweep directly from the
+// page cache — and checks cells against Dijkstra.
+func TestDistanceTableMappedIndex(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := store.Save(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	wl := makeTableWorkload(g, 4, 16, 33)
+	svc := NewService(m.Index())
+	rows, err := svc.DistanceTable(wl.sources, wl.targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wl.sources {
+		for j := range wl.targets {
+			if !sameDist(rows[i][j], wl.want[i][j]) {
+				t.Fatalf("cell [%d][%d]: got %v, want %v", i, j, rows[i][j], wl.want[i][j])
+			}
+		}
+	}
+}
+
+// TestDistanceTableRangeError checks id validation: a bad source or target
+// fails with *RangeError before any work, and the stats stay untouched.
+func TestDistanceTableRangeError(t *testing.T) {
+	g := topologies(t)["RandomGeometric"]
+	idx := ah.Build(g, ah.Options{})
+	svc := NewService(idx)
+	n := graph.NodeID(g.NumNodes())
+
+	for _, tc := range []struct {
+		name             string
+		sources, targets []graph.NodeID
+		bad              graph.NodeID
+	}{
+		{"negative source", []graph.NodeID{0, -3}, []graph.NodeID{1}, -3},
+		{"source past range", []graph.NodeID{n}, []graph.NodeID{1}, n},
+		{"negative target", []graph.NodeID{0}, []graph.NodeID{2, -1}, -1},
+		{"target past range", []graph.NodeID{0}, []graph.NodeID{n + 7}, n + 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, err := svc.DistanceTable(tc.sources, tc.targets)
+			if rows != nil {
+				t.Fatal("got rows alongside an error")
+			}
+			var re *RangeError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %v, want *RangeError", err)
+			}
+			if re.Node != tc.bad || re.Nodes != int(n) {
+				t.Fatalf("RangeError{%d, %d}, want {%d, %d}", re.Node, re.Nodes, tc.bad, n)
+			}
+		})
+	}
+	if st := svc.Stats(); st.Tables != 0 || st.TablePairs != 0 {
+		t.Errorf("rejected tables were counted: %+v", st)
+	}
+
+	// Empty inputs are valid, not errors.
+	rows, err := svc.DistanceTable(nil, nil)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty table: rows=%v err=%v", rows, err)
+	}
+	if st := svc.Stats(); st.Tables != 1 || st.TablePairs != 0 {
+		t.Errorf("empty table stats: %+v", st)
+	}
+}
+
+// TestStandaloneTableQuerier covers the unpooled handle: Release is a
+// no-op and answers stay exact.
+func TestStandaloneTableQuerier(t *testing.T) {
+	g := topologies(t)["RandomGeometric"]
+	idx := ah.Build(g, ah.Options{})
+	q := NewTableQuerier(idx)
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(35))
+	n := g.NumNodes()
+	src := graph.NodeID(rng.Intn(n))
+	targets := []graph.NodeID{graph.NodeID(rng.Intn(n)), src, graph.NodeID(rng.Intn(n))}
+	got := q.OneToMany(src, targets, nil)
+	for j, d := range targets {
+		want := uni.Distance(src, d)
+		if got[j] != want && !(math.IsInf(got[j], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("target %d (%d->%d): got %v, want %v", j, src, d, got[j], want)
+		}
+	}
+	q.Release() // no pool: must be a no-op
+	if q.Index() != idx {
+		t.Fatal("Index() does not return the shared index")
+	}
+}

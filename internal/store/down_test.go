@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"repro/internal/ah"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// downEqual compares two downward CSRs element-wise.
+func downEqual(a, b *graph.DownCSR) bool {
+	if len(a.Order) != len(b.Order) || len(a.From) != len(b.From) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] || a.Start[i] != b.Start[i] {
+			return false
+		}
+	}
+	if a.Start[len(a.Order)] != b.Start[len(b.Order)] {
+		return false
+	}
+	for k := range a.From {
+		if a.From[k] != b.From[k] || a.W[k] != b.W[k] || a.Eid[k] != b.Eid[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestV2WithoutDownwardStillLoads synthesises the pre-downward v2 layout
+// (one section group fewer) and asserts it decodes everywhere — Decode,
+// Load, Open — with the downward CSR derived in memory, identical to the
+// persisted one, and that re-saving promotes the file to the full layout
+// byte for byte.
+func TestV2WithoutDownwardStillLoads(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 200, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	old, err := encodeV2Sections(fresh, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustEncode(t, fresh)
+	if len(old) >= len(full) {
+		t.Fatalf("no-downward blob (%d bytes) not smaller than the full one (%d)", len(old), len(full))
+	}
+
+	loaded, err := Decode(old)
+	if err != nil {
+		t.Fatalf("pre-downward v2 blob rejected: %v", err)
+	}
+	if !downEqual(loaded.Downward(), fresh.Downward()) {
+		t.Fatal("derived downward CSR differs from the fresh index's")
+	}
+	// Promotion: re-encoding the loaded index writes the full layout.
+	if !bytes.Equal(mustEncode(t, loaded), full) {
+		t.Fatal("re-encode of a pre-downward blob is not byte-identical to a fresh encode")
+	}
+
+	path := filepath.Join(t.TempDir(), "old.ahix")
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	viaLoad, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !downEqual(viaLoad.Downward(), fresh.Downward()) {
+		t.Fatal("Load-derived downward CSR differs")
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !downEqual(m.Index().Downward(), fresh.Downward()) {
+		t.Fatal("Open-derived downward CSR differs")
+	}
+}
+
+// TestDownwardSectionZeroCopy saves a full v2 file, opens it via mmap, and
+// asserts the adopted downward CSR both mirrors the fresh one and aliases
+// the mapping (no private copy) when the mapped path was taken.
+func TestDownwardSectionZeroCopy(t *testing.T) {
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 20, Rows: 20, ArterialEvery: 5, RemoveFrac: 0.1, Jitter: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := Save(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got := m.Index().Downward()
+	if !downEqual(got, fresh.Downward()) {
+		t.Fatal("opened downward CSR differs from the fresh index's")
+	}
+	if m.Mapped() {
+		base := uintptr(unsafe.Pointer(unsafe.SliceData(m.data)))
+		end := base + uintptr(len(m.data))
+		for name, p := range map[string]uintptr{
+			"Order": uintptr(unsafe.Pointer(unsafe.SliceData(got.Order))),
+			"From":  uintptr(unsafe.Pointer(unsafe.SliceData(got.From))),
+			"W":     uintptr(unsafe.Pointer(unsafe.SliceData(got.W))),
+		} {
+			if p < base || p >= end {
+				t.Errorf("downward %s array does not alias the mapping", name)
+			}
+		}
+	}
+}
+
+// TestRejectsCorruptDownwardSection flips downward payload bytes, reseals
+// the checksums so the structural validators are what must catch it, and
+// expects rejection.
+func TestRejectsCorruptDownwardSection(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := mustEncode(t, ah.Build(g, ah.Options{}))
+
+	cases := []struct {
+		name    string
+		sec     int
+		errLike string
+	}{
+		// A flipped tail position either breaks sweep monotonicity or the
+		// mirror; weights and the order array break their own checks.
+		{"tampered From", secDownFrom, ""},
+		{"tampered W", secDownW, "mirror"},
+		{"tampered Order", secDownOrder, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blob := append([]byte(nil), pristine...)
+			off, ln := sectionRange(t, blob, tc.sec)
+			if ln == 0 {
+				t.Skip("empty section on this topology")
+			}
+			blob[off] ^= 0x5c
+			reseal(blob)
+			_, err := Decode(blob)
+			if err == nil {
+				t.Fatal("corrupt downward section decoded")
+			}
+			if errors.Is(err, ErrChecksum) {
+				t.Fatalf("caught by checksum, want structural validation: %v", err)
+			}
+			if tc.errLike != "" && !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}

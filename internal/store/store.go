@@ -192,7 +192,7 @@ func (m *Mapped) Verify() error {
 	if !m.mapped {
 		return nil
 	}
-	payloadBase, err := v2Header(m.data)
+	payloadBase, _, err := v2Header(m.data)
 	if err != nil {
 		return err
 	}

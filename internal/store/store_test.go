@@ -270,7 +270,8 @@ func sectionRange(t *testing.T, blob []byte, id int) (off, ln int) {
 	if got := int(binary.LittleEndian.Uint64(blob[entry:])); got != id {
 		t.Fatalf("table entry %d has id %d, want %d", id-secMeta, got, id)
 	}
-	payloadBase := headerLenV2 + numSections*secEntryLen
+	count := int(binary.LittleEndian.Uint32(blob[16:20]))
+	payloadBase := headerLenV2 + count*secEntryLen
 	off = payloadBase + int(binary.LittleEndian.Uint64(blob[entry+8:]))
 	ln = int(binary.LittleEndian.Uint64(blob[entry+16:]))
 	return off, ln
@@ -665,7 +666,8 @@ func reseal(blob []byte) {
 	case VersionV1:
 		binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[headerLenV1:], castagnoli))
 	case Version:
-		payloadBase := headerLenV2 + numSections*secEntryLen
+		count := int(binary.LittleEndian.Uint32(blob[16:20]))
+		payloadBase := headerLenV2 + count*secEntryLen
 		binary.LittleEndian.PutUint32(blob[8:12], crc32.Checksum(blob[16:payloadBase], castagnoli))
 		binary.LittleEndian.PutUint32(blob[12:16], crc32.Checksum(blob[payloadBase:], castagnoli))
 	default:

@@ -45,10 +45,13 @@ import (
 //
 // Beyond v1's primary artifacts (points, forward CSR, shortcut store,
 // rank, elevation), v2 persists every derived structure a query needs:
-// the reverse CSR, both upward CSRs with their overlay edge ids, and the
-// flattened shortcut-unpack layout. Opening therefore performs no
-// O(edges) reconstruction — just validation — and with mmap no copying
-// either.
+// the reverse CSR, both upward CSRs with their overlay edge ids, the
+// flattened shortcut-unpack layout, and — since the batched one-to-many
+// engine — the rank-descending downward CSR as an optional trailing group
+// (files written before it existed carry one fewer section group and are
+// still accepted; loaders derive the structure in memory instead).
+// Opening therefore performs no O(edges) reconstruction — just validation
+// — and with mmap no copying either.
 const (
 	headerLenV2 = 32
 	secEntryLen = 24
@@ -82,15 +85,38 @@ const (
 	secUpInEid               // upward-in overlay edge ids, nIn × int32
 	secFlatStart             // unpack layout offsets, (s+1) × int64
 	secFlatEids              // unpack layout base edge ids, flatLen × int32
-	secEnd                   // one past the last id
+
+	// Downward-CSR group (optional, all-or-nothing): the upward-in
+	// adjacency reordered for the batched one-to-many sweep
+	// (ah.Index.Downward). Files written before the group existed carry
+	// only the sections above; loaders derive the structure in memory.
+	secDownOrder // sweep order, descending rank, n × int32
+	secDownStart // downward CSR offsets, (n+1) × int32
+	secDownFrom  // downward tails as sweep positions, nIn × int32
+	secDownW     // downward weights, nIn × float64
+	secDownEid   // downward overlay edge ids, nIn × int32
+
+	secEnd // one past the last id
 )
 
-const numSections = secEnd - secMeta
+const (
+	numSections = secEnd - secMeta
+	// numSectionsNoDown is the section count of v2 files written before
+	// the downward-CSR group existed; still accepted by every parse.
+	numSectionsNoDown = secDownOrder - secMeta
+)
 
 // encodeV2 serialises idx into a self-contained v2 blob. An index that
 // carries no unpack layout (one loaded from a v1 blob) gets one computed
 // on the fly — re-saving is the promotion path from v1 to v2.
 func encodeV2(idx *ah.Index) ([]byte, error) {
+	return encodeV2Sections(idx, true)
+}
+
+// encodeV2Sections is encodeV2 with the downward-CSR group switchable:
+// production encodes always include it; tests use withDown=false to
+// synthesise the pre-downward v2 layout and prove it still loads.
+func encodeV2Sections(idx *ah.Index, withDown bool) ([]byte, error) {
 	g := idx.Graph()
 	ov := idx.Overlay()
 	points := g.Points()
@@ -112,9 +138,13 @@ func encodeV2(idx *ah.Index) ([]byte, error) {
 	m := len(outTo)
 	s := len(sFrom)
 
-	w := &v2Writer{}
-	w.buf = make([]byte, headerLenV2+numSections*secEntryLen, headerLenV2+numSections*secEntryLen+
-		40+16*n+8*(4*(n+1)+4*n)+m*(4*4+2*8)+s*(4*4+8)+(m+s)*(2*4+8)+8*(s+1)+4*len(flatEids)+8*numSections)
+	count := numSections
+	if !withDown {
+		count = numSectionsNoDown
+	}
+	w := &v2Writer{count: count}
+	w.buf = make([]byte, headerLenV2+count*secEntryLen, headerLenV2+count*secEntryLen+
+		40+16*n+8*(4*(n+1)+4*n)+m*(4*4+2*8)+s*(4*4+8)+2*(m+s)*(2*4+8)+4*n+4*(n+1)+8*(s+1)+4*len(flatEids)+8*count)
 
 	w.section(secMeta, func() {
 		for _, c := range [5]uint64{uint64(n), uint64(m), uint64(s), uint64(idx.GridLevels()), uint64(len(flatEids))} {
@@ -155,12 +185,20 @@ func encodeV2(idx *ah.Index) ([]byte, error) {
 		}
 	})
 	w.i32(secFlatEids, flatEids)
+	if withDown {
+		down := idx.Downward()
+		w.i32(secDownOrder, down.Order)
+		w.i32(secDownStart, down.Start)
+		w.i32(secDownFrom, down.From)
+		w.f64(secDownW, down.W)
+		w.i32(secDownEid, down.Eid)
+	}
 
 	buf := w.buf
-	payloadBase := headerLenV2 + numSections*secEntryLen
+	payloadBase := headerLenV2 + count*secEntryLen
 	copy(buf[:4], magic)
 	binary.LittleEndian.PutUint32(buf[4:8], Version)
-	binary.LittleEndian.PutUint32(buf[16:20], numSections)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(count))
 	binary.LittleEndian.PutUint32(buf[20:24], 0)
 	binary.LittleEndian.PutUint64(buf[24:32], uint64(len(buf)-headerLenV2))
 	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[16:payloadBase], castagnoli))
@@ -171,12 +209,13 @@ func encodeV2(idx *ah.Index) ([]byte, error) {
 // v2Writer appends sections to buf, recording each one's table entry and
 // zero-padding to the 8-byte alignment the cast layer needs.
 type v2Writer struct {
-	buf  []byte
-	next int // table slot of the next section
+	buf   []byte
+	count int // total sections this blob will carry
+	next  int // table slot of the next section
 }
 
 func (w *v2Writer) section(id int, emit func()) {
-	payloadBase := headerLenV2 + numSections*secEntryLen
+	payloadBase := headerLenV2 + w.count*secEntryLen
 	off := len(w.buf) - payloadBase
 	emit()
 	ln := len(w.buf) - payloadBase - off
@@ -200,31 +239,33 @@ func (w *v2Writer) f64(id int, xs []float64) {
 
 // v2Header validates the fixed header and section-table region of a v2
 // blob — length accounting and the table CRC, the cheap O(table) checks
-// every open performs — and returns the payload base offset.
-func v2Header(blob []byte) (payloadBase int, err error) {
+// every open performs — and returns the payload base offset together with
+// the section count (numSections for current files, numSectionsNoDown for
+// files written before the optional downward-CSR group existed).
+func v2Header(blob []byte) (payloadBase, count int, err error) {
 	if len(blob) < headerLenV2 {
-		return 0, ErrTruncated
+		return 0, 0, ErrTruncated
 	}
 	bodyLen := binary.LittleEndian.Uint64(blob[24:32])
 	if have := uint64(len(blob) - headerLenV2); have != bodyLen {
 		if have < bodyLen {
-			return 0, fmt.Errorf("%w: have %d body bytes, header declares %d", ErrTruncated, have, bodyLen)
+			return 0, 0, fmt.Errorf("%w: have %d body bytes, header declares %d", ErrTruncated, have, bodyLen)
 		}
-		return 0, fmt.Errorf("store: %d bytes after the declared body", have-bodyLen)
+		return 0, 0, fmt.Errorf("store: %d bytes after the declared body", have-bodyLen)
 	}
-	count := int(binary.LittleEndian.Uint32(blob[16:20]))
-	if count != numSections {
-		return 0, fmt.Errorf("%w: %d sections, want %d", ErrSectionTable, count, numSections)
+	count = int(binary.LittleEndian.Uint32(blob[16:20]))
+	if count != numSections && count != numSectionsNoDown {
+		return 0, 0, fmt.Errorf("%w: %d sections, want %d or %d", ErrSectionTable, count, numSectionsNoDown, numSections)
 	}
 	payloadBase = headerLenV2 + count*secEntryLen
 	if payloadBase > len(blob) {
-		return 0, fmt.Errorf("%w: table of %d entries exceeds the file", ErrSectionTable, count)
+		return 0, 0, fmt.Errorf("%w: table of %d entries exceeds the file", ErrSectionTable, count)
 	}
 	wantTable := binary.LittleEndian.Uint32(blob[8:12])
 	if got := crc32.Checksum(blob[16:payloadBase], castagnoli); got != wantTable {
-		return 0, fmt.Errorf("%w (section table): got %08x, want %08x", ErrChecksum, got, wantTable)
+		return 0, 0, fmt.Errorf("%w (section table): got %08x, want %08x", ErrChecksum, got, wantTable)
 	}
-	return payloadBase, nil
+	return payloadBase, count, nil
 }
 
 // verifyV2Payload runs the O(file) payload checksum of a v2 blob whose
@@ -252,10 +293,11 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 		copy(nb, blob)
 		blob = nb
 	}
-	payloadBase, err := v2Header(blob)
+	payloadBase, count, err := v2Header(blob)
 	if err != nil {
 		return nil, err
 	}
+	hasDown := count == numSections
 	if verifyPayload {
 		if err := verifyV2Payload(blob, payloadBase); err != nil {
 			return nil, err
@@ -265,10 +307,11 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 
 	// The table must list the known ids in order, each section 8-aligned,
 	// in bounds, and contiguous with its predecessor up to padding — one
-	// canonical layout, so every malformed table is detectable.
-	secs := make([][]byte, numSections)
+	// canonical layout (per section count), so every malformed table is
+	// detectable.
+	secs := make([][]byte, count)
 	prevEnd := uint64(0)
-	for i := 0; i < numSections; i++ {
+	for i := 0; i < count; i++ {
 		entry := blob[headerLenV2+i*secEntryLen:]
 		id := binary.LittleEndian.Uint64(entry)
 		off := binary.LittleEndian.Uint64(entry[8:])
@@ -338,6 +381,20 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 			return nil, fmt.Errorf("%w: upward CSR sections %d/%d/%d disagree on entry count", ErrSectionTable, pair[0], pair[1], pair[2])
 		}
 	}
+	if hasDown {
+		// The downward CSR is a reorder of the upward-in adjacency, so its
+		// entry count is pinned by the up-in sections validated above;
+		// contents are cross-validated against them by AdoptDownward below.
+		nIn := len(sec(secUpInFrom)) / 4
+		for id, ln := range map[int]int{
+			secDownOrder: 4 * n, secDownStart: 4 * (n + 1),
+			secDownFrom: 4 * nIn, secDownW: 8 * nIn, secDownEid: 4 * nIn,
+		} {
+			if len(sec(id)) != ln {
+				return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrSectionTable, id, len(sec(id)), ln)
+			}
+		}
+	}
 
 	g, err := graph.FromCSRAndReverse(
 		c.points(sec(secPoints)),
@@ -369,6 +426,29 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 		})
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	if hasDown {
+		// Adopt the persisted sweep structure (possibly straight out of a
+		// read-only mapping) instead of letting Downward derive it; blobs
+		// without the group keep the in-memory derivation. Adoption is
+		// structural (bounds) validation only; the paths that verify the
+		// payload checksum also pin the contents to the upward-in mirror,
+		// the same division of labour as the checksum itself.
+		down := &graph.DownCSR{
+			Order: c.int32s(sec(secDownOrder)),
+			Start: c.int32s(sec(secDownStart)),
+			From:  c.int32s(sec(secDownFrom)),
+			W:     c.float64s(sec(secDownW)),
+			Eid:   c.int32s(sec(secDownEid)),
+		}
+		if err := idx.AdoptDownward(down); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if verifyPayload {
+			if err := idx.ValidateDownwardMirror(down); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		}
 	}
 	return idx, nil
 }
