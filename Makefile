@@ -25,15 +25,26 @@ test:
 
 # The concurrency-sensitive packages run again under the race detector:
 # serve's N-goroutine equivalence harnesses (point-to-point AND concurrent
-# distance tables), the batch-vs-Dijkstra table equivalence gate in
-# internal/batch, store's load path (whose indexes feed the shared-Index
-# serving model) plus its Workers:1 vs Workers:4 byte-identical-blob
-# harness, and the parallel-build determinism + region-sharding tests in
-# ah/gridindex.
+# distance tables) plus the hot-swap harness (8 goroutines hammering
+# queries across 5 zero-downtime reloads — the use-after-munmap gate),
+# the batch-vs-Dijkstra table equivalence gate in internal/batch, store's
+# load path (whose indexes feed the shared-Index serving model), its
+# concurrent double-Close munmap-exactly-once test, and its Workers:1 vs
+# Workers:4 byte-identical-blob harness, the parallel-build determinism +
+# region-sharding tests in ah/gridindex, and the ahixd HTTP layer
+# (shedding, timeouts, reload) over all of it.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./cmd/ahixd/...
 	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
+
+# End-to-end daemon smoke: builds the real ahixd binary, generates a tiny
+# index, starts the daemon on a random port, queries it over TCP,
+# hot-reloads it twice (POST /reload and SIGHUP), and shuts it down with
+# SIGTERM expecting a clean exit.
+.PHONY: serve-smoke
+serve-smoke:
+	$(GO) test ./cmd/ahixd/ -run TestServeSmoke -v -count=1
 
 # Query + persistence benchmarks on the ~10k-node GridCity graph
 # (settled/op is the machine-independent cost metric; stalled pops are

@@ -184,4 +184,9 @@ func TestCLIErrors(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "1-based") {
 		t.Fatalf("table range error %v does not mention the 1-based numbering", err)
 	}
+	// The echoed id must be the operator's 1-based one, not the 0-based
+	// dense id the serving layer speaks internally.
+	if want := fmt.Sprintf("node id %d out of range [1, %d]", n+1, n); !strings.Contains(err.Error(), want) {
+		t.Fatalf("table error %q does not contain %q", err, want)
+	}
 }

@@ -1,0 +1,443 @@
+// Command ahixd serves an AHIX index over HTTP/JSON: the network face of
+// the repository's serving stack (mmap'd store.Open underneath, pooled
+// serve.Service per index generation, serve.Hot for zero-downtime swaps).
+//
+//	ahixd -index ny.ahix -addr :8040
+//
+//	GET  /distance?src=1&dst=264346      exact shortest-path distance
+//	GET  /path?src=1&dst=264346          distance plus the node sequence
+//	GET  /table?sources=1,2&targets=7,8  distance matrix (also POST JSON
+//	                                     {"sources":[...],"targets":[...]})
+//	GET  /stats                          cumulative counters + swap state
+//	GET  /healthz                        liveness (200 while serving)
+//	POST /reload?index=PATH              hot-swap to a new index file
+//
+// Node ids on the wire are 1-based DIMACS ids, exactly like cmd/ahix;
+// unreachable distances are JSON null. Every query response carries the
+// epoch (index generation) that answered it.
+//
+// Operational behaviour:
+//
+//   - Queries run under a concurrency limit (-max-inflight): excess
+//     requests are shed immediately with 503 + Retry-After instead of
+//     queueing without bound; sheds are counted in /stats.
+//   - Every query handler runs with a per-request deadline (-timeout),
+//     plumbed as a context; distance tables check it between source rows,
+//     so a timed-out table stops computing rows nobody will read (504).
+//   - POST /reload — or SIGHUP, which re-opens the current file in place —
+//     swaps the index with zero downtime: the new file is opened and fully
+//     checksum-verified before the atomic pointer swap, in-flight queries
+//     drain on the old mapping, and the old mapping is munmapped exactly
+//     once after the last of them finishes. A bad file leaves the current
+//     index serving.
+//   - SIGINT/SIGTERM shut down gracefully: stop accepting, let in-flight
+//     requests finish (bounded by -shutdown-timeout), then close the
+//     mapping.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ahixd:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the daemon lifecycle: flags, listener, signal loop, graceful
+// shutdown. Factored off main so tests can drive it; the smoke test execs
+// the real binary instead and exercises the signal paths.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ahixd", flag.ContinueOnError)
+	index := fs.String("index", "", "AHIX index path (required)")
+	addr := fs.String("addr", "127.0.0.1:8040", "listen address (port 0 picks a free one)")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent query limit; excess requests get 503")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" {
+		return errors.New("missing -index")
+	}
+
+	hot, err := serve.OpenHot(*index)
+	if err != nil {
+		return err
+	}
+	s := newServer(hot, *maxInflight, *timeout)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		hot.Close()
+		return err
+	}
+	srv := &http.Server{Handler: s.routes(), ReadHeaderTimeout: 5 * time.Second}
+	// The smoke test parses this line to find the picked port.
+	fmt.Fprintf(out, "ahixd: serving %s on http://%s\n", *index, ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigc)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if seq, err := hot.Reload(""); err != nil {
+					fmt.Fprintf(out, "ahixd: SIGHUP reload failed, still serving old index: %v\n", err)
+				} else {
+					fmt.Fprintf(out, "ahixd: SIGHUP reloaded index, epoch %d\n", seq)
+				}
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+			shutdownErr := srv.Shutdown(ctx)
+			cancel()
+			<-errc // Serve has returned http.ErrServerClosed
+			closeErr := hot.Close()
+			if shutdownErr != nil {
+				return fmt.Errorf("shutdown: %w", shutdownErr)
+			}
+			if closeErr != nil {
+				return fmt.Errorf("close index: %w", closeErr)
+			}
+			fmt.Fprintln(out, "ahixd: shut down cleanly")
+			return nil
+		case err := <-errc:
+			hot.Close()
+			return err
+		}
+	}
+}
+
+// server is the HTTP layer over the hot-swappable serving stack.
+type server struct {
+	hot     *serve.Hot
+	lim     *serve.Limiter
+	timeout time.Duration
+}
+
+func newServer(hot *serve.Hot, maxInflight int, timeout time.Duration) *server {
+	return &server{hot: hot, lim: serve.NewLimiter(maxInflight), timeout: timeout}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", s.limited(s.handleDistance))
+	mux.HandleFunc("/path", s.limited(s.handlePath))
+	mux.HandleFunc("/table", s.limited(s.handleTable))
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/reload", s.handleReload)
+	return mux
+}
+
+// limited wraps a query handler with admission control and the
+// per-request deadline. Shedding happens before any work: a refused
+// request costs one channel poll and a small JSON write, which is what
+// keeps overload from stacking goroutines behind the queriers.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.lim.TryAcquire() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "over capacity, request shed")
+			return
+		}
+		defer s.lim.Release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+type distanceResponse struct {
+	Src      int64    `json:"src"`
+	Dst      int64    `json:"dst"`
+	Distance *float64 `json:"distance"` // null = unreachable
+	Path     []int64  `json:"path,omitempty"`
+	Epoch    uint64   `json:"epoch"`
+}
+
+// handleDistance answers GET /distance?src=&dst= (1-based ids).
+func (s *server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	s.pointQuery(w, r, false)
+}
+
+// handlePath answers GET /path?src=&dst=, adding the 1-based node
+// sequence of one shortest path.
+func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
+	s.pointQuery(w, r, true)
+}
+
+func (s *server) pointQuery(w http.ResponseWriter, r *http.Request, withPath bool) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	src, err := parseID(r.URL.Query().Get("src"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "src: "+err.Error())
+		return
+	}
+	dst, err := parseID(r.URL.Query().Get("dst"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "dst: "+err.Error())
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	ep := s.hot.Acquire()
+	if ep == nil {
+		writeErr(w, http.StatusServiceUnavailable, "index closed")
+		return
+	}
+	defer ep.Release()
+	resp := distanceResponse{Src: int64(src) + 1, Dst: int64(dst) + 1, Epoch: ep.Seq()}
+	if withPath {
+		p, d, err := ep.Service().Path(src, dst)
+		if err != nil {
+			writeRangeErr(w, err)
+			return
+		}
+		resp.Distance = finite(d)
+		if p != nil {
+			resp.Path = make([]int64, len(p))
+			for i, v := range p {
+				resp.Path[i] = int64(v) + 1
+			}
+		}
+	} else {
+		d, err := ep.Service().Distance(src, dst)
+		if err != nil {
+			writeRangeErr(w, err)
+			return
+		}
+		resp.Distance = finite(d)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type tableRequest struct {
+	Sources []int64 `json:"sources"`
+	Targets []int64 `json:"targets"`
+}
+
+type tableResponse struct {
+	Sources []int64      `json:"sources"`
+	Targets []int64      `json:"targets"`
+	Rows    [][]*float64 `json:"rows"` // null cells = unreachable
+	Epoch   uint64       `json:"epoch"`
+}
+
+// handleTable answers many-to-many distance matrices, either GET with
+// comma-separated id lists or POST with a JSON body.
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	var sources, targets []graph.NodeID
+	var err error
+	switch r.Method {
+	case http.MethodGet:
+		if sources, err = parseIDList(r.URL.Query().Get("sources")); err != nil {
+			writeErr(w, http.StatusBadRequest, "sources: "+err.Error())
+			return
+		}
+		if targets, err = parseIDList(r.URL.Query().Get("targets")); err != nil {
+			writeErr(w, http.StatusBadRequest, "targets: "+err.Error())
+			return
+		}
+	case http.MethodPost:
+		var req tableRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "body: "+err.Error())
+			return
+		}
+		if sources, err = fromWire(req.Sources); err != nil {
+			writeErr(w, http.StatusBadRequest, "sources: "+err.Error())
+			return
+		}
+		if targets, err = fromWire(req.Targets); err != nil {
+			writeErr(w, http.StatusBadRequest, "targets: "+err.Error())
+			return
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		writeErr(w, http.StatusBadRequest, "need non-empty sources and targets")
+		return
+	}
+	ep := s.hot.Acquire()
+	if ep == nil {
+		writeErr(w, http.StatusServiceUnavailable, "index closed")
+		return
+	}
+	defer ep.Release()
+	rows, err := ep.Service().DistanceTableCtx(r.Context(), sources, targets)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeErr(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		writeRangeErr(w, err)
+		return
+	}
+	resp := tableResponse{
+		Sources: toWire(sources),
+		Targets: toWire(targets),
+		Rows:    make([][]*float64, len(rows)),
+		Epoch:   ep.Seq(),
+	}
+	for i, row := range rows {
+		resp.Rows[i] = make([]*float64, len(row))
+		for j, d := range row {
+			resp.Rows[i][j] = finite(d)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	serve.HotStats
+	Sheds       uint64 `json:"sheds"`
+	InFlight    int    `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		HotStats:    s.hot.Stats(),
+		Sheds:       s.lim.Sheds(),
+		InFlight:    s.lim.InFlight(),
+		MaxInFlight: s.lim.Cap(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ep := s.hot.Acquire()
+	if ep == nil {
+		writeErr(w, http.StatusServiceUnavailable, "index closed")
+		return
+	}
+	seq := ep.Seq()
+	ep.Release()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": seq})
+}
+
+// handleReload swaps in a new index file with zero downtime. Reloads are
+// deliberately outside the query limiter: an operator must be able to
+// push fresh road data while the service is saturated.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	seq, err := s.hot.Reload(r.URL.Query().Get("index"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reload failed, still serving previous index: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": seq, "path": s.hot.Stats().Path})
+}
+
+// writeRangeErr translates a serve.RangeError into a 400 speaking the
+// operator's 1-based numbering (the same translation cmd/ahix applies);
+// anything else is a 500.
+func writeRangeErr(w http.ResponseWriter, err error) {
+	var re *serve.RangeError
+	if errors.As(err, &re) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("node id %d out of range [1, %d] (ids are 1-based DIMACS ids)", re.Node+1, re.Nodes))
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// finite boxes a distance for JSON: +Inf (unreachable) becomes null.
+func finite(d float64) *float64 {
+	if math.IsInf(d, 1) {
+		return nil
+	}
+	return &d
+}
+
+// parseID converts a 1-based wire id to the dense 0-based ids the index
+// uses; range checking against the index happens in serve.
+func parseID(s string) (graph.NodeID, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("node id %q: %w", s, err)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("node id %d: ids are 1-based", v)
+	}
+	return graph.NodeID(v - 1), nil
+}
+
+func parseIDList(s string) ([]graph.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]graph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		id, err := parseID(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func fromWire(ids []int64) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, len(ids))
+	for i, v := range ids {
+		if v < 1 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("node id %d: ids are 1-based", v)
+		}
+		out[i] = graph.NodeID(v - 1)
+	}
+	return out, nil
+}
+
+func toWire(ids []graph.NodeID) []int64 {
+	out := make([]int64, len(ids))
+	for i, v := range ids {
+		out[i] = int64(v) + 1
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// fixture is two differently-weighted indexes over the same 256-node id
+// space saved as AHIX files, plus Dijkstra truth for both — enough to see
+// which generation answered a request.
+type fixture struct {
+	pathA, pathB string
+	uniA, uniB   *dijkstra.Search
+	n            int
+}
+
+func makeFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &fixture{
+		pathA: filepath.Join(dir, "a.ahix"),
+		pathB: filepath.Join(dir, "b.ahix"),
+	}
+	cfg := gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.3, Seed: 7,
+	}
+	gA, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	gB, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(f.pathA, ah.Build(gA, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(f.pathB, ah.Build(gB, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	f.uniA, f.uniB = dijkstra.NewSearch(gA), dijkstra.NewSearch(gB)
+	f.n = gA.NumNodes()
+	return f
+}
+
+// startServer opens the fixture's A index behind an httptest server.
+func startServer(t *testing.T, f *fixture, maxInflight int, timeout time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	hot, err := serve.OpenHot(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(hot, maxInflight, timeout)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		hot.Close()
+	})
+	return s, ts
+}
+
+// getJSON fetches url, asserts the status code, and decodes the body.
+func getJSON(t *testing.T, url string, wantCode int, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d (body %s)", url, resp.StatusCode, wantCode, body)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s body %q: %v", url, body, err)
+		}
+	}
+	return resp
+}
+
+func sameCell(got *float64, want float64) bool {
+	if got == nil {
+		return math.IsInf(want, 1)
+	}
+	return *got == want
+}
+
+// TestEndpoints drives every endpoint in-process: answers vs Dijkstra in
+// 1-based numbering, both table forms, error shapes, stats, and a full
+// reload cycle that flips the served truth from index A to index B.
+func TestEndpoints(t *testing.T) {
+	f := makeFixture(t)
+	_, ts := startServer(t, f, 16, 5*time.Second)
+
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Epoch != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	pairs := [][2]int{{1, 256}, {7, 7}, {3, 130}, {256, 1}}
+	for _, p := range pairs {
+		var resp distanceResponse
+		getJSON(t, fmt.Sprintf("%s/distance?src=%d&dst=%d", ts.URL, p[0], p[1]), http.StatusOK, &resp)
+		want := f.uniA.Distance(graph.NodeID(p[0]-1), graph.NodeID(p[1]-1))
+		if !sameCell(resp.Distance, want) || resp.Epoch != 1 {
+			t.Fatalf("distance %v = %+v, want %v on epoch 1", p, resp, want)
+		}
+	}
+
+	var pr distanceResponse
+	getJSON(t, ts.URL+"/path?src=1&dst=256", http.StatusOK, &pr)
+	if want := f.uniA.Distance(0, 255); !sameCell(pr.Distance, want) {
+		t.Fatalf("path distance = %+v, want %v", pr.Distance, want)
+	}
+	if len(pr.Path) < 2 || pr.Path[0] != 1 || pr.Path[len(pr.Path)-1] != 256 {
+		t.Fatalf("path endpoints %v, want 1..256", pr.Path)
+	}
+
+	checkTable := func(tr tableResponse, uni *dijkstra.Search, epoch uint64) {
+		t.Helper()
+		if tr.Epoch != epoch {
+			t.Fatalf("table epoch = %d, want %d", tr.Epoch, epoch)
+		}
+		for i, src := range tr.Sources {
+			for j, dst := range tr.Targets {
+				want := uni.Distance(graph.NodeID(src-1), graph.NodeID(dst-1))
+				if !sameCell(tr.Rows[i][j], want) {
+					t.Fatalf("cell[%d][%d]: got %v, want %v", i, j, tr.Rows[i][j], want)
+				}
+			}
+		}
+	}
+	var tr tableResponse
+	getJSON(t, ts.URL+"/table?sources=1,18,102&targets=2,10,43,129", http.StatusOK, &tr)
+	checkTable(tr, f.uniA, 1)
+
+	body, _ := json.Marshal(tableRequest{Sources: []int64{5, 6}, Targets: []int64{7, 8, 9}})
+	resp, err := http.Post(ts.URL+"/table", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ptr tableResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ptr); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /table = %d, %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	checkTable(ptr, f.uniA, 1)
+
+	// Error shapes: malformed, 0 (ids are 1-based), out of range — which
+	// must echo the operator's 1-based numbering — wrong methods.
+	var e struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/distance?src=x&dst=2", http.StatusBadRequest, &e)
+	getJSON(t, ts.URL+"/distance?src=0&dst=2", http.StatusBadRequest, &e)
+	getJSON(t, fmt.Sprintf("%s/distance?src=%d&dst=2", ts.URL, f.n+1), http.StatusBadRequest, &e)
+	if want := fmt.Sprintf("node id %d out of range [1, %d]", f.n+1, f.n); !strings.Contains(e.Error, want) {
+		t.Fatalf("range error %q does not contain %q", e.Error, want)
+	}
+	getJSON(t, fmt.Sprintf("%s/table?sources=1&targets=%d", ts.URL, f.n+1), http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "1-based") {
+		t.Fatalf("table range error %q does not mention 1-based ids", e.Error)
+	}
+	getJSON(t, ts.URL+"/table?sources=&targets=1", http.StatusBadRequest, &e)
+	if resp, err := http.Post(ts.URL+"/distance", "text/plain", nil); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /distance = %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/reload"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload = %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Epoch != 1 || st.Current.Queries == 0 || st.Current.Tables == 0 || st.MaxInFlight != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Reload to B: answers flip generation, epoch echoes 2.
+	var rl struct {
+		Epoch uint64 `json:"epoch"`
+		Path  string `json:"path"`
+	}
+	resp, err = http.Post(ts.URL+"/reload?index="+f.pathB, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /reload = %d, %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if rl.Epoch != 2 || rl.Path != f.pathB {
+		t.Fatalf("reload = %+v", rl)
+	}
+	var after distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &after)
+	if want := f.uniB.Distance(0, 255); !sameCell(after.Distance, want) || after.Epoch != 2 {
+		t.Fatalf("post-reload distance = %+v, want %v on epoch 2", after, want)
+	}
+
+	// A bad reload target reports failure and leaves B serving.
+	resp, err = http.Post(ts.URL+"/reload?index="+filepath.Join(t.TempDir(), "absent.ahix"), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload of missing file = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &after)
+	if want := f.uniB.Distance(0, 255); !sameCell(after.Distance, want) || after.Epoch != 2 {
+		t.Fatalf("failed reload disturbed serving: %+v", after)
+	}
+}
+
+// TestShedding saturates the admission gate by holding its only slot and
+// checks the daemon sheds instead of queueing: 503, Retry-After set, shed
+// counted in /stats — and /stats itself stays reachable (it is not behind
+// the limiter).
+func TestShedding(t *testing.T) {
+	f := makeFixture(t)
+	s, ts := startServer(t, f, 1, 5*time.Second)
+
+	if !s.lim.TryAcquire() {
+		t.Fatal("could not take the only slot")
+	}
+	defer s.lim.Release()
+
+	resp, err := http.Get(ts.URL + "/distance?src=1&dst=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated query = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Sheds != 1 || st.InFlight != 1 || st.MaxInFlight != 1 {
+		t.Fatalf("stats after shed = sheds %d, in_flight %d/%d", st.Sheds, st.InFlight, st.MaxInFlight)
+	}
+
+	s.lim.Release()
+	defer s.lim.TryAcquire() // rebalance the deferred Release above
+	var ok distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, &ok)
+}
+
+// TestRequestTimeout runs the handlers with an already-expired deadline:
+// the context plumbed through must abort the work with 504 — for tables,
+// via the between-rows check in DistanceTableCtx.
+func TestRequestTimeout(t *testing.T) {
+	f := makeFixture(t)
+	_, ts := startServer(t, f, 16, time.Nanosecond)
+	var e struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusGatewayTimeout, &e)
+	getJSON(t, ts.URL+"/table?sources=1,2&targets=3,4", http.StatusGatewayTimeout, &e)
+	if !strings.Contains(e.Error, "rows") {
+		t.Fatalf("table timeout error %q does not report row progress", e.Error)
+	}
+}
+
+// TestServeSmoke is the end-to-end lifecycle check `make serve-smoke`
+// runs: build the real binary, start it on a random port against a tiny
+// index, query it over TCP, hot-reload it twice (POST /reload and
+// SIGHUP), and shut it down with SIGTERM expecting a clean exit.
+func TestServeSmoke(t *testing.T) {
+	f := makeFixture(t)
+	bin := filepath.Join(t.TempDir(), "ahixd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-index", f.pathA, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitLine := func(substr string) string {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for {
+			select {
+			case l, ok := <-lines:
+				if !ok {
+					t.Fatalf("daemon exited before printing %q", substr)
+				}
+				if strings.Contains(l, substr) {
+					return l
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q", substr)
+			}
+		}
+	}
+
+	banner := waitLine("on http://")
+	base := "http://" + banner[strings.Index(banner, "on http://")+len("on http://"):]
+
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, base+"/healthz", http.StatusOK, &health)
+	if health.Epoch != 1 {
+		t.Fatalf("healthz epoch = %d, want 1", health.Epoch)
+	}
+	var d distanceResponse
+	getJSON(t, base+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if want := f.uniA.Distance(0, 255); !sameCell(d.Distance, want) {
+		t.Fatalf("smoke distance = %v, want %v", d.Distance, want)
+	}
+
+	// Hot-reload over HTTP, then again via SIGHUP (re-opens the same
+	// file); each bumps the epoch without dropping the listener.
+	resp, err := http.Post(base+"/reload?index="+f.pathB, "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	getJSON(t, base+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if want := f.uniB.Distance(0, 255); !sameCell(d.Distance, want) || d.Epoch != 2 {
+		t.Fatalf("post-reload smoke distance = %+v, want %v on epoch 2", d, want)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("SIGHUP reloaded index, epoch 3")
+	getJSON(t, base+"/healthz", http.StatusOK, &health)
+	if health.Epoch != 3 {
+		t.Fatalf("post-SIGHUP epoch = %d, want 3", health.Epoch)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("shut down cleanly")
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}

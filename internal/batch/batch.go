@@ -42,6 +42,7 @@
 package batch
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -121,12 +122,69 @@ func (e *Engine) Settled() int { return e.settled }
 // relaxed across all of its sweeps, the cost of the target side.
 func (e *Engine) Swept() int { return e.swept }
 
+// ResetCounters zeroes the Settled/Swept accumulators. OneToMany and
+// DistanceTable reset them implicitly; callers composing tables out of
+// Select/Row directly (e.g. serve's context-aware row loop) reset once up
+// front so the counters cover exactly their batch.
+func (e *Engine) ResetCounters() { e.settled, e.swept = 0, 0 }
+
+// NodeRangeError reports a query node id outside the engine's index node
+// range, returned by the Checked entry points; match it with errors.As.
+type NodeRangeError struct {
+	Node  graph.NodeID // the offending id
+	Nodes int          // valid ids are [0, Nodes)
+}
+
+func (e *NodeRangeError) Error() string {
+	return fmt.Sprintf("batch: node %d out of range [0, %d)", e.Node, e.Nodes)
+}
+
+// validateIDs bounds-checks every id against the index's node range. The
+// unchecked entry points skip this (one branch per id matters at K=10^4+
+// and serve pre-validates), but a caller feeding ids of unknown provenance
+// must go through a Checked method or this panics deep in the workspace
+// arrays.
+func (e *Engine) validateIDs(lists ...[]graph.NodeID) error {
+	n := e.g.NumNodes()
+	for _, list := range lists {
+		for _, v := range list {
+			if v < 0 || int(v) >= n {
+				return &NodeRangeError{Node: v, Nodes: n}
+			}
+		}
+	}
+	return nil
+}
+
+// OneToManyChecked is OneToMany behind a bounds check: ids outside the
+// index's node range return a *NodeRangeError (and leave dst untouched)
+// instead of panicking the goroutine.
+func (e *Engine) OneToManyChecked(src graph.NodeID, targets []graph.NodeID, dst []float64) ([]float64, error) {
+	if err := e.validateIDs([]graph.NodeID{src}, targets); err != nil {
+		return dst, err
+	}
+	return e.OneToMany(src, targets, dst), nil
+}
+
+// DistanceTableChecked is DistanceTable behind a bounds check: ids outside
+// the index's node range return a *NodeRangeError instead of panicking the
+// goroutine.
+func (e *Engine) DistanceTableChecked(sources, targets []graph.NodeID) ([][]float64, error) {
+	if err := e.validateIDs(sources, targets); err != nil {
+		return nil, err
+	}
+	return e.DistanceTable(sources, targets), nil
+}
+
 // OneToMany returns the exact shortest-path distances from src to every
 // node of targets (+Inf where unreachable), appending to dst and returning
 // the extended slice. Duplicate targets are answered independently; a
 // target equal to src reports exactly 0. The cost is one upward search
 // plus one full downward sweep — independent of len(targets) — so prefer
 // DistanceTable when the target set is small and reused across sources.
+// Ids must be in the index's node range: like Select/Row/DistanceTable
+// this indexes the node-length workspace arrays without bounds checks and
+// panics on a bad id — use OneToManyChecked for ids of unknown provenance.
 func (e *Engine) OneToMany(src graph.NodeID, targets []graph.NodeID, dst []float64) []float64 {
 	down := e.x.Downward()
 	e.settled, e.swept = 0, 0
@@ -234,7 +292,8 @@ func (e *Engine) Row(src graph.NodeID, sel *Selection, out []float64) {
 // rows[i][j] = dist(sources[i], targets[j]), +Inf where unreachable. The
 // target restriction is computed once and reused across sources; see
 // Select/Row to manage that explicitly (e.g. to reuse a Selection across
-// tables or engines).
+// tables or engines). Out-of-range ids panic (the workspace arrays are
+// indexed unchecked); use DistanceTableChecked for unvalidated input.
 func (e *Engine) DistanceTable(sources, targets []graph.NodeID) [][]float64 {
 	sel := e.Select(targets)
 	e.settled, e.swept = 0, 0
@@ -290,11 +349,7 @@ func (e *Engine) relax(v graph.NodeID, d float64, eid graph.EdgeID) {
 // any later position reads it, which is why the arrays need no clearing.
 func (e *Engine) sweep(down *graph.DownCSR) {
 	k := len(down.Order)
-	if cap(e.sd) < k {
-		e.sd = make([]float64, k)
-		e.sEid = make([]graph.EdgeID, k)
-		e.sFrom = make([]int32, k)
-	}
+	e.growSweep(k)
 	sd, sEid, sFrom := e.sd[:k], e.sEid[:k], e.sFrom[:k]
 	for i := 0; i < k; i++ {
 		v := down.Order[i]
@@ -312,6 +367,25 @@ func (e *Engine) sweep(down *graph.DownCSR) {
 		sd[i], sEid[i], sFrom[i] = best, bestEid, bestFrom
 	}
 	e.swept += len(down.From)
+}
+
+// growSweep ensures the three position-indexed sweep arrays hold k
+// entries, growing all of them in lockstep (sweep reslices all three by
+// the same k, so a lone short one would panic). Capacity at least doubles
+// on every reallocation: a sequence of slowly growing selections costs
+// O(log max k) allocations total, where growing to exactly k would
+// reallocate O(k) bytes on every table of a creeping workload.
+func (e *Engine) growSweep(k int) {
+	if cap(e.sd) >= k {
+		return
+	}
+	c := 2 * cap(e.sd)
+	if c < k {
+		c = k
+	}
+	e.sd = make([]float64, c)
+	e.sEid = make([]graph.EdgeID, c)
+	e.sFrom = make([]int32, c)
 }
 
 // resolve reports the distance at sweep position tp after a sweep over

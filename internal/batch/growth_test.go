@@ -1,0 +1,119 @@
+package batch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestSweepAmortizedGrowth is the regression test for the sweep-array
+// reallocation bug: growing to exactly k meant a sequence of slowly
+// growing selections reallocated on every table. Growth must be amortized
+// (capacity at least doubles per reallocation, so a creeping workload
+// reallocates O(log k) times) and must keep the three position-indexed
+// arrays' capacities in lockstep — sweep reslices all three by the same k,
+// so a lone short one would panic.
+func TestSweepAmortizedGrowth(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 600, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ah.Build(g, ah.Options{}))
+
+	reallocs := 0
+	for k := 1; k <= 4096; k++ {
+		before := cap(e.sd)
+		e.growSweep(k)
+		if cap(e.sd) < k {
+			t.Fatalf("growSweep(%d): cap %d", k, cap(e.sd))
+		}
+		if cap(e.sEid) != cap(e.sd) || cap(e.sFrom) != cap(e.sd) {
+			t.Fatalf("growSweep(%d): caps out of lockstep (%d/%d/%d)",
+				k, cap(e.sd), cap(e.sEid), cap(e.sFrom))
+		}
+		if cap(e.sd) != before {
+			reallocs++
+			if before > 0 && cap(e.sd) < 2*before {
+				t.Fatalf("growSweep(%d): cap %d -> %d, less than doubling", k, before, cap(e.sd))
+			}
+		}
+	}
+	// 1 -> 4096 one step at a time: doubling needs ~log2(4096)+1
+	// reallocations where grow-to-exactly-k needed 4096.
+	if reallocs > 13 {
+		t.Fatalf("creeping workload cost %d reallocations, want <= 13", reallocs)
+	}
+
+	// The grown workspace still answers exactly (the arrays carry no state
+	// between sweeps, but a reslice bug would surface here).
+	eng := NewEngine(e.Index())
+	src, tgt := graph.NodeID(0), graph.NodeID(g.NumNodes()-1)
+	want := eng.DistanceTable([]graph.NodeID{src}, []graph.NodeID{tgt})[0][0]
+	got := e.DistanceTable([]graph.NodeID{src}, []graph.NodeID{tgt})[0][0]
+	if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+		t.Fatalf("grown engine answers %v, fresh engine %v", got, want)
+	}
+}
+
+// TestCheckedEntryPoints pins the validated API: out-of-range ids come
+// back as a typed *NodeRangeError instead of panicking the goroutine, and
+// valid input answers bit-identically to the unchecked methods.
+func TestCheckedEntryPoints(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 120, K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ah.Build(g, ah.Options{}))
+	n := graph.NodeID(g.NumNodes())
+	srcs := []graph.NodeID{0, 5}
+	tgts := []graph.NodeID{1, 7, 9}
+
+	bad := []graph.NodeID{n, n + 100, -1}
+	for _, v := range bad {
+		if _, err := e.DistanceTableChecked([]graph.NodeID{v}, tgts); !isRange(err, v, int(n)) {
+			t.Errorf("DistanceTableChecked(src=%d) err = %v, want *NodeRangeError", v, err)
+		}
+		if _, err := e.DistanceTableChecked(srcs, []graph.NodeID{1, v}); !isRange(err, v, int(n)) {
+			t.Errorf("DistanceTableChecked(tgt=%d) err = %v, want *NodeRangeError", v, err)
+		}
+		if _, err := e.OneToManyChecked(v, tgts, nil); !isRange(err, v, int(n)) {
+			t.Errorf("OneToManyChecked(src=%d) err = %v, want *NodeRangeError", v, err)
+		}
+		if _, err := e.OneToManyChecked(0, []graph.NodeID{v}, nil); !isRange(err, v, int(n)) {
+			t.Errorf("OneToManyChecked(tgt=%d) err = %v, want *NodeRangeError", v, err)
+		}
+	}
+
+	// A rejected call must not poison the workspace for valid ones, and
+	// the checked results must equal the unchecked ones.
+	rows, err := e.DistanceTableChecked(srcs, tgts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewEngine(e.Index()).DistanceTable(srcs, tgts)
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != want[i][j] && !(math.IsInf(rows[i][j], 1) && math.IsInf(want[i][j], 1)) {
+				t.Fatalf("cell[%d][%d]: checked %v, unchecked %v", i, j, rows[i][j], want[i][j])
+			}
+		}
+	}
+	one, err := e.OneToManyChecked(srcs[0], tgts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range one {
+		if one[j] != want[0][j] && !(math.IsInf(one[j], 1) && math.IsInf(want[0][j], 1)) {
+			t.Fatalf("one-to-many[%d]: checked %v, table %v", j, one[j], want[0][j])
+		}
+	}
+}
+
+func isRange(err error, node graph.NodeID, n int) bool {
+	var re *NodeRangeError
+	return errors.As(err, &re) && re.Node == node && re.Nodes == n
+}

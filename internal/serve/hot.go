@@ -1,0 +1,327 @@
+// Hot-swap serving: a Hot handle owns the current {store.Mapped, Service}
+// pair behind an atomic pointer and lets an operator replace the index
+// file underneath live traffic with zero downtime.
+//
+// The hazard Hot exists to remove: a mmap-opened index's arrays alias the
+// file mapping, so store.Mapped.Close while any pooled Querier or
+// TableQuerier is mid-search is a use-after-munmap — the query faults on
+// unmapped pages (or silently reads another mapping the allocator placed
+// there). Hot makes the swap safe with per-epoch reference counting:
+//
+//   - every generation of the index is an Epoch holding the mapping, its
+//     Service (pools and stats included), and a refcount that starts at 1
+//     for the "installed" reference;
+//   - a request Acquires the current epoch (refcount +1), runs entirely
+//     against that epoch's Service, and Releases it;
+//   - Reload opens and verifies the new file, swaps the atomic pointer,
+//     and drops the old epoch's installed reference. New requests land on
+//     the new epoch immediately; the old mapping is munmapped by whichever
+//     Release drives its refcount to zero — after the last in-flight query
+//     drains, exactly once.
+//
+// Acquire is lock-free (a CAS loop that refuses to resurrect a refcount
+// from zero); Reload and Close serialise on a mutex. Retired epochs' Stats
+// are folded into a lifetime total so counters survive swaps.
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// ErrHotClosed is returned by Hot's query and reload methods after Close.
+var ErrHotClosed = errors.New("serve: hot handle closed")
+
+// Epoch is one generation of a hot-swapped index: the mapping, the Service
+// answering queries on it, and the refcount keeping the mapping alive
+// until the last borrower releases it. Obtain one from Hot.Acquire and
+// release it exactly once; use its Service only between the two.
+type Epoch struct {
+	m   *store.Mapped
+	svc *Service
+	seq uint64
+	hot *Hot
+	// refs counts borrowers plus 1 for being installed; the transition to
+	// zero is final (Acquire never resurrects a zero) and retires the
+	// epoch: stats folded into the Hot total, mapping closed, exactly once.
+	refs atomic.Int64
+}
+
+// Service returns the epoch's query facade. Its Stats count this epoch
+// only; Hot.Stats folds retired epochs into a lifetime total.
+func (e *Epoch) Service() *Service { return e.svc }
+
+// Seq returns the epoch's generation number: 1 for the initially opened
+// index, +1 per successful reload. Responses can echo it so an operator
+// can tell which index generation answered.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Release returns the borrow taken by Acquire. The last release of a
+// replaced epoch — borrower or the swap itself, whichever comes last —
+// closes the old mapping.
+func (e *Epoch) Release() {
+	if e.refs.Add(-1) == 0 {
+		e.hot.retire(e)
+	}
+}
+
+// Hot serves queries on a mmap-opened index while allowing the index file
+// to be replaced underneath live traffic. All methods are safe for
+// concurrent use.
+type Hot struct {
+	cur atomic.Pointer[Epoch]
+
+	// mu serialises Reload/Close and guards path/seq; queries never take
+	// it.
+	mu   sync.Mutex
+	path string
+	seq  uint64
+
+	reloads atomic.Uint64
+	retired atomic.Uint64
+
+	// totalMu guards the fold of retired epochs' stats and the first
+	// close error (retire runs on whichever goroutine releases last).
+	totalMu  sync.Mutex
+	total    Stats
+	closeErr error
+}
+
+// OpenHot opens path (store.Open), runs the full payload checksum
+// (store.Mapped.Verify — a swap target of uncertain provenance must not
+// serve silently corrupt distances), and returns a Hot serving it as epoch
+// 1.
+func OpenHot(path string) (*Hot, error) {
+	h := &Hot{}
+	if err := h.install(path); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// install opens, verifies, and swaps in path as the next epoch. Callers
+// other than the constructor hold h.mu.
+func (h *Hot) install(path string) error {
+	m, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Verify(); err != nil {
+		m.Close()
+		return err
+	}
+	h.seq++
+	e := &Epoch{m: m, svc: NewService(m.Index()), seq: h.seq, hot: h}
+	e.refs.Store(1)
+	old := h.cur.Swap(e)
+	h.path = path
+	if old != nil {
+		h.reloads.Add(1)
+		old.Release() // drop the installed ref; munmap happens at drain
+	}
+	return nil
+}
+
+// Reload swaps in the index at path — or re-opens the current path when
+// path is empty, the SIGHUP convention — with zero downtime: requests
+// already running finish on the old mapping, requests arriving after
+// Reload returns see the new one, and the old mapping is closed exactly
+// once after the last in-flight query drains. A file that fails to open,
+// verify, or validate leaves the current epoch serving untouched. Returns
+// the new epoch's sequence number.
+func (h *Hot) Reload(path string) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cur.Load() == nil {
+		return 0, ErrHotClosed
+	}
+	if path == "" {
+		path = h.path
+	}
+	if err := h.install(path); err != nil {
+		return 0, err
+	}
+	return h.seq, nil
+}
+
+// Acquire borrows the current epoch; pair it with exactly one
+// Epoch.Release after the last use of the epoch's Service. Returns nil
+// only after Close. The CAS loop increments the refcount only from a
+// nonzero value: a refcount at zero means the epoch is already being
+// retired (its mapping may be unmapped at any instant), so the loop
+// re-reads the pointer — the swap that retired it installed a successor
+// first, so progress is guaranteed.
+func (h *Hot) Acquire() *Epoch {
+	for {
+		e := h.cur.Load()
+		if e == nil {
+			return nil
+		}
+		r := e.refs.Load()
+		if r == 0 {
+			continue
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return e
+		}
+	}
+}
+
+// retire folds a drained epoch's counters into the lifetime total and
+// closes its mapping. Reached exactly once per epoch: only the refcount's
+// single transition to zero calls it.
+func (h *Hot) retire(e *Epoch) {
+	st := e.svc.Stats()
+	err := e.m.Close()
+	h.totalMu.Lock()
+	h.total.add(st)
+	if err != nil && h.closeErr == nil {
+		h.closeErr = err
+	}
+	h.totalMu.Unlock()
+	h.retired.Add(1)
+}
+
+// Close retires the current epoch and makes every subsequent Acquire
+// return nil (queries fail with ErrHotClosed). In-flight queries finish
+// first — the mapping is closed by the last Release, possibly after Close
+// returns. Returns the first mapping-close error seen so far, best
+// effort: epochs still draining report theirs through a later Close call
+// or not at all.
+func (h *Hot) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if old := h.cur.Swap(nil); old != nil {
+		old.Release()
+	}
+	h.totalMu.Lock()
+	defer h.totalMu.Unlock()
+	return h.closeErr
+}
+
+// Distance answers on the current epoch; see Service.Distance.
+func (h *Hot) Distance(src, dst graph.NodeID) (float64, error) {
+	e := h.Acquire()
+	if e == nil {
+		return math.Inf(1), ErrHotClosed
+	}
+	defer e.Release()
+	return e.svc.Distance(src, dst)
+}
+
+// Path answers on the current epoch; see Service.Path.
+func (h *Hot) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
+	e := h.Acquire()
+	if e == nil {
+		return nil, math.Inf(1), ErrHotClosed
+	}
+	defer e.Release()
+	return e.svc.Path(src, dst)
+}
+
+// DistanceTable answers on the current epoch; see Service.DistanceTable.
+func (h *Hot) DistanceTable(sources, targets []graph.NodeID) ([][]float64, error) {
+	e := h.Acquire()
+	if e == nil {
+		return nil, ErrHotClosed
+	}
+	defer e.Release()
+	return e.svc.DistanceTable(sources, targets)
+}
+
+// HotStats extends the Service counters with swap-lifecycle state; the
+// JSON tags are the wire shape cmd/ahixd's /stats endpoint exposes.
+type HotStats struct {
+	// Epoch is the serving epoch's sequence number, 0 after Close.
+	Epoch uint64 `json:"epoch"`
+	// Path is the index file most recently installed.
+	Path string `json:"path"`
+	// Reloads counts successful swaps after the initial open.
+	Reloads uint64 `json:"reloads"`
+	// Retired counts replaced epochs that fully drained and closed their
+	// mapping; Reloads-Retired (±1 for the initial epoch) is the number of
+	// old mappings still draining.
+	Retired uint64 `json:"retired"`
+	// Current is the serving epoch's counters (zero after Close).
+	Current Stats `json:"current"`
+	// Total is Current plus every retired epoch's counters: the lifetime
+	// aggregate that survives swaps.
+	Total Stats `json:"total"`
+}
+
+// Stats returns a snapshot of the lifecycle counters plus the current
+// epoch's Service counters and the lifetime total.
+func (h *Hot) Stats() HotStats {
+	h.mu.Lock()
+	path := h.path
+	h.mu.Unlock()
+	st := HotStats{
+		Path:    path,
+		Reloads: h.reloads.Load(),
+		Retired: h.retired.Load(),
+	}
+	if e := h.Acquire(); e != nil {
+		st.Epoch = e.seq
+		st.Current = e.svc.Stats()
+		e.Release()
+	}
+	h.totalMu.Lock()
+	st.Total = h.total
+	h.totalMu.Unlock()
+	st.Total.add(st.Current)
+	return st
+}
+
+// Limiter is a bounded-concurrency admission gate with load-shedding:
+// TryAcquire never blocks, it either takes one of n slots or refuses and
+// counts a shed — the daemon turns a refusal into 503 + Retry-After, so
+// overload degrades to fast rejections instead of an unbounded goroutine
+// pile-up. Safe for concurrent use.
+type Limiter struct {
+	sem   chan struct{}
+	sheds atomic.Uint64
+}
+
+// NewLimiter returns a limiter admitting at most n concurrent holders
+// (minimum 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot if one is free; a false return means the caller
+// must shed the request (the refusal is already counted).
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		l.sheds.Add(1)
+		return false
+	}
+}
+
+// Release frees a slot taken by a successful TryAcquire.
+func (l *Limiter) Release() {
+	select {
+	case <-l.sem:
+	default:
+		panic("serve: Limiter.Release without a matching TryAcquire")
+	}
+}
+
+// Cap returns the admission bound.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// InFlight returns the number of slots currently held.
+func (l *Limiter) InFlight() int { return len(l.sem) }
+
+// Sheds returns how many TryAcquire calls were refused.
+func (l *Limiter) Sheds() uint64 { return l.sheds.Load() }

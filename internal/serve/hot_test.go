@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/batch"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// hotFixture is two differently-weighted indexes over the same node id
+// space, saved as AHIX files, with sequential-Dijkstra ground truth for a
+// fixed point-to-point workload and a fixed table — everything a swap test
+// needs to know which generation answered.
+type hotFixture struct {
+	pathA, pathB string
+	wl           workload  // pairs with per-graph truth
+	wantA, wantB []float64 // wl truth on A and B
+	srcs, tgts   []graph.NodeID
+	tableA       [][]float64
+	tableB       [][]float64
+}
+
+func makeHotFixture(t *testing.T) *hotFixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &hotFixture{
+		pathA: filepath.Join(dir, "a.ahix"),
+		pathB: filepath.Join(dir, "b.ahix"),
+		srcs:  []graph.NodeID{0, 17, 101, 255},
+		tgts:  []graph.NodeID{1, 9, 42, 128, 254},
+	}
+	cfg := gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.3, Seed: 7,
+	}
+	gA, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8 // same 256-node lattice, different weights and removals
+	gB, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gA.NumNodes() != gB.NumNodes() {
+		t.Fatalf("fixture graphs differ in size: %d vs %d", gA.NumNodes(), gB.NumNodes())
+	}
+	if err := store.Save(f.pathA, ah.Build(gA, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(f.pathB, ah.Build(gB, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(19))
+	n := gA.NumNodes()
+	uniA, uniB := dijkstra.NewSearch(gA), dijkstra.NewSearch(gB)
+	const pairs = 48
+	f.wl.pairs = make([][2]graph.NodeID, pairs)
+	f.wantA = make([]float64, pairs)
+	f.wantB = make([]float64, pairs)
+	for i := range f.wl.pairs {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		f.wl.pairs[i] = [2]graph.NodeID{s, d}
+		f.wantA[i] = uniA.Distance(s, d)
+		f.wantB[i] = uniB.Distance(s, d)
+	}
+	truth := func(uni *dijkstra.Search) [][]float64 {
+		rows := make([][]float64, len(f.srcs))
+		for i, s := range f.srcs {
+			rows[i] = make([]float64, len(f.tgts))
+			for j, d := range f.tgts {
+				rows[i][j] = uni.Distance(s, d)
+			}
+		}
+		return rows
+	}
+	f.tableA, f.tableB = truth(uniA), truth(uniB)
+	return f
+}
+
+// epochTruth maps an epoch sequence number to the fixture's ground truth:
+// the harness alternates B, A, B, ... on reload, so odd epochs serve A
+// (the initially opened file) and even epochs serve B.
+func (f *hotFixture) epochTruth(seq uint64) (pairs []float64, table [][]float64) {
+	if seq%2 == 1 {
+		return f.wantA, f.tableA
+	}
+	return f.wantB, f.tableB
+}
+
+// TestHotSwapConcurrent is the race-gated hot-swap harness of the
+// acceptance criteria: 8 goroutines hammer Distance and DistanceTable
+// while the main goroutine reloads between two differently-built indexes
+// 5 times. Every answer must be exact for whichever epoch served it
+// (caught by checking against that generation's Dijkstra truth), no
+// request may fail, and after the drain every replaced mapping must have
+// been retired exactly once — under -race this is also the
+// use-after-munmap gate, since a query touching a mapping Close'd early
+// faults.
+func TestHotSwapConcurrent(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHot(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const reloads = 5
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		distances atomic.Uint64
+		tables    atomic.Uint64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := h.Acquire()
+				if e == nil {
+					t.Error("Acquire returned nil while the handle was open")
+					return
+				}
+				wantPairs, wantTable := f.epochTruth(e.Seq())
+				if k%5 == 4 {
+					rows, err := e.Service().DistanceTable(f.srcs, f.tgts)
+					if err != nil {
+						t.Errorf("worker %d epoch %d: DistanceTable: %v", w, e.Seq(), err)
+						e.Release()
+						return
+					}
+					tables.Add(1)
+					for i := range rows {
+						for j := range rows[i] {
+							if !sameDist(rows[i][j], wantTable[i][j]) {
+								t.Errorf("worker %d epoch %d cell[%d][%d]: got %v, want %v",
+									w, e.Seq(), i, j, rows[i][j], wantTable[i][j])
+								e.Release()
+								return
+							}
+						}
+					}
+				} else {
+					i := (k + w*13) % len(f.wl.pairs)
+					s, d := f.wl.pairs[i][0], f.wl.pairs[i][1]
+					got, err := e.Service().Distance(s, d)
+					if err != nil {
+						t.Errorf("worker %d epoch %d pair %d: %v", w, e.Seq(), i, err)
+						e.Release()
+						return
+					}
+					distances.Add(1)
+					if !sameDist(got, wantPairs[i]) {
+						t.Errorf("worker %d epoch %d pair %d (%d->%d): got %v, want %v",
+							w, e.Seq(), i, s, d, got, wantPairs[i])
+						e.Release()
+						return
+					}
+				}
+				e.Release()
+			}
+		}(w)
+	}
+
+	for r := 0; r < reloads; r++ {
+		path := f.pathB
+		if r%2 == 1 {
+			path = f.pathA
+		}
+		seq, err := h.Reload(path)
+		if err != nil {
+			t.Fatalf("reload %d: %v", r, err)
+		}
+		if want := uint64(r + 2); seq != want {
+			t.Fatalf("reload %d: seq = %d, want %d", r, seq, want)
+		}
+		time.Sleep(3 * time.Millisecond) // let some queries land on this epoch
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Workers released every borrow before wg.Wait returned and Close
+	// dropped the last installed ref, so retirement is fully settled: each
+	// of the reloads+1 epochs must have been retired exactly once.
+	st := h.Stats()
+	if st.Reloads != reloads {
+		t.Errorf("Stats.Reloads = %d, want %d", st.Reloads, reloads)
+	}
+	if want := uint64(reloads + 1); st.Retired != want {
+		t.Errorf("Stats.Retired = %d epochs, want %d (every mapping closed exactly once)", st.Retired, want)
+	}
+	if st.Epoch != 0 {
+		t.Errorf("Stats.Epoch = %d after Close, want 0", st.Epoch)
+	}
+	// No request was dropped: the lifetime totals fold every epoch's
+	// counters, and they must match what the workers got answers for.
+	if st.Total.Queries != distances.Load() {
+		t.Errorf("Total.Queries = %d, want %d", st.Total.Queries, distances.Load())
+	}
+	if st.Total.Tables != tables.Load() {
+		t.Errorf("Total.Tables = %d, want %d", st.Total.Tables, tables.Load())
+	}
+	if distances.Load() == 0 || tables.Load() == 0 {
+		t.Errorf("degenerate run: %d distances, %d tables", distances.Load(), tables.Load())
+	}
+}
+
+// TestHotReload pins the sequential reload semantics: answers flip to the
+// new file's truth, an empty path re-opens the current file, a bad path
+// leaves the serving epoch untouched, and stats survive swaps.
+func TestHotReload(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHot(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	check := func(want []float64, what string) {
+		t.Helper()
+		for i, p := range f.wl.pairs {
+			got, err := h.Distance(p[0], p[1])
+			if err != nil {
+				t.Fatalf("%s pair %d: %v", what, i, err)
+			}
+			if !sameDist(got, want[i]) {
+				t.Fatalf("%s pair %d (%d->%d): got %v, want %v", what, i, p[0], p[1], got, want[i])
+			}
+		}
+	}
+	check(f.wantA, "epoch 1")
+	queriesOnA := h.Stats().Current.Queries
+
+	seq, err := h.Reload(f.pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("Reload seq = %d, want 2", seq)
+	}
+	check(f.wantB, "epoch 2")
+
+	// Empty path = reload the file most recently installed (SIGHUP).
+	if seq, err = h.Reload(""); err != nil || seq != 3 {
+		t.Fatalf("Reload(\"\") = %d, %v; want 3, nil", seq, err)
+	}
+	check(f.wantB, "epoch 3")
+
+	// A bad target must leave the current epoch serving.
+	if _, err := h.Reload(filepath.Join(t.TempDir(), "absent.ahix")); err == nil {
+		t.Fatal("Reload of a missing file succeeded")
+	}
+	check(f.wantB, "epoch 3 after failed reload")
+
+	st := h.Stats()
+	if st.Epoch != 3 || st.Reloads != 2 {
+		t.Fatalf("Stats epoch/reloads = %d/%d, want 3/2", st.Epoch, st.Reloads)
+	}
+	if st.Path != f.pathB {
+		t.Fatalf("Stats.Path = %q, want %q", st.Path, f.pathB)
+	}
+	// The lifetime total still includes epoch 1's queries; the current
+	// epoch's counters do not.
+	if st.Total.Queries < queriesOnA+st.Current.Queries || st.Current.Queries >= st.Total.Queries {
+		t.Fatalf("stats lost history across swaps: total %d, current %d, epoch-1 %d",
+			st.Total.Queries, st.Current.Queries, queriesOnA)
+	}
+}
+
+// TestHotAcquirePinsEpoch shows the drain discipline directly: an epoch
+// acquired before a reload keeps its mapping alive (and answering its own
+// generation's truth) until the borrow is released, at which point it is
+// retired exactly once.
+func TestHotAcquirePinsEpoch(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHot(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	e := h.Acquire()
+	if e == nil || e.Seq() != 1 {
+		t.Fatalf("Acquire = %+v, want epoch 1", e)
+	}
+	if _, err := h.Reload(f.pathB); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Stats().Retired; got != 0 {
+		t.Fatalf("epoch 1 retired while still borrowed (Retired = %d)", got)
+	}
+	// The pinned epoch still serves generation-A answers even though the
+	// handle has moved on to B.
+	i := 0
+	got, err := e.Service().Distance(f.wl.pairs[i][0], f.wl.pairs[i][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDist(got, f.wantA[i]) {
+		t.Fatalf("pinned epoch answered %v, want generation-A truth %v", got, f.wantA[i])
+	}
+	e.Release()
+	if got := h.Stats().Retired; got != 1 {
+		t.Fatalf("Retired = %d after final release, want 1", got)
+	}
+}
+
+// TestHotClose pins the closed-handle behaviour: queries and reloads fail
+// with ErrHotClosed, Acquire returns nil, and Close is idempotent.
+func TestHotClose(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHot(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e := h.Acquire(); e != nil {
+		t.Fatal("Acquire after Close returned an epoch")
+	}
+	if _, err := h.Distance(0, 1); !errors.Is(err, ErrHotClosed) {
+		t.Fatalf("Distance after Close: %v, want ErrHotClosed", err)
+	}
+	if _, _, err := h.Path(0, 1); !errors.Is(err, ErrHotClosed) {
+		t.Fatalf("Path after Close: %v, want ErrHotClosed", err)
+	}
+	if _, err := h.DistanceTable(f.srcs, f.tgts); !errors.Is(err, ErrHotClosed) {
+		t.Fatalf("DistanceTable after Close: %v, want ErrHotClosed", err)
+	}
+	if _, err := h.Reload(f.pathB); !errors.Is(err, ErrHotClosed) {
+		t.Fatalf("Reload after Close: %v, want ErrHotClosed", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestLimiter covers the admission gate: n concurrent holders, refusal
+// (counted as a shed) at n+1, reuse after Release, and the
+// release-without-acquire panic.
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("TryAcquire %d refused below the limit", i)
+		}
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded above the limit")
+	}
+	if l.InFlight() != 3 || l.Sheds() != 1 {
+		t.Fatalf("InFlight/Sheds = %d/%d, want 3/1", l.InFlight(), l.Sheds())
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire refused after a Release")
+	}
+	for i := 0; i < 3; i++ {
+		l.Release()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Release without TryAcquire did not panic")
+			}
+		}()
+		l.Release()
+	}()
+	if NewLimiter(0).Cap() != 1 {
+		t.Fatal("NewLimiter(0) must clamp to 1")
+	}
+}
+
+// TestDistanceTableCtxCancel checks the cooperative cancellation path: a
+// dead context abandons the table between rows, reports how far it got,
+// and leaves the stats untouched (no half-counted table).
+func TestDistanceTableCtxCancel(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 300, K: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ah.Build(g, ah.Options{}))
+	srcs := []graph.NodeID{1, 2, 3}
+	tgts := []graph.NodeID{4, 5}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.DistanceTableCtx(ctx, srcs, tgts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled table: %v, want context.Canceled", err)
+	}
+	if st := svc.Stats(); st.Tables != 0 || st.TableSettled != 0 {
+		t.Fatalf("cancelled table leaked into stats: %+v", st)
+	}
+	// And the workspace went back to the pool in a usable state.
+	rows, err := svc.DistanceTableCtx(context.Background(), srcs, tgts)
+	if err != nil || len(rows) != len(srcs) {
+		t.Fatalf("table after cancellation: %v, %d rows", err, len(rows))
+	}
+	if st := svc.Stats(); st.Tables != 1 {
+		t.Fatalf("Stats.Tables = %d, want 1", st.Tables)
+	}
+}
+
+// TestStatsPanicPath is the regression test for the panic-path accounting
+// bug: a pooled workspace that panics mid-call used to flow through the
+// deferred accounting anyway, double-counting whatever its counters held
+// from the previous call (and counting the failed call as served). The
+// fix reads counters only after a normal return, so a panicking call must
+// leave Stats exactly as it found them. The panic is induced by poisoning
+// the pools with workspaces built over a smaller index, so ids that pass
+// the service's validation blow up inside the engine — the failure mode
+// of any future bug that lets a bad id slip past validation.
+func TestStatsPanicPath(t *testing.T) {
+	big, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 40, K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigIdx := ah.Build(big, ah.Options{})
+	smallIdx := ah.Build(small, ah.Options{})
+	outOfSmall := graph.NodeID(big.NumNodes() - 1) // valid for big, OOB for small
+
+	mustPanic := func(t *testing.T, what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic; the poisoned workspace was not used", what)
+			}
+		}()
+		fn()
+	}
+
+	t.Run("DistanceTable", func(t *testing.T) {
+		svc := NewService(bigIdx)
+		evil := &TableQuerier{Engine: batch.NewEngine(smallIdx), pool: svc.tables}
+		svc.tables.pool.New = func() any { return evil }
+
+		// Prime: a real table through the poisoned engine, ids valid in
+		// both indexes, so its counters are nonzero going into the panic.
+		if _, err := svc.DistanceTable([]graph.NodeID{0, 1}, []graph.NodeID{2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		before := svc.Stats()
+		if before.Tables != 1 || before.TableSettled == 0 {
+			t.Fatalf("priming call not accounted: %+v", before)
+		}
+
+		mustPanic(t, "DistanceTable", func() {
+			svc.DistanceTable([]graph.NodeID{0}, []graph.NodeID{outOfSmall})
+		})
+		if after := svc.Stats(); after != before {
+			t.Fatalf("panicking table changed stats:\nbefore %+v\nafter  %+v", before, after)
+		}
+	})
+
+	t.Run("Distance", func(t *testing.T) {
+		svc := NewService(bigIdx)
+		evil := &Querier{Querier: ah.NewQuerier(smallIdx), pool: svc.pool}
+		svc.pool.pool.New = func() any { return evil }
+
+		if _, err := svc.Distance(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		before := svc.Stats()
+		if before.Queries != 1 {
+			t.Fatalf("priming call not accounted: %+v", before)
+		}
+
+		mustPanic(t, "Distance", func() { svc.Distance(0, outOfSmall) })
+		mustPanic(t, "Path", func() { svc.Path(0, outOfSmall) })
+		if after := svc.Stats(); after != before {
+			t.Fatalf("panicking queries changed stats:\nbefore %+v\nafter  %+v", before, after)
+		}
+	})
+}

@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -150,32 +151,46 @@ func (p *TablePool) Get() *TableQuerier {
 func (p *TablePool) put(q *TableQuerier) { p.pool.Put(q) }
 
 // Stats are cumulative service counters, read atomically via
-// Service.Stats.
+// Service.Stats. Panicking or cancelled calls are not counted: every
+// counter reflects completed work only. The JSON tags are the wire shape
+// cmd/ahixd's /stats endpoint exposes.
 type Stats struct {
 	// Queries is the number of Distance/Path calls served.
-	Queries uint64
+	Queries uint64 `json:"queries"`
 	// Settled is the total number of nodes expanded across all queries;
 	// the ratio Settled/Queries is the paper's machine-independent cost
 	// metric, aggregated over the service lifetime.
-	Settled uint64
+	Settled uint64 `json:"settled"`
 	// Stalled is the total number of popped nodes the stall-on-demand
 	// pruning stopped from expanding. Settled+Stalled is the total pop
 	// count; a high Stalled share means the pruning is earning its keep.
-	Stalled uint64
+	Stalled uint64 `json:"stalled"`
 	// Tables is the number of DistanceTable calls served.
-	Tables uint64
+	Tables uint64 `json:"tables"`
 	// TablePairs is the total number of matrix cells those calls resolved
 	// (Σ sources × targets); TablePairs/Tables is the average table size.
-	TablePairs uint64
+	TablePairs uint64 `json:"table_pairs"`
 	// TableSettled is the total number of nodes the table engines' upward
 	// searches popped — the source-side cost, comparable to Settled (which
 	// counts only point-to-point queries).
-	TableSettled uint64
+	TableSettled uint64 `json:"table_settled"`
 	// TableSwept is the total number of downward-CSR entries the table
 	// engines' sweeps relaxed — the amortised target-side cost; compare
 	// TableSwept/TablePairs against Settled/Queries to see the batching
 	// win per resolved distance.
-	TableSwept uint64
+	TableSwept uint64 `json:"table_swept"`
+}
+
+// add accumulates o into s; Hot uses it to fold retired epochs' counters
+// into a lifetime total.
+func (s *Stats) add(o Stats) {
+	s.Queries += o.Queries
+	s.Settled += o.Settled
+	s.Stalled += o.Stalled
+	s.Tables += o.Tables
+	s.TablePairs += o.TablePairs
+	s.TableSettled += o.TableSettled
+	s.TableSwept += o.TableSwept
 }
 
 // Service is a goroutine-safe query facade over one shared index: each
@@ -211,9 +226,15 @@ func (s *Service) Distance(src, dst graph.NodeID) (float64, error) {
 	}
 	q := s.pool.Get()
 	// Released via defer so a panicking query cannot strand the querier
-	// outside the pool or skip the aggregate counters.
-	defer func() { s.account(q); q.Release() }()
-	return q.Distance(src, dst), nil
+	// outside the pool. Accounting is NOT deferred: a querier that
+	// panicked mid-search still carries the counters of its previous
+	// query, and folding those into Stats would double-count them — so
+	// the counters are read only after the query returns normally (and
+	// before Release, while this goroutine still owns the workspace).
+	defer q.Release()
+	d := q.Distance(src, dst)
+	s.account(q.Querier)
+	return d, nil
 }
 
 // Path returns a shortest path from src to dst as an original-graph node
@@ -225,8 +246,9 @@ func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
 		return nil, math.Inf(1), err
 	}
 	q := s.pool.Get()
-	defer func() { s.account(q); q.Release() }()
+	defer q.Release() // panic-safe; accounting only on normal return (see Distance)
 	p, d := q.Path(src, dst)
+	s.account(q.Querier)
 	return p, d, nil
 }
 
@@ -238,6 +260,18 @@ func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
 // *RangeError before any work happens. Safe for concurrent use; cells are
 // bit-identical to the corresponding Distance calls.
 func (s *Service) DistanceTable(sources, targets []graph.NodeID) ([][]float64, error) {
+	return s.DistanceTableCtx(context.Background(), sources, targets)
+}
+
+// DistanceTableCtx is DistanceTable with cooperative cancellation: ctx is
+// checked before every source row, so a deadline or client disconnect
+// abandons the remaining rows and returns ctx's error (wrapped) instead of
+// computing a table nobody is waiting for. A cancelled call is not counted
+// in Stats; neither is a panicking engine — counters are read only after
+// the whole table completes, so a workspace that blew up mid-table cannot
+// re-contribute its previous table's counts (the same rule Distance and
+// Path follow).
+func (s *Service) DistanceTableCtx(ctx context.Context, sources, targets []graph.NodeID) ([][]float64, error) {
 	n := s.pool.Index().Graph().NumNodes()
 	for _, list := range [2][]graph.NodeID{sources, targets} {
 		for _, v := range list {
@@ -247,14 +281,22 @@ func (s *Service) DistanceTable(sources, targets []graph.NodeID) ([][]float64, e
 		}
 	}
 	q := s.tables.Get()
-	defer func() {
-		s.tableCalls.Add(1)
-		s.tablePairs.Add(uint64(len(sources)) * uint64(len(targets)))
-		s.tableSettled.Add(uint64(q.Settled()))
-		s.tableSwept.Add(uint64(q.Swept()))
-		q.Release()
-	}()
-	return q.DistanceTable(sources, targets), nil
+	defer q.Release() // panic-safe: never strand the workspace outside the pool
+	q.ResetCounters()
+	sel := q.Select(targets)
+	rows := make([][]float64, len(sources))
+	for i, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serve: distance table after %d/%d rows: %w", i, len(sources), err)
+		}
+		rows[i] = make([]float64, len(targets))
+		q.Row(src, sel, rows[i])
+	}
+	s.tableCalls.Add(1)
+	s.tablePairs.Add(uint64(len(sources)) * uint64(len(targets)))
+	s.tableSettled.Add(uint64(q.Settled()))
+	s.tableSwept.Add(uint64(q.Swept()))
+	return rows, nil
 }
 
 // validate bounds-checks both endpoints against the index. Rejected
@@ -270,7 +312,7 @@ func (s *Service) validate(src, dst graph.NodeID) error {
 	return nil
 }
 
-func (s *Service) account(q *Querier) {
+func (s *Service) account(q *ah.Querier) {
 	s.queries.Add(1)
 	s.settled.Add(uint64(q.Settled()))
 	s.stalled.Add(uint64(q.Stalled()))

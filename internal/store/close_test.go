@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/gen"
+)
+
+// closeFixture saves a small v2 index and returns its path.
+func closeFixture(t *testing.T) string {
+	t.Helper()
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 200, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.ahix")
+	if err := Save(path, ah.Build(g, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMappedCloseExactlyOnce is the contract test the hot-swapper's
+// refcount relies on: no matter how many times — or from how many
+// goroutines — Close is called, the mapping is munmapped exactly once.
+// The syscall is counted through the munmapFile indirection because a
+// double munmap usually does NOT crash: it either returns EINVAL or, far
+// worse, tears down an unrelated mapping placed at the same address.
+func TestMappedCloseExactlyOnce(t *testing.T) {
+	if !mmapAvailable {
+		t.Skip("no mmap on this platform")
+	}
+	var munmaps atomic.Int32
+	realMunmap := munmapFile
+	munmapFile = func(data []byte) error {
+		munmaps.Add(1)
+		return realMunmap(data)
+	}
+	defer func() { munmapFile = realMunmap }()
+
+	m, err := Open(closeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mapped() {
+		t.Fatal("fixture did not mmap")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := munmaps.Load(); got != 1 {
+		t.Fatalf("munmap ran %d times across %d concurrent Closes, want exactly 1", got, goroutines)
+	}
+	// And again sequentially, long after the mapping is gone.
+	if err := m.Close(); err != nil {
+		t.Fatalf("late Close: %v", err)
+	}
+	if got := munmaps.Load(); got != 1 {
+		t.Fatalf("late Close re-ran munmap (%d total)", got)
+	}
+}
+
+// TestMappedClosedContract pins the no-queries-after-Close enforcement on
+// a mapped handle: Mapped() turns false, Index() returns nil (a stale
+// caller nil-panics at the call site instead of faulting mid-query), and
+// Verify refuses with ErrClosed.
+func TestMappedClosedContract(t *testing.T) {
+	if !mmapAvailable {
+		t.Skip("no mmap on this platform")
+	}
+	m, err := Open(closeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Index() == nil || !m.Mapped() {
+		t.Fatal("open handle not usable")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify before Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Error("Mapped() still true after Close")
+	}
+	if m.Index() != nil {
+		t.Error("Index() non-nil after Close on a mapped handle")
+	}
+	if err := m.Verify(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Verify after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestNotMappedCloseKeepsIndex pins the fallback side of the contract: a
+// handle that owns private memory (here a v1 file, which Open always
+// rebuilds) survives Close — the index is not backed by a mapping, so
+// there is nothing to invalidate.
+func TestNotMappedCloseKeepsIndex(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	path := filepath.Join(t.TempDir(), "v1.ahix")
+	if err := os.WriteFile(path, EncodeLegacy(idx), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("v1 handle claims a mapping")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Index() == nil {
+		t.Fatal("private-memory index lost by Close")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify on a private-memory handle: %v", err)
+	}
+	if d := m.Index().Distance(0, 1); d != idx.Distance(0, 1) {
+		t.Fatal("closed private-memory handle answers differently")
+	}
+}

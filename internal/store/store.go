@@ -36,6 +36,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/ah"
@@ -164,21 +165,36 @@ func Load(path string) (*ah.Index, error) {
 // Mapped is an index opened by Open together with the memory backing it.
 // When Mapped() reports true the index's arrays alias a read-only file
 // mapping: the handle must stay open for as long as the index is in use,
-// and Close invalidates the index (queries after Close fault). When false
-// (mmap unavailable, or a v1 file that needs rebuilding anyway) the index
-// owns private memory and Close is a no-op.
+// and Close invalidates the index — no queries may start after Close, and
+// Close must not race in-flight queries (they would fault on unmapped
+// pages). serve.Hot enforces that ordering with a per-epoch refcount;
+// anything else must provide its own. When false (mmap unavailable, or a
+// v1 file that needs rebuilding anyway) the index owns private memory and
+// Close only marks the handle closed.
 type Mapped struct {
 	idx    *ah.Index
 	data   []byte
 	mapped bool
+	closed atomic.Bool
 }
 
-// Index returns the opened index.
-func (m *Mapped) Index() *ah.Index { return m.idx }
+// ErrClosed is returned by Verify on a handle whose mapping was already
+// released by Close.
+var ErrClosed = errors.New("store: mapped index used after Close")
+
+// Index returns the opened index, or nil after Close released the mapping
+// backing it — callers holding a stale handle get a nil-pointer panic at
+// the call site instead of a fault deep inside a query.
+func (m *Mapped) Index() *ah.Index {
+	if m.mapped && m.closed.Load() {
+		return nil
+	}
+	return m.idx
+}
 
 // Mapped reports whether the index's arrays point into a shared file
-// mapping rather than private memory.
-func (m *Mapped) Mapped() bool { return m.mapped }
+// mapping rather than private memory; false once Close has released it.
+func (m *Mapped) Mapped() bool { return m.mapped && !m.closed.Load() }
 
 // Verify runs the O(file) payload checksum that Open's mmap path skips
 // (Load and Decode always verify it): it faults in every page once and
@@ -192,6 +208,9 @@ func (m *Mapped) Verify() error {
 	if !m.mapped {
 		return nil
 	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
 	payloadBase, _, err := v2Header(m.data)
 	if err != nil {
 		return err
@@ -200,12 +219,19 @@ func (m *Mapped) Verify() error {
 }
 
 // Close releases the file mapping, if any. The index must not be used
-// afterwards when Mapped() was true.
+// afterwards when Mapped() was true. Close is idempotent and safe to call
+// from multiple goroutines: an atomic flag elects exactly one caller to
+// munmap, every other call returns nil having done nothing — the contract
+// serve.Hot's epoch refcount relies on (a late Release racing a shutdown
+// path must never double-munmap, which could tear down an unrelated
+// mapping the allocator placed at the same address).
 func (m *Mapped) Close() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if !m.mapped {
 		return nil
 	}
-	m.mapped = false
 	data := m.data
 	m.data, m.idx = nil, nil
 	return munmapFile(data)
