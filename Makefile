@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-record
+.PHONY: check fmt-check vet build test race overhead-gate bench bench-record
 
-check: fmt-check vet build test race
+check: fmt-check vet build test race overhead-gate
 
 # gofmt over the whole tree (the repo root recurses into every package
 # dir, new ones included); any unformatted file fails the gate.
@@ -31,12 +31,22 @@ test:
 # load path (whose indexes feed the shared-Index serving model), its
 # concurrent double-Close munmap-exactly-once test, and its Workers:1 vs
 # Workers:4 byte-identical-blob harness, the parallel-build determinism +
-# region-sharding tests in ah/gridindex, and the ahixd HTTP layer
-# (shedding, timeouts, reload) over all of it.
+# region-sharding tests in ah/gridindex, the ahixd HTTP layer
+# (shedding, timeouts, reload) over all of it, and internal/obsv's
+# concurrent histogram hammer (N observers racing the exposition
+# renderer; bucket counts must sum exactly).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./cmd/ahixd/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./internal/obsv/... ./cmd/ahixd/...
 	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
+
+# Metrics must be effectively free on the query hot path: p2p queries on a
+# Service wired to a real obsv registry must run within 5% of one wired to
+# the no-op registry (min-of-rounds timing, a few retries against host
+# noise). The env gate keeps the wall-clock comparison out of plain
+# `go test ./...`.
+overhead-gate:
+	AH_OVERHEAD_GATE=1 $(GO) test ./internal/serve/ -run TestMetricsOverheadGate -v -count=1
 
 # End-to-end daemon smoke: builds the real ahixd binary, generates a tiny
 # index, starts the daemon on a random port, queries it over TCP,

@@ -37,7 +37,7 @@ func main() {
 }
 
 const usage = `usage:
-  ahix build -gr FILE.gr -co FILE.co -out FILE.ahix [-workers N]
+  ahix build -gr FILE.gr -co FILE.co -out FILE.ahix [-workers N] [-v]
   ahix query -index FILE.ahix [-path] SRC DST
   ahix table -index FILE.ahix -sources IDS -targets IDS
 
@@ -67,6 +67,7 @@ func runBuild(args []string, out io.Writer) error {
 	co := fs.String("co", "", "DIMACS coordinate file (.co)")
 	outPath := fs.String("out", "", "output AHIX index path")
 	workers := fs.Int("workers", 0, "preprocessing goroutines (0 = GOMAXPROCS; output is identical for every value)")
+	verbose := fs.Bool("v", false, "print the per-phase build timing breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,7 +91,7 @@ func runBuild(args []string, out io.Writer) error {
 		return err
 	}
 	parsed := time.Now()
-	idx := ah.Build(g, ah.Options{Workers: *workers})
+	idx, phases := ah.BuildWithPhases(g, ah.Options{Workers: *workers})
 	built := time.Now()
 	if err := store.Save(*outPath, idx); err != nil {
 		return err
@@ -99,6 +100,11 @@ func runBuild(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "parsed %d nodes / %d edges in %v\n", st.Nodes, st.BaseEdges, parsed.Sub(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "built AH index in %v: %d shortcuts, %d grid levels, max elevation %d\n",
 		built.Sub(parsed).Round(time.Millisecond), st.Shortcuts, st.GridLevels, st.MaxElevation)
+	if *verbose {
+		// Per-phase wall clock: the numbers a multi-core ladder run plots
+		// against -workers to see which phases actually scale.
+		fmt.Fprintf(out, "build phases: %s\n", phases)
+	}
 	fmt.Fprintf(out, "saved %s in %v\n", *outPath, time.Since(built).Round(time.Millisecond))
 	return nil
 }

@@ -54,11 +54,16 @@ func TestEndToEnd(t *testing.T) {
 	idxPath := filepath.Join(dir, "g.ahix")
 
 	var buildOut strings.Builder
-	if err := run([]string{"build", "-gr", grPath, "-co", coPath, "-out", idxPath}, &buildOut); err != nil {
+	if err := run([]string{"build", "-gr", grPath, "-co", coPath, "-out", idxPath, "-v"}, &buildOut); err != nil {
 		t.Fatalf("build: %v", err)
 	}
 	if !strings.Contains(buildOut.String(), "shortcuts") {
 		t.Fatalf("build output missing stats: %q", buildOut.String())
+	}
+	for _, phase := range []string{"build phases:", "hierarchy", "elevation", "contraction", "witness", "layout", "rounds"} {
+		if !strings.Contains(buildOut.String(), phase) {
+			t.Fatalf("build -v output missing %q: %q", phase, buildOut.String())
+		}
 	}
 	if _, err := os.Stat(idxPath); err != nil {
 		t.Fatalf("index not written: %v", err)

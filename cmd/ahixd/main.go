@@ -8,8 +8,9 @@
 //	GET  /path?src=1&dst=264346          distance plus the node sequence
 //	GET  /table?sources=1,2&targets=7,8  distance matrix (also POST JSON
 //	                                     {"sources":[...],"targets":[...]})
-//	GET  /stats                          cumulative counters + swap state
-//	GET  /healthz                        liveness (200 while serving)
+//	GET  /stats                          counters, swap state, latency p50/p90/p99
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /healthz                        epoch, index path, last-reload outcome
 //	POST /reload?index=PATH              hot-swap to a new index file
 //
 // Node ids on the wire are 1-based DIMACS ids, exactly like cmd/ahix;
@@ -33,6 +34,13 @@
 //   - SIGINT/SIGTERM shut down gracefully: stop accepting, let in-flight
 //     requests finish (bounded by -shutdown-timeout), then close the
 //     mapping.
+//   - Flight recorder: /metrics and /stats bypass the limiter so an
+//     operator can see a saturated service; every request is timed into
+//     per-endpoint histograms; query requests carry a per-request trace
+//     feeding a JSON access log on stderr (-access-log), and requests
+//     slower than -slow-query are promoted to slow-query lines with the
+//     full span/counter trace; -pprof-addr serves net/http/pprof on a
+//     separate listener so profiling is never exposed on the query port.
 package main
 
 import (
@@ -45,14 +53,17 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 )
 
@@ -73,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 64, "concurrent query limit; excess requests get 503")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests at shutdown")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (disabled when empty)")
+	slowQuery := fs.Duration("slow-query", 0, "promote requests at least this slow to the slow-query log with full trace detail (disabled when 0)")
+	accessLog := fs.Bool("access-log", true, "write a JSON access-log line per request to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +98,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s := newServer(hot, *maxInflight, *timeout)
+	s := newServer(hot, serverConfig{
+		maxInflight: *maxInflight,
+		timeout:     *timeout,
+		slow:        *slowQuery,
+		accessLog:   *accessLog,
+		logw:        os.Stderr,
+		reg:         obsv.Default(),
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -94,6 +115,27 @@ func run(args []string, out io.Writer) error {
 	srv := &http.Server{Handler: s.routes(), ReadHeaderTimeout: 5 * time.Second}
 	// The smoke test parses this line to find the picked port.
 	fmt.Fprintf(out, "ahixd: serving %s on http://%s\n", *index, ln.Addr())
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling endpoints are never
+		// reachable through the query port (they can stall the world and
+		// must not be exposed where the query API is).
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			hot.Close()
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		fmt.Fprintf(out, "ahixd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go psrv.Serve(pln)
+		defer psrv.Close()
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -132,26 +174,203 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// serverConfig bundles the operational knobs newServer needs; tests
+// override logw (and usually disable the access log) to keep stderr quiet.
+type serverConfig struct {
+	maxInflight int
+	timeout     time.Duration
+	slow        time.Duration // slow-query threshold, 0 = disabled
+	accessLog   bool
+	logw        io.Writer
+	reg         *obsv.Registry
+}
+
 // server is the HTTP layer over the hot-swappable serving stack.
 type server struct {
 	hot     *serve.Hot
 	lim     *serve.Limiter
 	timeout time.Duration
+	slow    time.Duration
+	logging bool
+	reg     *obsv.Registry
+
+	// logMu serialises log lines: entries are marshalled outside the lock
+	// and written in one call so concurrent requests never interleave
+	// mid-line.
+	logMu sync.Mutex
+	logw  io.Writer
+
+	// reqSec holds the per-endpoint request-latency histograms, keyed by
+	// route path; queryHist aliases serve's per-op query histograms (same
+	// registry series) for the /stats summaries.
+	reqSec    map[string]*obsv.Histogram
+	queryHist map[string]*obsv.Histogram
 }
 
-func newServer(hot *serve.Hot, maxInflight int, timeout time.Duration) *server {
-	return &server{hot: hot, lim: serve.NewLimiter(maxInflight), timeout: timeout}
+// instrumentedRoutes are the endpoints wrapped with request histograms;
+// the query-bearing ones (second field) also get access-log lines and
+// slow-query promotion.
+var instrumentedRoutes = []struct {
+	path   string
+	logged bool
+}{
+	{"/distance", true},
+	{"/path", true},
+	{"/table", true},
+	{"/reload", true},
+	{"/stats", false},
+	{"/healthz", false},
+}
+
+func newServer(hot *serve.Hot, cfg serverConfig) *server {
+	if cfg.logw == nil {
+		cfg.logw = io.Discard
+	}
+	if cfg.reg == nil {
+		cfg.reg = obsv.Default()
+	}
+	s := &server{
+		hot:       hot,
+		lim:       serve.NewLimiterWith(cfg.maxInflight, cfg.reg),
+		timeout:   cfg.timeout,
+		slow:      cfg.slow,
+		logging:   cfg.accessLog,
+		reg:       cfg.reg,
+		logw:      cfg.logw,
+		reqSec:    make(map[string]*obsv.Histogram),
+		queryHist: make(map[string]*obsv.Histogram),
+	}
+	if !cfg.reg.IsNoop() {
+		for _, rt := range instrumentedRoutes {
+			s.reqSec[rt.path] = cfg.reg.Histogram("http_request_seconds",
+				"HTTP request latency by endpoint.", obsv.LatencyBuckets, obsv.L("path", rt.path))
+		}
+		// Same name+labels+help as serve.NewServiceWith registers — the
+		// registry hands back the identical series, so the summaries in
+		// /stats read what the query handlers record.
+		for _, op := range []string{"distance", "path", "table"} {
+			s.queryHist[op] = cfg.reg.Histogram("serve_query_seconds",
+				"Latency of served queries by operation.", obsv.LatencyBuckets, obsv.L("op", op))
+		}
+	}
+	return s
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/distance", s.limited(s.handleDistance))
-	mux.HandleFunc("/path", s.limited(s.handlePath))
-	mux.HandleFunc("/table", s.limited(s.handleTable))
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/distance", s.instrument("/distance", true, s.limited(s.handleDistance)))
+	mux.HandleFunc("/path", s.instrument("/path", true, s.limited(s.handlePath)))
+	mux.HandleFunc("/table", s.instrument("/table", true, s.limited(s.handleTable)))
+	mux.HandleFunc("/stats", s.instrument("/stats", false, s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
+	mux.HandleFunc("/reload", s.instrument("/reload", true, s.handleReload))
+	mux.HandleFunc("/metrics", s.handleMetrics) // never limited: scrapes must work while saturated
 	return mux
+}
+
+// statusWriter captures the response code for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint with the flight recorder: request-latency
+// histogram and per-path/code counters always; for logged endpoints also a
+// per-request Trace (threaded to the handler via the request context, so
+// serve's traced paths fill in spans and counts) feeding the JSON access
+// log, with requests slower than the -slow-query threshold promoted to a
+// slow-query line carrying the full trace.
+func (s *server) instrument(path string, logged bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var tr *obsv.Trace
+		if logged && (s.logging || s.slow > 0) {
+			tr = obsv.NewTrace()
+			r = r.WithContext(obsv.ContextWithTrace(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		dur := time.Since(start)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		if hist := s.reqSec[path]; hist != nil {
+			hist.Observe(dur.Seconds())
+			s.reg.Counter("http_responses_total", "HTTP responses by endpoint and status code.",
+				obsv.L("path", path), obsv.L("code", strconv.Itoa(sw.code))).Inc()
+		}
+		if tr != nil {
+			s.logRequest(r, path, sw.code, dur, tr)
+		}
+	}
+}
+
+// accessEntry is one line of the structured access / slow-query log.
+type accessEntry struct {
+	Time    string      `json:"time"`
+	Type    string      `json:"type"` // "access" or "slow_query"
+	Method  string      `json:"method"`
+	Path    string      `json:"path"`
+	Status  int         `json:"status"`
+	Epoch   int64       `json:"epoch,omitempty"`
+	Seconds float64     `json:"seconds"`
+	Settled int64       `json:"settled,omitempty"`
+	Stalled int64       `json:"stalled,omitempty"`
+	Swept   int64       `json:"swept,omitempty"`
+	Trace   *obsv.Trace `json:"trace,omitempty"`
+}
+
+func (s *server) logRequest(r *http.Request, path string, status int, dur time.Duration, tr *obsv.Trace) {
+	slow := s.slow > 0 && dur >= s.slow
+	if !slow && !s.logging {
+		return
+	}
+	e := accessEntry{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Type:    "access",
+		Method:  r.Method,
+		Path:    path,
+		Status:  status,
+		Seconds: dur.Seconds(),
+	}
+	e.Epoch, _ = tr.CountValue("epoch")
+	e.Settled, _ = tr.CountValue("settled")
+	e.Stalled, _ = tr.CountValue("stalled")
+	e.Swept, _ = tr.CountValue("swept")
+	if slow {
+		e.Type = "slow_query"
+		e.Trace = tr
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.logw.Write(b)
+	s.logMu.Unlock()
+}
+
+// handleMetrics renders the Prometheus text exposition. Like /stats and
+// /reload it bypasses the limiter: scrapes are exactly what an operator
+// needs while the service is shedding.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // limited wraps a query handler with admission control and the
@@ -216,9 +435,11 @@ func (s *server) pointQuery(w http.ResponseWriter, r *http.Request, withPath boo
 		return
 	}
 	defer ep.Release()
+	tr := obsv.TraceFrom(r.Context())
+	tr.Count("epoch", int64(ep.Seq()))
 	resp := distanceResponse{Src: int64(src) + 1, Dst: int64(dst) + 1, Epoch: ep.Seq()}
 	if withPath {
-		p, d, err := ep.Service().Path(src, dst)
+		p, d, err := ep.Service().PathTraced(src, dst, tr)
 		if err != nil {
 			writeRangeErr(w, err)
 			return
@@ -231,7 +452,7 @@ func (s *server) pointQuery(w http.ResponseWriter, r *http.Request, withPath boo
 			}
 		}
 	} else {
-		d, err := ep.Service().Distance(src, dst)
+		d, err := ep.Service().DistanceTraced(src, dst, tr)
 		if err != nil {
 			writeRangeErr(w, err)
 			return
@@ -296,6 +517,7 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ep.Release()
+	obsv.TraceFrom(r.Context()).Count("epoch", int64(ep.Seq()))
 	rows, err := ep.Service().DistanceTableCtx(r.Context(), sources, targets)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -320,31 +542,104 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type statsResponse struct {
-	serve.HotStats
+// indexStats is the swap-lifecycle block of /stats.
+type indexStats struct {
+	Epoch           uint64    `json:"epoch"`
+	Path            string    `json:"path"`
+	Reloads         uint64    `json:"reloads"`
+	Retired         uint64    `json:"retired"`
+	LastReloadOK    bool      `json:"last_reload_ok"`
+	LastReloadError string    `json:"last_reload_error,omitempty"`
+	LastReloadAt    time.Time `json:"last_reload_at"`
+}
+
+// admissionStats is the load-shedding block of /stats.
+type admissionStats struct {
 	Sheds       uint64 `json:"sheds"`
 	InFlight    int    `json:"in_flight"`
 	MaxInFlight int    `json:"max_in_flight"`
 }
 
+// histSummary is the /stats rendering of one latency histogram.
+type histSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// statsResponse is one coherent operational document: index lifecycle,
+// admission control, the current epoch's query counters plus the lifetime
+// total (retired epochs folded in), and per-operation latency summaries.
+type statsResponse struct {
+	Index     indexStats             `json:"index"`
+	Admission admissionStats         `json:"admission"`
+	Current   serve.Stats            `json:"current"`
+	Total     serve.Stats            `json:"total"`
+	Latency   map[string]histSummary `json:"latency_seconds"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		HotStats:    s.hot.Stats(),
-		Sheds:       s.lim.Sheds(),
-		InFlight:    s.lim.InFlight(),
-		MaxInFlight: s.lim.Cap(),
-	})
+	hs := s.hot.Stats()
+	resp := statsResponse{
+		Index: indexStats{
+			Epoch:           hs.Epoch,
+			Path:            hs.Path,
+			Reloads:         hs.Reloads,
+			Retired:         hs.Retired,
+			LastReloadOK:    hs.LastReloadOK,
+			LastReloadError: hs.LastReloadError,
+			LastReloadAt:    hs.LastReloadAt,
+		},
+		Admission: admissionStats{
+			Sheds:       s.lim.Sheds(),
+			InFlight:    s.lim.InFlight(),
+			MaxInFlight: s.lim.Cap(),
+		},
+		Current: hs.Current,
+		Total:   hs.Total,
+		Latency: make(map[string]histSummary, len(s.queryHist)),
+	}
+	for op, h := range s.queryHist {
+		snap := h.Snapshot()
+		resp.Latency[op] = histSummary{
+			Count: snap.Count,
+			P50:   snap.Quantile(0.5),
+			P90:   snap.Quantile(0.9),
+			P99:   snap.Quantile(0.99),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse reports serving health: current epoch, index path, and
+// the outcome of the most recent install attempt — a failed SIGHUP reload
+// leaves the old epoch serving, which "epoch" alone cannot reveal.
+type healthzResponse struct {
+	Status          string    `json:"status"` // "ok" or "unavailable"
+	Epoch           uint64    `json:"epoch,omitempty"`
+	Path            string    `json:"path,omitempty"`
+	LastReloadOK    bool      `json:"last_reload_ok"`
+	LastReloadError string    `json:"last_reload_error,omitempty"`
+	LastReloadAt    time.Time `json:"last_reload_at"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ep := s.hot.Acquire()
-	if ep == nil {
-		writeErr(w, http.StatusServiceUnavailable, "index closed")
+	hs := s.hot.Stats()
+	resp := healthzResponse{
+		Status:          "ok",
+		Epoch:           hs.Epoch,
+		Path:            hs.Path,
+		LastReloadOK:    hs.LastReloadOK,
+		LastReloadError: hs.LastReloadError,
+		LastReloadAt:    hs.LastReloadAt,
+	}
+	if hs.Epoch == 0 { // no index serving (Hot closed)
+		resp.Status = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	seq := ep.Seq()
-	ep.Release()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": seq})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReload swaps in a new index file with zero downtime. Reloads are

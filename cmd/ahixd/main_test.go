@@ -9,7 +9,6 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/dijkstra"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -65,14 +65,21 @@ func makeFixture(t *testing.T) *fixture {
 	return f
 }
 
-// startServer opens the fixture's A index behind an httptest server.
+// startServer opens the fixture's A index behind an httptest server, on a
+// test-private registry so metric assertions see only this server's
+// traffic.
 func startServer(t *testing.T, f *fixture, maxInflight int, timeout time.Duration) (*server, *httptest.Server) {
 	t.Helper()
-	hot, err := serve.OpenHot(f.pathA)
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(f.pathA, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(hot, maxInflight, timeout)
+	s := newServer(hot, serverConfig{
+		maxInflight: maxInflight,
+		timeout:     timeout,
+		reg:         reg,
+	})
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(func() {
 		ts.Close()
@@ -202,8 +209,48 @@ func TestEndpoints(t *testing.T) {
 
 	var st statsResponse
 	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
-	if st.Epoch != 1 || st.Current.Queries == 0 || st.Current.Tables == 0 || st.MaxInFlight != 16 {
+	if st.Index.Epoch != 1 || st.Current.Queries == 0 || st.Current.Tables == 0 || st.Admission.MaxInFlight != 16 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if !st.Index.LastReloadOK {
+		t.Fatalf("stats reports failed install after clean open: %+v", st.Index)
+	}
+	for _, op := range []string{"distance", "table"} {
+		s := st.Latency[op]
+		if s.Count == 0 || s.P50 <= 0 || s.P99 < s.P50 {
+			t.Fatalf("latency summary %q = %+v after traffic", op, s)
+		}
+	}
+
+	// The exposition carries the same traffic: spot-check the required
+	// series and the histogram invariant count == +Inf bucket.
+	metricsBody := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Fatalf("metrics content-type = %q", ct)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	expo := metricsBody()
+	for _, want := range []string{
+		"# TYPE serve_query_seconds histogram",
+		`serve_query_seconds_bucket{op="distance",le="+Inf"}`,
+		`http_request_seconds_bucket{path="/distance",le="+Inf"}`,
+		"serve_queries_total ",
+		"serve_query_settled_total ",
+		"serve_query_stalled_total ",
+		"serve_reload_seconds_count ",
+		"serve_verify_seconds_count ",
+		"serve_epoch 1",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, expo)
+		}
 	}
 
 	// Reload to B: answers flip generation, epoch echoes 2.
@@ -241,6 +288,14 @@ func TestEndpoints(t *testing.T) {
 	if want := f.uniB.Distance(0, 255); !sameCell(after.Distance, want) || after.Epoch != 2 {
 		t.Fatalf("failed reload disturbed serving: %+v", after)
 	}
+
+	// healthz surfaces the failed install while the old epoch keeps
+	// serving: still 200, but last_reload_ok flips false with the reason.
+	var h2 healthzResponse
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h2)
+	if h2.Status != "ok" || h2.Epoch != 2 || h2.Path != f.pathB || h2.LastReloadOK || h2.LastReloadError == "" {
+		t.Fatalf("healthz after failed reload = %+v", h2)
+	}
 }
 
 // TestShedding saturates the admission gate by holding its only slot and
@@ -269,8 +324,8 @@ func TestShedding(t *testing.T) {
 	}
 	var st statsResponse
 	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
-	if st.Sheds != 1 || st.InFlight != 1 || st.MaxInFlight != 1 {
-		t.Fatalf("stats after shed = sheds %d, in_flight %d/%d", st.Sheds, st.InFlight, st.MaxInFlight)
+	if a := st.Admission; a.Sheds != 1 || a.InFlight != 1 || a.MaxInFlight != 1 {
+		t.Fatalf("stats after shed = sheds %d, in_flight %d/%d", a.Sheds, a.InFlight, a.MaxInFlight)
 	}
 
 	s.lim.Release()
@@ -306,12 +361,13 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-index", f.pathA, "-addr", "127.0.0.1:0")
+	cmd := exec.Command(bin, "-index", f.pathA, "-addr", "127.0.0.1:0", "-slow-query", "1ns")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	var errBuf bytes.Buffer // access + slow-query log; read only after Wait
+	cmd.Stderr = &errBuf
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -380,11 +436,70 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("post-SIGHUP epoch = %d, want 3", health.Epoch)
 	}
 
+	// The exposition over real TCP must carry every layer's series: the
+	// per-endpoint request histograms, the query counters, the swap
+	// lifecycle (epoch now 3 after two reloads), and the store timings
+	// (registered on the default registry the daemon serves).
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", mresp.StatusCode)
+	}
+	expo := string(mbody)
+	for _, want := range []string{
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{path="/distance",le="+Inf"}`,
+		`serve_query_seconds_bucket{op="distance",le="+Inf"}`,
+		"serve_queries_total ",
+		"serve_query_settled_total ",
+		"serve_query_stalled_total ",
+		"serve_reload_seconds_count 3",
+		"serve_verify_seconds_count 3",
+		"serve_epoch 3",
+		"store_open_seconds_count 3",
+		"store_verify_seconds_count 3",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("smoke exposition missing %q:\n%s", want, expo)
+		}
+	}
+
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	waitLine("shut down cleanly")
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("daemon exit: %v", err)
+	}
+
+	// With -slow-query=1ns every query promotes to a slow-query line:
+	// check the log is valid JSON with the full trace attached.
+	var slow accessEntry
+	found := false
+	for _, line := range strings.Split(errBuf.String(), "\n") {
+		if !strings.Contains(line, `"slow_query"`) {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &slow); err != nil {
+			t.Fatalf("slow-query line %q: %v", line, err)
+		}
+		if slow.Path == "/distance" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no /distance slow-query line in stderr:\n%s", errBuf.String())
+	}
+	if slow.Status != http.StatusOK || slow.Seconds <= 0 || slow.Epoch == 0 ||
+		slow.Trace == nil || len(slow.Trace.Spans) == 0 {
+		t.Fatalf("slow-query entry = %+v", slow)
+	}
+	if _, ok := slow.Trace.CountValue("settled"); !ok {
+		t.Fatalf("slow-query trace has no settled count: %+v", slow.Trace)
 	}
 }

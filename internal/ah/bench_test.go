@@ -199,6 +199,13 @@ func TestAHSettlesFewerThanBiSearch(t *testing.T) {
 
 // benchReport is the schema of BENCH_ah.json.
 type benchReport struct {
+	// Host pins the machine context of the numbers: physical CPU count
+	// and the GOMAXPROCS the run actually used, so ladder artifacts from
+	// different hosts are comparable at a glance.
+	Host struct {
+		CPUs       int `json:"host_cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
 	Graph struct {
 		Generator string `json:"generator"`
 		Nodes     int    `json:"nodes"`
@@ -282,6 +289,8 @@ func TestRecordBench(t *testing.T) {
 	side, seed := benchConfig(t)
 
 	var rep benchReport
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Graph.Generator = fmt.Sprintf("GridCity %dx%d (ladder config, seed %d)", side, side, seed)
 	rep.Graph.Nodes = g.NumNodes()
 	rep.Graph.Edges = g.NumEdges()

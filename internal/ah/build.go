@@ -1,19 +1,84 @@
 package ah
 
 import (
+	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/gridindex"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/pqueue"
 )
 
+// BuildPhases is the wall-clock breakdown of one Build call, the
+// per-phase scaling data the multi-core ladder runs on the ROADMAP need.
+// Witness is the cumulative wall time of the contraction rounds' parallel
+// proposal phases (witness searches dominate it), so Contraction-Witness
+// is the sequential round overhead (independent-set selection plus
+// shortcut application) that bounds multi-core speedup.
+type BuildPhases struct {
+	Hierarchy   time.Duration `json:"hierarchy"`   // grid hierarchy over the embedding
+	Elevation   time.Duration `json:"elevation"`   // elevation sweep (arterialness scoring)
+	Order       time.Duration `json:"order"`       // contraction priority order
+	Contraction time.Duration `json:"contraction"` // all contraction rounds
+	Witness     time.Duration `json:"witness"`     // parallel proposal share of Contraction
+	Layout      time.Duration `json:"layout"`      // upward CSRs + flattened unpack layout
+	Total       time.Duration `json:"total"`
+	Rounds      int           `json:"rounds"` // contraction rounds executed
+}
+
+// String renders the breakdown in one line, the shape `ahix build -v`
+// prints.
+func (ph BuildPhases) String() string {
+	return fmt.Sprintf("total %v: hierarchy %v, elevation %v, order %v, contraction %v (%d rounds, witness %v), layout %v",
+		ph.Total.Round(time.Microsecond), ph.Hierarchy.Round(time.Microsecond),
+		ph.Elevation.Round(time.Microsecond), ph.Order.Round(time.Microsecond),
+		ph.Contraction.Round(time.Microsecond), ph.Rounds,
+		ph.Witness.Round(time.Microsecond), ph.Layout.Round(time.Microsecond))
+}
+
+// record reports the breakdown through the default obsv registry, one
+// labelled histogram series per phase. Builds are rare, so registering on
+// each call (idempotent) is fine.
+func (ph BuildPhases) record() {
+	reg := obsv.Default()
+	obs := func(phase string, d time.Duration) {
+		reg.Histogram("ah_build_phase_seconds", "Duration of index-build phases by phase.",
+			obsv.DurationBuckets, obsv.L("phase", phase)).Observe(d.Seconds())
+	}
+	obs("hierarchy", ph.Hierarchy)
+	obs("elevation", ph.Elevation)
+	obs("order", ph.Order)
+	obs("contraction", ph.Contraction)
+	obs("witness", ph.Witness)
+	obs("layout", ph.Layout)
+	obs("total", ph.Total)
+	reg.Counter("ah_builds_total", "Index builds completed.").Inc()
+	reg.Gauge("ah_build_rounds", "Contraction rounds of the most recent build.").Set(float64(ph.Rounds))
+}
+
 // Build constructs the Arterial Hierarchy for g.
 func Build(g *graph.Graph, opts Options) *Index {
+	x, _ := BuildWithPhases(g, opts)
+	return x
+}
+
+// BuildWithPhases is Build plus the wall-clock phase breakdown, which is
+// also recorded into the default obsv registry.
+func BuildWithPhases(g *graph.Graph, opts Options) (*Index, BuildPhases) {
+	var ph BuildPhases
+	t0 := time.Now()
 	hier := gridindex.Build(g, opts.MaxLevels)
+	t1 := time.Now()
+	ph.Hierarchy = t1.Sub(t0)
 	elev := elevations(g, hier, opts)
+	t2 := time.Now()
+	ph.Elevation = t2.Sub(t1)
 	order := contractionOrder(elev)
+	t3 := time.Now()
+	ph.Order = t3.Sub(t2)
 
 	ov := graph.NewOverlay(g)
 	// Ranks follow the sequence contraction actually used, not the
@@ -22,7 +87,9 @@ func Build(g *graph.Graph, opts Options) *Index {
 	// query holds exactly for the realised sequence (a witness path or
 	// shortcut always bypasses a node through strictly later-contracted,
 	// i.e. higher-ranked, nodes).
-	seq := contract(ov, order, opts)
+	seq := contract(ov, order, opts, &ph)
+	t4 := time.Now()
+	ph.Contraction = t4.Sub(t3)
 	n := g.NumNodes()
 	rank := make([]int32, n)
 	for k, v := range seq {
@@ -47,7 +114,10 @@ func Build(g *graph.Graph, opts Options) *Index {
 		panic(err)
 	}
 	ov.DropAdjacency()
-	return x
+	ph.Layout = time.Since(t4)
+	ph.Total = time.Since(t0)
+	ph.record()
+	return x, ph
 }
 
 // half is one side of a potential shortcut around the node being
@@ -110,7 +180,7 @@ type proposal struct {
 // through v in R is either covered by a witness path inside U \ R or by
 // the added shortcut u -> t of equal weight — the same invariant the
 // one-node-at-a-time contraction maintains.
-func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) []graph.NodeID {
+func contract(ov *graph.Overlay, order []graph.NodeID, opts Options, ph *BuildPhases) []graph.NodeID {
 	n := ov.NumNodes()
 	seq := make([]graph.NodeID, 0, len(order))
 	contracted := make([]bool, n)
@@ -156,9 +226,12 @@ func contract(ov *graph.Overlay, order []graph.NodeID, opts Options) []graph.Nod
 			props = make([][]proposal, len(round))
 		}
 		props = props[:len(round)]
+		wStart := time.Now()
 		par.Do(len(round), workers, func(w, i int) {
 			props[i] = wits[w].propose(ov, round[i], contracted, inRound, limit)
 		})
+		ph.Witness += time.Since(wStart)
+		ph.Rounds++
 
 		// Phase 3 (sequential): apply in round order so edge ids are
 		// deterministic, then retire the round.

@@ -45,14 +45,33 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/ah"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/pqueue"
 )
 
 // Inf is the distance reported for unreachable targets.
 var Inf = math.Inf(1)
+
+// Registry-backed batched-workload series, recorded into the process-wide
+// default registry. Engines are per-goroutine but histogram/gauge handles
+// are lock-free, so every engine in the process shares these. The
+// per-table cost shape (sweep entries per table, selection-build time,
+// resolved cells per second) is what the memory-wall analysis on the
+// ROADMAP needs recorded continuously.
+var (
+	selectSeconds = obsv.Default().Histogram("batch_select_seconds",
+		"Time to build a target selection (restricted downward CSR).", obsv.LatencyBuckets)
+	tableSweepEntries = obsv.Default().Histogram("batch_table_sweep_entries",
+		"Downward CSR entries relaxed per DistanceTable call.", obsv.CountBuckets)
+	tableCellsPerSec = obsv.Default().Gauge("batch_table_cells_per_second",
+		"Resolved cells per second of the most recent DistanceTable call.")
+	tablesTotal = obsv.Default().Counter("batch_tables_total",
+		"DistanceTable calls completed (all engines).")
+)
 
 // Engine is a reusable batched-query workspace over a shared immutable
 // ah.Index. Not safe for concurrent use; clone one per goroutine.
@@ -229,6 +248,8 @@ func (s *Selection) Size() int { return len(s.csr.Order) }
 // edge's tail is a member. The targets slice is copied; the selection does
 // not alias caller memory.
 func (e *Engine) Select(targets []graph.NodeID) *Selection {
+	start := time.Now()
+	defer selectSeconds.ObserveSince(start)
 	e.selCur++
 	if e.selCur == 0 {
 		for i := range e.selStamp {
@@ -295,12 +316,18 @@ func (e *Engine) Row(src graph.NodeID, sel *Selection, out []float64) {
 // tables or engines). Out-of-range ids panic (the workspace arrays are
 // indexed unchecked); use DistanceTableChecked for unvalidated input.
 func (e *Engine) DistanceTable(sources, targets []graph.NodeID) [][]float64 {
+	start := time.Now()
 	sel := e.Select(targets)
 	e.settled, e.swept = 0, 0
 	rows := make([][]float64, len(sources))
 	for i, s := range sources {
 		rows[i] = make([]float64, len(targets))
 		e.Row(s, sel, rows[i])
+	}
+	tablesTotal.Inc()
+	tableSweepEntries.Observe(float64(e.swept))
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		tableCellsPerSec.Set(float64(len(sources)*len(targets)) / sec)
 	}
 	return rows
 }

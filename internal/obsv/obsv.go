@@ -1,0 +1,553 @@
+// Package obsv is the repository's dependency-free observability
+// substrate: a metrics registry of atomic counters, gauges, and
+// fixed-bucket histograms that renders the Prometheus text exposition
+// format, plus a per-query Trace (trace.go) the serving layers thread
+// through their hot paths.
+//
+// Design constraints, in order:
+//
+//   - Recording must be cheap enough for the query hot path: every write
+//     is one or two uncontended atomic adds on a pre-resolved handle — no
+//     map lookups, no locks, no allocation. Registration (the only locked
+//     operation) happens once at wiring time.
+//   - Rendering must be safe under concurrent recording: histograms are
+//     read bucket-by-bucket with atomic loads, and the exposed _count is
+//     derived from the bucket sum so every rendered histogram is
+//     internally consistent (bucket{le="+Inf"} == _count always), even
+//     while observers race the renderer.
+//   - Zero dependencies: the exposition writer speaks the text format
+//     directly, so nothing outside the standard library is needed.
+//
+// Metric handles are nil-safe: every method on a nil *Counter, *Gauge, or
+// *Histogram is a no-op, and the Noop registry hands out nil handles.
+// That is the "instrumentation off" build the Makefile's overhead gate
+// compares against — a disabled metric costs one nil check.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name="value" pair attached to a metric at
+// registration time. Labels are constant for the metric's lifetime — the
+// registry deliberately has no dynamic label lookup on the record path;
+// callers that need per-endpoint metrics register one handle per endpoint
+// up front.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Standard bucket layouts. Callers may pass any ascending bound slice;
+// these cover the repository's workloads.
+var (
+	// LatencyBuckets spans 1µs to 10s: query latencies (tens of µs) up
+	// through slow distance tables and shed/timeout territory.
+	LatencyBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// DurationBuckets spans 1ms to 2 minutes: index opens, verifies,
+	// reloads, and preprocessing phases.
+	DurationBuckets = []float64{
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+	}
+	// CountBuckets is a power-of-4 ladder for size distributions
+	// (selection node counts, table cells).
+	CountBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (current epoch, in-flight
+// requests). All methods are safe for concurrent use and are no-ops on a
+// nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by d (negative to decrement).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets with lock-free
+// atomic.Uint64 cells: bucket i counts observations v <= upper[i], the
+// last cell is the implicit +Inf bucket. Observe is wait-free apart from
+// the CAS loop maintaining the running sum. All methods are safe for
+// concurrent use and are no-ops on a nil receiver.
+type Histogram struct {
+	upper   []float64 // ascending finite bucket upper bounds
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose bound is >= v; beyond the last finite bound the
+	// observation lands in the +Inf cell.
+	h.buckets[sort.SearchFloat64s(h.upper, v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start, the idiom for
+// latency instrumentation: h.ObserveSince(t0).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram, internally
+// consistent: Count is the sum of Buckets, so renderings and quantiles
+// derived from one snapshot never contradict themselves even when taken
+// mid-observation.
+type HistogramSnapshot struct {
+	Upper   []float64 // finite bucket bounds (aliases the histogram's; do not modify)
+	Buckets []uint64  // per-bucket counts, len(Upper)+1 (last = +Inf)
+	Count   uint64    // total observations = sum of Buckets
+	Sum     float64   // running sum of observed values
+}
+
+// Snapshot reads the histogram's cells. A zero-valued snapshot is
+// returned on a nil receiver.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Upper:   h.upper,
+		Buckets: make([]uint64, len(h.buckets)),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket the target rank falls into, the standard
+// histogram_quantile estimate. Observations beyond the last finite bound
+// clamp to that bound. Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile of the snapshot; see
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i >= len(s.Upper) {
+			// Target rank lands in the +Inf bucket: clamp to the largest
+			// finite bound (or the sum/count mean when there are none).
+			if len(s.Upper) == 0 {
+				return s.Sum / float64(s.Count)
+			}
+			return s.Upper[len(s.Upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Upper[i-1]
+		}
+		return lo + (s.Upper[i]-lo)*(target-prev)/float64(c)
+	}
+	return 0
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric: a name, constant labels, and exactly
+// one live handle.
+type entry struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds registered metrics and renders them. Registration
+// methods are safe for concurrent use and idempotent: registering the
+// same name+labels again returns the existing handle (so cross-epoch
+// layers share one cumulative series), while re-registering a name under
+// a different kind panics — that is a wiring bug, not an operational
+// condition.
+type Registry struct {
+	noop bool
+
+	mu        sync.Mutex
+	byKey     map[string]*entry
+	nameKind  map[string]metricKind
+	nameOrder []string
+	byName    map[string][]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:    make(map[string]*entry),
+		nameKind: make(map[string]metricKind),
+		byName:   make(map[string][]*entry),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package records into
+// unless explicitly wired otherwise; cmd/ahixd's /metrics endpoint
+// renders it.
+func Default() *Registry { return defaultRegistry }
+
+var noopRegistry = &Registry{noop: true}
+
+// Noop returns the registry whose registration methods hand out nil
+// (no-op) handles: instrumentation wired to it costs a nil check per
+// record. The Makefile's metrics-overhead gate benchmarks against it.
+func Noop() *Registry { return noopRegistry }
+
+// IsNoop reports whether the registry hands out no-op handles.
+func (r *Registry) IsNoop() bool { return r == nil || r.noop }
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// register validates and interns the (name, labels) series, enforcing
+// one kind per name. Returns the existing entry when already registered.
+func (r *Registry) register(kind metricKind, name, help string, labels []Label) *entry {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obsv: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l.Key) || l.Key == "le" {
+			panic(fmt.Sprintf("obsv: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obsv: metric %q re-registered as %v, already a %v", name, kind, e.kind))
+		}
+		return e
+	}
+	if k, ok := r.nameKind[name]; ok {
+		if k != kind {
+			panic(fmt.Sprintf("obsv: metric %q re-registered as %v, already a %v", name, kind, k))
+		}
+	} else {
+		r.nameKind[name] = kind
+		r.nameOrder = append(r.nameOrder, name)
+	}
+	e := &entry{name: name, help: help, labels: append([]Label(nil), labels...), kind: kind}
+	r.byKey[key] = e
+	r.byName[name] = append(r.byName[name], e)
+	return e
+}
+
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\x00')
+		b.WriteString(l.Key)
+		b.WriteByte('\x01')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Counter registers (or fetches) the counter series name{labels...}. By
+// convention counter names end in _total. Returns nil from the Noop
+// registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r.IsNoop() {
+		return nil
+	}
+	e := r.register(counterKind, name, help, labels)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge registers (or fetches) the gauge series name{labels...}. Returns
+// nil from the Noop registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r.IsNoop() {
+		return nil
+	}
+	e := r.register(gaugeKind, name, help, labels)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram registers (or fetches) the histogram series name{labels...}
+// with the given ascending finite bucket bounds (an implicit +Inf bucket
+// is always added). The bounds are copied. When the series already
+// exists its original bounds are kept. Returns nil from the Noop
+// registry.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r.IsNoop() {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obsv: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	e := r.register(histogramKind, name, help, labels)
+	if e.h == nil {
+		upper := append([]float64(nil), buckets...)
+		e.h = &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+	}
+	return e.h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE block per metric
+// name, all series of that name grouped under it, histograms as
+// cumulative _bucket{le=...} series plus _sum and _count. Safe to call
+// while other goroutines record; each histogram is rendered from one
+// consistent snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r.IsNoop() {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.nameOrder...)
+	groups := make([][]*entry, len(names))
+	for i, n := range names {
+		groups[i] = append([]*entry(nil), r.byName[n]...)
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for i, name := range names {
+		b = b[:0]
+		group := groups[i]
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, group[0].help)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, group[0].kind.String()...)
+		b = append(b, '\n')
+		for _, e := range group {
+			switch e.kind {
+			case counterKind:
+				b = appendSeries(b, e.name, e.labels, nil, float64(e.c.Value()))
+			case gaugeKind:
+				b = appendSeries(b, e.name, e.labels, nil, e.g.Value())
+			case histogramKind:
+				s := e.h.Snapshot()
+				cum := uint64(0)
+				for j, c := range s.Buckets {
+					cum += c
+					le := "+Inf"
+					if j < len(s.Upper) {
+						le = formatFloat(s.Upper[j])
+					}
+					b = appendSeries(b, e.name+"_bucket", e.labels, &le, float64(cum))
+				}
+				b = appendSeries(b, e.name+"_sum", e.labels, nil, s.Sum)
+				b = appendSeries(b, e.name+"_count", e.labels, nil, float64(s.Count))
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSeries renders one sample line: name{labels,le}` `value`\n`.
+func appendSeries(b []byte, name string, labels []Label, le *string, v float64) []byte {
+	b = append(b, name...)
+	if len(labels) > 0 || le != nil {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l.Key...)
+			b = append(b, `="`...)
+			b = appendEscapedLabel(b, l.Value)
+			b = append(b, '"')
+		}
+		if le != nil {
+			if len(labels) > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `le="`...)
+			b = append(b, *le...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, formatFloat(v)...)
+	return append(b, '\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func appendEscapedHelp(b []byte, s string) []byte {
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+func appendEscapedLabel(b []byte, s string) []byte {
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}

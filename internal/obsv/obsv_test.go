@@ -1,0 +1,418 @@
+package obsv
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- minimal Prometheus text-format parser -------------------------------
+//
+// Enough of the 0.0.4 exposition grammar to round-trip what the registry
+// writes: HELP/TYPE comment lines, sample lines with optional labels.
+// The round-trip tests below feed WritePrometheus output through it and
+// compare the parsed model against the registry's own state.
+
+type parsedSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type parsedExposition struct {
+	types   map[string]string // metric name -> counter|gauge|histogram
+	helps   map[string]string
+	samples []parsedSample
+}
+
+func (p *parsedExposition) find(name string, labels map[string]string) (float64, bool) {
+	for _, s := range p.samples {
+		if s.name != name || len(s.labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.value, true
+		}
+	}
+	return 0, false
+}
+
+func parseExposition(t *testing.T, text string) *parsedExposition {
+	t.Helper()
+	p := &parsedExposition{types: map[string]string{}, helps: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			p.helps[name] = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			if _, dup := p.types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			p.types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		s := parsedSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.name = rest[:i]
+			rest = rest[i+1:]
+			for {
+				eq := strings.IndexByte(rest, '=')
+				if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+					t.Fatalf("line %d: bad label syntax in %q", ln+1, line)
+				}
+				key := rest[:eq]
+				rest = rest[eq+2:]
+				var val strings.Builder
+				for {
+					if rest == "" {
+						t.Fatalf("line %d: unterminated label value in %q", ln+1, line)
+					}
+					c := rest[0]
+					rest = rest[1:]
+					if c == '\\' {
+						switch rest[0] {
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							val.WriteByte(rest[0])
+						}
+						rest = rest[1:]
+						continue
+					}
+					if c == '"' {
+						break
+					}
+					val.WriteByte(c)
+				}
+				s.labels[key] = val.String()
+				if rest[0] == ',' {
+					rest = rest[1:]
+					continue
+				}
+				if rest[0] != '}' {
+					t.Fatalf("line %d: bad label list end in %q", ln+1, line)
+				}
+				rest = rest[1:]
+				break
+			}
+			rest = strings.TrimPrefix(rest, " ")
+		} else {
+			var ok bool
+			s.name, rest, ok = strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: no value in %q", ln+1, line)
+			}
+		}
+		var err error
+		if rest == "+Inf" {
+			s.value = math.Inf(1)
+		} else if s.value, err = strconv.ParseFloat(rest, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, line, err)
+		}
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(s.name, suf); b != s.name && p.types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := p.types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, line)
+		}
+		p.samples = append(p.samples, s)
+	}
+	return p
+}
+
+// --- exposition golden + round-trip --------------------------------------
+
+// TestExpositionGolden pins the exact rendering of a small registry so
+// format regressions (spacing, escaping, bucket cumulation, grouping)
+// show up as a readable diff.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.", L("kind", "fast"))
+	c.Add(3)
+	r.Counter("jobs_total", "Jobs processed.", L("kind", `sl"ow\`)).Inc()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(2.5)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total{kind="fast"} 3
+jobs_total{kind="sl\"ow\\"} 1
+# HELP depth Queue depth.
+# TYPE depth gauge
+depth 2.5
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 99.6
+lat_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestExpositionRoundTrip renders a registry with labelled histograms and
+// parses it back, checking the parsed model agrees with the live metrics:
+// types, counter values, cumulative bucket structure, and the
+// +Inf-bucket == _count invariant.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("http_requests_total", "Requests.", L("path", "/distance"), L("code", "2xx"))
+	reqs.Add(41)
+	r.Gauge("epoch", "Serving epoch.").Set(7)
+	for _, path := range []string{"/distance", "/table"} {
+		h := r.Histogram("http_seconds", "Request latency.", LatencyBuckets, L("path", path))
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(i) * 1e-5)
+		}
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	p := parseExposition(t, b.String())
+
+	if got := p.types["http_requests_total"]; got != "counter" {
+		t.Errorf("http_requests_total type = %q", got)
+	}
+	if got := p.types["http_seconds"]; got != "histogram" {
+		t.Errorf("http_seconds type = %q", got)
+	}
+	if v, ok := p.find("http_requests_total", map[string]string{"path": "/distance", "code": "2xx"}); !ok || v != 41 {
+		t.Errorf("counter sample = %v, %v", v, ok)
+	}
+	if v, ok := p.find("epoch", nil); !ok || v != 7 {
+		t.Errorf("epoch gauge = %v, %v", v, ok)
+	}
+	for _, path := range []string{"/distance", "/table"} {
+		count, ok := p.find("http_seconds_count", map[string]string{"path": path})
+		if !ok || count != 100 {
+			t.Fatalf("path %s _count = %v, %v", path, count, ok)
+		}
+		prev := -1.0
+		for _, u := range LatencyBuckets {
+			v, ok := p.find("http_seconds_bucket", map[string]string{"path": path, "le": formatFloat(u)})
+			if !ok {
+				t.Fatalf("path %s missing bucket le=%v", path, u)
+			}
+			if v < prev {
+				t.Fatalf("path %s bucket le=%v = %v not cumulative (prev %v)", path, u, v, prev)
+			}
+			prev = v
+		}
+		inf, ok := p.find("http_seconds_bucket", map[string]string{"path": path, "le": "+Inf"})
+		if !ok || inf != count {
+			t.Fatalf("path %s +Inf bucket %v != count %v", path, inf, count)
+		}
+	}
+}
+
+// --- concurrency ----------------------------------------------------------
+
+// TestHistogramConcurrentHammer is the race gate's target: N goroutines
+// observe while another renders the exposition repeatedly. Every
+// intermediate rendering must parse and be internally consistent
+// (cumulative buckets, +Inf == _count), and once the observers finish the
+// bucket counts must sum exactly to the number of observations.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_seconds", "Hammered.", []float64{0.25, 0.5, 0.75})
+	c := r.Counter("hammer_total", "Hammered count.")
+
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var renders int
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			p := parseExposition(t, b.String())
+			count, _ := p.find("hammer_seconds_count", nil)
+			inf, _ := p.find("hammer_seconds_bucket", map[string]string{"le": "+Inf"})
+			if inf != count {
+				t.Errorf("mid-hammer render: +Inf bucket %v != count %v", inf, count)
+				return
+			}
+			renders++
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64((g+i)%4) * 0.25)
+				c.Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+
+	s := h.Snapshot()
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if want := uint64(goroutines * perG); sum != want || s.Count != want {
+		t.Errorf("bucket sum %d / count %d, want exactly %d", sum, s.Count, want)
+	}
+	if c.Value() != uint64(goroutines*perG) {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	t.Logf("renders while hammering: %d", renders)
+}
+
+// --- semantics ------------------------------------------------------------
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "Quantiles.", []float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: p50 should interpolate to ~0.5
+	// inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 0.02 {
+		t.Errorf("p50 = %v, want ~0.5", q)
+	}
+	if q := h.Quantile(1); q != 1 {
+		t.Errorf("p100 = %v, want 1 (upper bound of occupied bucket)", q)
+	}
+	h.Observe(100) // lands in +Inf; extreme quantiles clamp to last finite bound
+	if q := h.Quantile(0.999); q != 8 {
+		t.Errorf("p99.9 with +Inf outlier = %v, want clamp to 8", q)
+	}
+	var empty *Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestNilHandlesAndNoopRegistry(t *testing.T) {
+	r := Noop()
+	if !r.IsNoop() {
+		t.Fatal("Noop registry not noop")
+	}
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("noop registry handed out live handles")
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles reported nonzero values")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("noop render = %q, %v", b.String(), err)
+	}
+
+	var tr *Trace
+	tr.Span("x", time.Now())
+	tr.Count("x", 1)
+	if _, ok := tr.CountValue("x"); ok {
+		t.Fatal("nil trace recorded a count")
+	}
+}
+
+func TestRegistryIdempotentAndKindConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "dup")
+	b := r.Counter("dup_total", "dup")
+	if a != b {
+		t.Fatal("re-registration returned a different handle")
+	}
+	h1 := r.Histogram("lat_seconds", "lat", []float64{1, 2}, L("path", "/a"))
+	h2 := r.Histogram("lat_seconds", "lat", []float64{1, 2}, L("path", "/b"))
+	if h1 == h2 {
+		t.Fatal("distinct label sets shared a histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "now a gauge")
+}
+
+func TestTraceThroughContext(t *testing.T) {
+	tr := NewTrace()
+	ctx := ContextWithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	start := time.Now()
+	got.Span("stage", start)
+	got.Count("settled", 42)
+	got.Count("settled", 43)
+	if v, ok := got.CountValue("settled"); !ok || v != 43 {
+		t.Fatalf("CountValue = %v, %v; want latest 43", v, ok)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "stage" || tr.Spans[0].Seconds < 0 {
+		t.Fatalf("spans = %+v", tr.Spans)
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+}

@@ -1,0 +1,96 @@
+// Per-query tracing: a Trace is a flight recorder for one request,
+// carried through the serving hot paths so the daemon's access log can
+// say where a slow query spent its time (upward search vs sweep vs
+// selection build) and what it cost (settled/stalled/swept counts)
+// without any global state or sampling infrastructure.
+//
+// A Trace is owned by one goroutine for its lifetime — the request
+// handler — so it needs no synchronisation; layers below record into it
+// through nil-safe methods, and a nil *Trace turns all of them into
+// no-ops, which is how untraced callers (tests, the CLI, benchmarks) pay
+// nothing.
+package obsv
+
+import (
+	"context"
+	"time"
+)
+
+// Span is one named, timed stage of a traced request.
+type Span struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// TraceCount is one named counter recorded during a traced request.
+type TraceCount struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Trace accumulates the stages and counters of a single request. Not
+// safe for concurrent use; all methods are no-ops on a nil receiver.
+type Trace struct {
+	start  time.Time
+	Spans  []Span       `json:"spans"`
+	Counts []TraceCount `json:"counts"`
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// Start returns the trace's epoch (zero time on a nil receiver).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Span records a stage that began at since and ends now.
+func (t *Trace) Span(name string, since time.Time) {
+	if t != nil {
+		t.Spans = append(t.Spans, Span{Name: name, Seconds: time.Since(since).Seconds()})
+	}
+}
+
+// Count records a named counter value (appending; repeated names are
+// kept in order).
+func (t *Trace) Count(name string, v int64) {
+	if t != nil {
+		t.Counts = append(t.Counts, TraceCount{Name: name, Value: v})
+	}
+}
+
+// CountValue returns the last recorded value for name, and whether one
+// was recorded.
+func (t *Trace) CountValue(name string) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	for i := len(t.Counts) - 1; i >= 0; i-- {
+		if t.Counts[i].Name == name {
+			return t.Counts[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches t to ctx so context-plumbed layers (e.g.
+// serve.Service.DistanceTableCtx) can record into the request's trace
+// without a signature change at every level.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil (whose methods are
+// no-ops) when the request is untraced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -29,8 +29,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -46,6 +48,13 @@ type Epoch struct {
 	svc *Service
 	seq uint64
 	hot *Hot
+	// replacedAt is stamped by the swap that retired this epoch, before it
+	// drops the installed reference; whichever Release later drives the
+	// refcount to zero reads it to record the drain duration. The write is
+	// ordered before the read by the refs atomics themselves (the retiring
+	// Add(-1) precedes the final one in the total order on refs), so no
+	// extra synchronisation is needed.
+	replacedAt time.Time
 	// refs counts borrowers plus 1 for being installed; the transition to
 	// zero is final (Acquire never resurrects a zero) and retires the
 	// epoch: stats folded into the Hot total, mapping closed, exactly once.
@@ -76,11 +85,16 @@ func (e *Epoch) Release() {
 type Hot struct {
 	cur atomic.Pointer[Epoch]
 
-	// mu serialises Reload/Close and guards path/seq; queries never take
-	// it.
-	mu   sync.Mutex
-	path string
-	seq  uint64
+	reg *obsv.Registry
+	hm  *hotMetrics // nil when reg is the noop registry
+
+	// mu serialises Reload/Close and guards path/seq and the last-install
+	// outcome; queries never take it.
+	mu      sync.Mutex
+	path    string
+	seq     uint64
+	lastErr string    // failure message of the most recent install attempt, "" on success
+	lastAt  time.Time // when the most recent install attempt finished
 
 	reloads atomic.Uint64
 	retired atomic.Uint64
@@ -92,12 +106,47 @@ type Hot struct {
 	closeErr error
 }
 
+// hotMetrics are Hot's registry-backed swap-lifecycle series. Like
+// svcMetrics they are keyed by name alone, so successive Hot handles on
+// one registry continue the same cumulative series.
+type hotMetrics struct {
+	epoch       *obsv.Gauge
+	reloads     *obsv.Counter
+	reloadFails *obsv.Counter
+	retiredN    *obsv.Counter
+	reloadSec   *obsv.Histogram
+	verifySec   *obsv.Histogram
+	drainSec    *obsv.Histogram
+}
+
+func newHotMetrics(reg *obsv.Registry) *hotMetrics {
+	if reg.IsNoop() {
+		return nil
+	}
+	return &hotMetrics{
+		epoch:       reg.Gauge("serve_epoch", "Sequence number of the serving index epoch (0 after close)."),
+		reloads:     reg.Counter("serve_reloads_total", "Successful index installs, the initial open included."),
+		reloadFails: reg.Counter("serve_reload_failures_total", "Install attempts that failed to open, verify, or validate."),
+		retiredN:    reg.Counter("serve_epochs_retired_total", "Replaced epochs that fully drained and closed their mapping."),
+		reloadSec:   reg.Histogram("serve_reload_seconds", "Duration of successful index installs (open+verify+swap).", obsv.DurationBuckets),
+		verifySec:   reg.Histogram("serve_verify_seconds", "Duration of the full payload checksum during installs.", obsv.DurationBuckets),
+		drainSec:    reg.Histogram("serve_epoch_drain_seconds", "Time from an epoch's replacement to its last in-flight query draining.", obsv.DurationBuckets),
+	}
+}
+
 // OpenHot opens path (store.Open), runs the full payload checksum
 // (store.Mapped.Verify — a swap target of uncertain provenance must not
 // serve silently corrupt distances), and returns a Hot serving it as epoch
-// 1.
+// 1, recording its metrics into the default obsv registry.
 func OpenHot(path string) (*Hot, error) {
-	h := &Hot{}
+	return OpenHotWith(path, obsv.Default())
+}
+
+// OpenHotWith is OpenHot with an explicit metrics registry (obsv.Noop()
+// for an uninstrumented handle). Epoch Services are wired to the same
+// registry.
+func OpenHotWith(path string, reg *obsv.Registry) (*Hot, error) {
+	h := &Hot{reg: reg, hm: newHotMetrics(reg)}
 	if err := h.install(path); err != nil {
 		return nil, err
 	}
@@ -106,22 +155,44 @@ func OpenHot(path string) (*Hot, error) {
 
 // install opens, verifies, and swaps in path as the next epoch. Callers
 // other than the constructor hold h.mu.
-func (h *Hot) install(path string) error {
+func (h *Hot) install(path string) (err error) {
+	start := time.Now()
+	defer func() {
+		h.lastAt = time.Now()
+		if err != nil {
+			h.lastErr = err.Error()
+			if h.hm != nil {
+				h.hm.reloadFails.Inc()
+			}
+		} else {
+			h.lastErr = ""
+		}
+	}()
 	m, err := store.Open(path)
 	if err != nil {
 		return err
 	}
+	vStart := time.Now()
 	if err := m.Verify(); err != nil {
 		m.Close()
 		return err
 	}
+	if h.hm != nil {
+		h.hm.verifySec.ObserveSince(vStart)
+	}
 	h.seq++
-	e := &Epoch{m: m, svc: NewService(m.Index()), seq: h.seq, hot: h}
+	e := &Epoch{m: m, svc: NewServiceWith(m.Index(), h.reg), seq: h.seq, hot: h}
 	e.refs.Store(1)
 	old := h.cur.Swap(e)
 	h.path = path
+	if h.hm != nil {
+		h.hm.epoch.Set(float64(h.seq))
+		h.hm.reloads.Inc()
+		h.hm.reloadSec.ObserveSince(start)
+	}
 	if old != nil {
 		h.reloads.Add(1)
+		old.replacedAt = time.Now()
 		old.Release() // drop the installed ref; munmap happens at drain
 	}
 	return nil
@@ -185,6 +256,12 @@ func (h *Hot) retire(e *Epoch) {
 	}
 	h.totalMu.Unlock()
 	h.retired.Add(1)
+	if h.hm != nil {
+		h.hm.retiredN.Inc()
+		if !e.replacedAt.IsZero() {
+			h.hm.drainSec.ObserveSince(e.replacedAt)
+		}
+	}
 }
 
 // Close retires the current epoch and makes every subsequent Acquire
@@ -197,7 +274,11 @@ func (h *Hot) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if old := h.cur.Swap(nil); old != nil {
+		old.replacedAt = time.Now()
 		old.Release()
+	}
+	if h.hm != nil {
+		h.hm.epoch.Set(0)
 	}
 	h.totalMu.Lock()
 	defer h.totalMu.Unlock()
@@ -247,6 +328,14 @@ type HotStats struct {
 	// mapping; Reloads-Retired (±1 for the initial epoch) is the number of
 	// old mappings still draining.
 	Retired uint64 `json:"retired"`
+	// LastReloadOK reports whether the most recent install attempt —
+	// initial open or reload — succeeded; a failed reload leaves the prior
+	// epoch serving, so Epoch alone cannot tell an operator about it.
+	LastReloadOK bool `json:"last_reload_ok"`
+	// LastReloadError is the failure message when LastReloadOK is false.
+	LastReloadError string `json:"last_reload_error,omitempty"`
+	// LastReloadAt is when the most recent install attempt finished.
+	LastReloadAt time.Time `json:"last_reload_at"`
 	// Current is the serving epoch's counters (zero after Close).
 	Current Stats `json:"current"`
 	// Total is Current plus every retired epoch's counters: the lifetime
@@ -259,11 +348,16 @@ type HotStats struct {
 func (h *Hot) Stats() HotStats {
 	h.mu.Lock()
 	path := h.path
+	lastErr := h.lastErr
+	lastAt := h.lastAt
 	h.mu.Unlock()
 	st := HotStats{
-		Path:    path,
-		Reloads: h.reloads.Load(),
-		Retired: h.retired.Load(),
+		Path:            path,
+		Reloads:         h.reloads.Load(),
+		Retired:         h.retired.Load(),
+		LastReloadOK:    lastErr == "",
+		LastReloadError: lastErr,
+		LastReloadAt:    lastAt,
 	}
 	if e := h.Acquire(); e != nil {
 		st.Epoch = e.seq
@@ -283,17 +377,27 @@ func (h *Hot) Stats() HotStats {
 // overload degrades to fast rejections instead of an unbounded goroutine
 // pile-up. Safe for concurrent use.
 type Limiter struct {
-	sem   chan struct{}
-	sheds atomic.Uint64
+	sem    chan struct{}
+	sheds  atomic.Uint64
+	shedsM *obsv.Counter // nil-safe mirror of sheds in the registry
 }
 
 // NewLimiter returns a limiter admitting at most n concurrent holders
-// (minimum 1).
+// (minimum 1), recording sheds into the default obsv registry.
 func NewLimiter(n int) *Limiter {
+	return NewLimiterWith(n, obsv.Default())
+}
+
+// NewLimiterWith is NewLimiter with an explicit metrics registry.
+func NewLimiterWith(n int, reg *obsv.Registry) *Limiter {
 	if n < 1 {
 		n = 1
 	}
-	return &Limiter{sem: make(chan struct{}, n)}
+	l := &Limiter{sem: make(chan struct{}, n)}
+	if !reg.IsNoop() {
+		l.shedsM = reg.Counter("serve_sheds_total", "Requests refused by the admission limiter.")
+	}
+	return l
 }
 
 // TryAcquire takes a slot if one is free; a false return means the caller
@@ -304,6 +408,7 @@ func (l *Limiter) TryAcquire() bool {
 		return true
 	default:
 		l.sheds.Add(1)
+		l.shedsM.Inc()
 		return false
 	}
 }

@@ -1,0 +1,91 @@
+package serve
+
+// The metrics-overhead gate: point-to-point queries on a Service wired to
+// a real obsv registry must cost within 5% of one wired to the no-op
+// registry. This is the contract that lets the instrumentation stay on by
+// default — one histogram observe plus four counter adds per query, all
+// lock-free atomics, against a query that settles hundreds of nodes.
+//
+// Run via `make check` (the overhead-gate target sets AH_OVERHEAD_GATE=1);
+// skipped otherwise, because wall-clock comparisons are too noisy to sit
+// in the always-on suite, especially on small shared hosts. The gate
+// itself fights noise with min-of-rounds timing and a few full retries
+// before declaring a regression.
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obsv"
+)
+
+func TestMetricsOverheadGate(t *testing.T) {
+	if os.Getenv("AH_OVERHEAD_GATE") == "" {
+		t.Skip("set AH_OVERHEAD_GATE=1 to run the metrics-overhead gate (wired into `make check`)")
+	}
+	g, err := gen.GridCity(gen.GridCityConfig{
+		Cols: 40, Rows: 40, ArterialEvery: 5, HighwayEvery: 15,
+		RemoveFrac: 0.2, Jitter: 0.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	instrumented := NewServiceWith(idx, obsv.NewRegistry())
+	noop := NewServiceWith(idx, obsv.Noop())
+
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]graph.NodeID, 256)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
+	}
+	// One pass over the pair set per measurement; min over rounds discards
+	// scheduler and GC interference (the minimum is the least-disturbed
+	// run, which is the cost being compared).
+	measure := func(s *Service) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 7; round++ {
+			start := time.Now()
+			for _, p := range pairs {
+				if _, err := s.Distance(p[0], p[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm both pools and the index's cache footprint before timing.
+	measure(noop)
+	measure(instrumented)
+
+	const tolerance = 1.05
+	var instr, base time.Duration
+	for attempt := 0; attempt < 5; attempt++ {
+		// Interleave the order so a one-sided background load cannot
+		// systematically favour either build.
+		if attempt%2 == 0 {
+			base, instr = measure(noop), measure(instrumented)
+		} else {
+			instr, base = measure(instrumented), measure(noop)
+		}
+		if float64(instr) <= float64(base)*tolerance {
+			t.Logf("attempt %d: instrumented %v vs noop %v (%.2f%% overhead)",
+				attempt, instr, base, 100*(float64(instr)/float64(base)-1))
+			return
+		}
+		t.Logf("attempt %d: instrumented %v vs noop %v exceeds %.0f%% tolerance, retrying",
+			attempt, instr, base, 100*(tolerance-1))
+	}
+	t.Fatalf("metrics overhead gate failed: instrumented %v vs noop %v (> %.0f%%)",
+		instr, base, 100*(tolerance-1))
+}

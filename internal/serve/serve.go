@@ -26,10 +26,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ah"
 	"repro/internal/batch"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 )
 
 // RangeError reports a query node id outside the served index's node
@@ -193,12 +195,48 @@ func (s *Stats) add(o Stats) {
 	s.TableSwept += o.TableSwept
 }
 
+// svcMetrics are the Service's registry-backed series. Unlike the Stats
+// counters — which are per-Service, so Hot can fold retired epochs — the
+// registry series are keyed by name alone: every Service wired to the
+// same registry shares them, which is exactly the Prometheus counter
+// contract (monotone across index reloads without any folding logic).
+type svcMetrics struct {
+	queryLatency map[string]*obsv.Histogram // op -> latency histogram
+	queries      *obsv.Counter
+	settled      *obsv.Counter
+	stalled      *obsv.Counter
+	tables       *obsv.Counter
+	tableCells   *obsv.Counter
+	tableSettled *obsv.Counter
+	tableSwept   *obsv.Counter
+}
+
+func newSvcMetrics(reg *obsv.Registry) *svcMetrics {
+	if reg.IsNoop() {
+		return nil
+	}
+	m := &svcMetrics{queryLatency: make(map[string]*obsv.Histogram, 3)}
+	for _, op := range []string{"distance", "path", "table"} {
+		m.queryLatency[op] = reg.Histogram("serve_query_seconds",
+			"Latency of served queries by operation.", obsv.LatencyBuckets, obsv.L("op", op))
+	}
+	m.queries = reg.Counter("serve_queries_total", "Point-to-point queries served.")
+	m.settled = reg.Counter("serve_query_settled_total", "Nodes settled across all point-to-point queries.")
+	m.stalled = reg.Counter("serve_query_stalled_total", "Pops pruned by stall-on-demand across all point-to-point queries.")
+	m.tables = reg.Counter("serve_tables_total", "Distance-table calls served.")
+	m.tableCells = reg.Counter("serve_table_cells_total", "Distance-table cells resolved.")
+	m.tableSettled = reg.Counter("serve_table_settled_total", "Nodes settled by table upward searches.")
+	m.tableSwept = reg.Counter("serve_table_swept_total", "Downward CSR entries relaxed by table sweeps.")
+	return m
+}
+
 // Service is a goroutine-safe query facade over one shared index: each
 // call borrows a pooled querier for its duration, so N concurrent callers
 // cost N workspaces, not N index copies.
 type Service struct {
 	pool         *QuerierPool
 	tables       *TablePool
+	m            *svcMetrics // nil when wired to the noop registry
 	queries      atomic.Uint64
 	settled      atomic.Uint64
 	stalled      atomic.Uint64
@@ -208,9 +246,17 @@ type Service struct {
 	tableSwept   atomic.Uint64
 }
 
-// NewService returns a service answering queries on idx.
+// NewService returns a service answering queries on idx, recording its
+// metrics into the default obsv registry.
 func NewService(idx *ah.Index) *Service {
-	return &Service{pool: NewQuerierPool(idx), tables: NewTablePool(idx)}
+	return NewServiceWith(idx, obsv.Default())
+}
+
+// NewServiceWith is NewService with an explicit metrics registry. Pass
+// obsv.Noop() for an uninstrumented service — the configuration the
+// metrics-overhead gate benchmarks the default against.
+func NewServiceWith(idx *ah.Index, reg *obsv.Registry) *Service {
+	return &Service{pool: NewQuerierPool(idx), tables: NewTablePool(idx), m: newSvcMetrics(reg)}
 }
 
 // Index returns the shared index the service answers queries on.
@@ -221,8 +267,20 @@ func (s *Service) Index() *ah.Index { return s.pool.Index() }
 // a *RangeError (distance +Inf) instead of panicking. Safe for concurrent
 // use.
 func (s *Service) Distance(src, dst graph.NodeID) (float64, error) {
+	return s.DistanceTraced(src, dst, nil)
+}
+
+// DistanceTraced is Distance with per-query flight recording: when tr is
+// non-nil the query span and its settled/stalled counts are appended to
+// it (a nil trace costs nothing). The daemon's access and slow-query
+// logs are built on this.
+func (s *Service) DistanceTraced(src, dst graph.NodeID, tr *obsv.Trace) (float64, error) {
 	if err := s.validate(src, dst); err != nil {
 		return math.Inf(1), err
+	}
+	var start time.Time
+	if s.m != nil || tr != nil {
+		start = time.Now()
 	}
 	q := s.pool.Get()
 	// Released via defer so a panicking query cannot strand the querier
@@ -234,6 +292,7 @@ func (s *Service) Distance(src, dst graph.NodeID) (float64, error) {
 	defer q.Release()
 	d := q.Distance(src, dst)
 	s.account(q.Querier)
+	s.observe("distance", q.Querier, start, tr)
 	return d, nil
 }
 
@@ -242,13 +301,23 @@ func (s *Service) Distance(src, dst graph.NodeID) (float64, error) {
 // Ids outside the index's node range return a *RangeError instead of
 // panicking. Safe for concurrent use.
 func (s *Service) Path(src, dst graph.NodeID) ([]graph.NodeID, float64, error) {
+	return s.PathTraced(src, dst, nil)
+}
+
+// PathTraced is Path with per-query flight recording (see DistanceTraced).
+func (s *Service) PathTraced(src, dst graph.NodeID, tr *obsv.Trace) ([]graph.NodeID, float64, error) {
 	if err := s.validate(src, dst); err != nil {
 		return nil, math.Inf(1), err
+	}
+	var start time.Time
+	if s.m != nil || tr != nil {
+		start = time.Now()
 	}
 	q := s.pool.Get()
 	defer q.Release() // panic-safe; accounting only on normal return (see Distance)
 	p, d := q.Path(src, dst)
 	s.account(q.Querier)
+	s.observe("path", q.Querier, start, tr)
 	return p, d, nil
 }
 
@@ -280,10 +349,17 @@ func (s *Service) DistanceTableCtx(ctx context.Context, sources, targets []graph
 			}
 		}
 	}
+	tr := obsv.TraceFrom(ctx)
+	var start time.Time
+	if s.m != nil || tr != nil {
+		start = time.Now()
+	}
 	q := s.tables.Get()
 	defer q.Release() // panic-safe: never strand the workspace outside the pool
 	q.ResetCounters()
 	sel := q.Select(targets)
+	tr.Span("select", start)
+	rowStart := time.Now()
 	rows := make([][]float64, len(sources))
 	for i, src := range sources {
 		if err := ctx.Err(); err != nil {
@@ -292,10 +368,25 @@ func (s *Service) DistanceTableCtx(ctx context.Context, sources, targets []graph
 		rows[i] = make([]float64, len(targets))
 		q.Row(src, sel, rows[i])
 	}
+	cells := uint64(len(sources)) * uint64(len(targets))
 	s.tableCalls.Add(1)
-	s.tablePairs.Add(uint64(len(sources)) * uint64(len(targets)))
+	s.tablePairs.Add(cells)
 	s.tableSettled.Add(uint64(q.Settled()))
 	s.tableSwept.Add(uint64(q.Swept()))
+	if s.m != nil {
+		s.m.queryLatency["table"].ObserveSince(start)
+		s.m.tables.Inc()
+		s.m.tableCells.Add(cells)
+		s.m.tableSettled.Add(uint64(q.Settled()))
+		s.m.tableSwept.Add(uint64(q.Swept()))
+	}
+	if tr != nil {
+		tr.Span("rows", rowStart)
+		tr.Count("settled", int64(q.Settled()))
+		tr.Count("swept", int64(q.Swept()))
+		tr.Count("cells", int64(cells))
+		tr.Count("selection_nodes", int64(sel.Size()))
+	}
 	return rows, nil
 }
 
@@ -316,6 +407,23 @@ func (s *Service) account(q *ah.Querier) {
 	s.queries.Add(1)
 	s.settled.Add(uint64(q.Settled()))
 	s.stalled.Add(uint64(q.Stalled()))
+}
+
+// observe mirrors one completed point-to-point query into the registry
+// series and the request's trace. start is only valid when s.m or tr is
+// non-nil (the caller skips the clock read otherwise).
+func (s *Service) observe(op string, q *ah.Querier, start time.Time, tr *obsv.Trace) {
+	if s.m != nil {
+		s.m.queryLatency[op].ObserveSince(start)
+		s.m.queries.Inc()
+		s.m.settled.Add(uint64(q.Settled()))
+		s.m.stalled.Add(uint64(q.Stalled()))
+	}
+	if tr != nil {
+		tr.Span("query", start)
+		tr.Count("settled", int64(q.Settled()))
+		tr.Count("stalled", int64(q.Stalled()))
+	}
 }
 
 // Stats returns a snapshot of the cumulative counters.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -128,6 +129,12 @@ func BenchmarkOpen(b *testing.B) {
 
 // storeBenchReport is the schema of BENCH_store.json.
 type storeBenchReport struct {
+	// Host pins the machine context of the numbers, matching the host
+	// section of BENCH_ah.json.
+	Host struct {
+		CPUs       int `json:"host_cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
 	Graph struct {
 		Generator string `json:"generator"`
 		Nodes     int    `json:"nodes"`
@@ -253,6 +260,8 @@ func TestRecordStoreBench(t *testing.T) {
 	}
 
 	var rep storeBenchReport
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Graph.Generator = "GridCity benchmark workload (see BENCH_ah.json graph section)"
 	rep.Graph.Nodes = g.NumNodes()
 	rep.Graph.Edges = g.NumEdges()

@@ -38,8 +38,22 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/ah"
+	"repro/internal/obsv"
+)
+
+// Registry-backed timings for the serving-path entry points, recorded into
+// the process-wide default registry (package store has no per-call registry
+// plumbing; these are cold paths, so the always-on handles cost nothing
+// measurable). Durations are observed on success only — fail-fast rejects
+// would skew the distributions toward zero.
+var (
+	openSeconds = obsv.Default().Histogram("store_open_seconds",
+		"Duration of successful store.Open calls (mmap validation, or fallback decode).", obsv.DurationBuckets)
+	verifySeconds = obsv.Default().Histogram("store_verify_seconds",
+		"Duration of successful full-payload checksums in store.Mapped.Verify.", obsv.DurationBuckets)
 )
 
 // Format constants.
@@ -211,11 +225,16 @@ func (m *Mapped) Verify() error {
 	if m.closed.Load() {
 		return ErrClosed
 	}
+	start := time.Now()
 	payloadBase, _, err := v2Header(m.data)
 	if err != nil {
 		return err
 	}
-	return verifyV2Payload(m.data, payloadBase)
+	if err := verifyV2Payload(m.data, payloadBase); err != nil {
+		return err
+	}
+	verifySeconds.ObserveSince(start)
+	return nil
 }
 
 // Close releases the file mapping, if any. The index must not be used
@@ -247,7 +266,13 @@ func (m *Mapped) Close() error {
 // files, or when mapping is unavailable, Open degrades to Load semantics
 // (private memory, derived structures rebuilt for v1) behind the same
 // API.
-func Open(path string) (*Mapped, error) {
+func Open(path string) (m *Mapped, err error) {
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			openSeconds.ObserveSince(start)
+		}
+	}()
 	if mmapAvailable {
 		if m, ok, err := openMmap(path); ok {
 			return m, err
