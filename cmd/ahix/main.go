@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/ah"
+	"repro/internal/batch"
 	"repro/internal/graph"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -39,7 +41,7 @@ func main() {
 const usage = `usage:
   ahix build -gr FILE.gr -co FILE.co -out FILE.ahix [-workers N] [-v]
   ahix query -index FILE.ahix [-path] SRC DST
-  ahix table -index FILE.ahix -sources IDS -targets IDS
+  ahix table -index FILE.ahix -sources IDS -targets IDS [-lanes N]
 
 Node ids are 1-based DIMACS ids; IDS is a comma-separated list.`
 
@@ -165,22 +167,33 @@ func runQuery(args []string, out io.Writer) error {
 	return nil
 }
 
-// asCLIErr rewrites a serve.RangeError — which speaks the index's 0-based
-// dense ids — back into the 1-based DIMACS numbering the command line
-// accepts, so the reported id matches what the operator typed.
+// asCLIErr rewrites a range error — serve.RangeError or its batch
+// sibling, both speaking the index's 0-based dense ids — back into the
+// 1-based DIMACS numbering the command line accepts, so the reported id
+// matches what the operator typed.
 func asCLIErr(err error) error {
 	var re *serve.RangeError
 	if errors.As(err, &re) {
 		return fmt.Errorf("node id %d out of range [1, %d] (ids are 1-based DIMACS ids)", re.Node+1, re.Nodes)
 	}
+	var be *batch.NodeRangeError
+	if errors.As(err, &be) {
+		return fmt.Errorf("node id %d out of range [1, %d] (ids are 1-based DIMACS ids)", be.Node+1, be.Nodes)
+	}
 	return err
 }
 
+// runTable streams a many-to-many distance matrix: one lane-block of
+// sources is computed per columnar sweep and its rows are written the
+// moment they finalise, so the process holds Lanes()×K cells at a time —
+// never the whole S×K matrix — and a consumer piping the output sees rows
+// as they are produced.
 func runTable(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
 	index := fs.String("index", "", "AHIX index path")
 	srcList := fs.String("sources", "", "comma-separated 1-based source ids")
 	dstList := fs.String("targets", "", "comma-separated 1-based target ids")
+	lanes := fs.Int("lanes", 0, "sources per blocked sweep (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,27 +208,45 @@ func runTable(args []string, out io.Writer) error {
 	if len(sources) == 0 || len(targets) == 0 {
 		return fmt.Errorf("table needs non-empty -sources and -targets")
 	}
-	m, svc, err := openIndex(*index)
+	m, _, err := openIndex(*index)
 	if err != nil {
 		return err
 	}
 	defer m.Close()
-	rows, err := svc.DistanceTable(sources, targets)
-	if err != nil {
+	q := serve.NewTableQuerierOpts(m.Index(), batch.Options{Lanes: *lanes})
+	if err := q.ValidateNodes(sources, targets); err != nil {
 		return asCLIErr(err)
 	}
-	var sb strings.Builder
-	for _, row := range rows {
-		for j, d := range row {
-			if j > 0 {
-				sb.WriteByte('\t')
-			}
-			fmt.Fprintf(&sb, "%g", d)
-		}
-		sb.WriteByte('\n')
+	sel := q.Select(targets)
+	q.ResetCounters()
+	// Block row buffers are reused across blocks; the writer is flushed
+	// once per block so a slow downstream consumer still sees whole rows.
+	S := q.Lanes()
+	block := make([][]float64, S)
+	for i := range block {
+		block[i] = make([]float64, len(targets))
 	}
-	_, err = io.WriteString(out, sb.String())
-	return err
+	w := bufio.NewWriter(out)
+	for lo := 0; lo < len(sources); lo += S {
+		hi := lo + S
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		q.RowBlock(sources[lo:hi], sel, block[:hi-lo])
+		for _, row := range block[:hi-lo] {
+			for j, d := range row {
+				if j > 0 {
+					w.WriteByte('\t')
+				}
+				fmt.Fprintf(w, "%g", d)
+			}
+			w.WriteByte('\n')
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }
 
 // parseID converts a 1-based DIMACS node id to the dense 0-based ids the

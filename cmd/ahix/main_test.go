@@ -139,6 +139,40 @@ func TestEndToEnd(t *testing.T) {
 			}
 		}
 	}
+
+	// table -lanes 2 with 7 sources (one duplicated) forces four streamed
+	// lane-blocks, the last one partial; the concatenated output must be
+	// exactly the same matrix — streaming changes buffering, not answers.
+	wideSources := []graph.NodeID{0, 7, graph.NodeID(n - 1), 7, 12, graph.NodeID(n / 2), 3}
+	var streamOut strings.Builder
+	err = run([]string{"table", "-index", idxPath, "-lanes", "2",
+		"-sources", toArg(wideSources), "-targets", toArg(targets)}, &streamOut)
+	if err != nil {
+		t.Fatalf("table -lanes 2: %v", err)
+	}
+	streamRows := strings.Split(strings.TrimSpace(streamOut.String()), "\n")
+	if len(streamRows) != len(wideSources) {
+		t.Fatalf("streamed table printed %d rows, want %d", len(streamRows), len(wideSources))
+	}
+	for i, row := range streamRows {
+		cells := strings.Split(row, "\t")
+		if len(cells) != len(targets) {
+			t.Fatalf("streamed row %d has %d cells, want %d", i, len(cells), len(targets))
+		}
+		for j, cell := range cells {
+			got, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("streamed cell [%d][%d] = %q: %v", i, j, cell, err)
+			}
+			want := uni.Distance(wideSources[i], targets[j])
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("streamed cell [%d][%d]: got %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if streamRows[1] != streamRows[3] {
+		t.Fatalf("duplicate source rows differ:\n%q\n%q", streamRows[1], streamRows[3])
+	}
 }
 
 // TestCLIErrors pins the operator-facing failure modes: unknown

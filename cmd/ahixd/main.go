@@ -23,7 +23,7 @@
 //     requests are shed immediately with 503 + Retry-After instead of
 //     queueing without bound; sheds are counted in /stats.
 //   - Every query handler runs with a per-request deadline (-timeout),
-//     plumbed as a context; distance tables check it between source rows,
+//     plumbed as a context; distance tables check it between lane-blocks,
 //     so a timed-out table stops computing rows nobody will read (504).
 //   - POST /reload — or SIGHUP, which re-opens the current file in place —
 //     swaps the index with zero downtime: the new file is opened and fully
@@ -62,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/graph"
 	"repro/internal/obsv"
 	"repro/internal/serve"
@@ -87,6 +88,8 @@ func run(args []string, out io.Writer) error {
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (disabled when empty)")
 	slowQuery := fs.Duration("slow-query", 0, "promote requests at least this slow to the slow-query log with full trace detail (disabled when 0)")
 	accessLog := fs.Bool("access-log", true, "write a JSON access-log line per request to stderr")
+	lanes := fs.Int("lanes", 0, "sources per blocked table sweep (0 = engine default)")
+	tableWorkers := fs.Int("table-workers", 0, "goroutines a single table fans lane-blocks over (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +97,7 @@ func run(args []string, out io.Writer) error {
 		return errors.New("missing -index")
 	}
 
-	hot, err := serve.OpenHot(*index)
+	hot, err := serve.OpenHotOpts(*index, obsv.Default(), batch.Options{Lanes: *lanes, Workers: *tableWorkers})
 	if err != nil {
 		return err
 	}

@@ -180,6 +180,31 @@ func TestEndpoints(t *testing.T) {
 	resp.Body.Close()
 	checkTable(ptr, f.uniA, 1)
 
+	// Duplicate sources are valid: each occurrence gets its own row (the
+	// engine computes the unique set once and aliases the copies), so
+	// repeated ids must come back as identical, correct rows.
+	var dup tableResponse
+	getJSON(t, ts.URL+"/table?sources=5,18,5,18,5&targets=2,10,43", http.StatusOK, &dup)
+	if len(dup.Rows) != 5 {
+		t.Fatalf("duplicate sources: %d rows, want 5", len(dup.Rows))
+	}
+	checkTable(dup, f.uniA, 1)
+	cell := func(p *float64) float64 {
+		if p == nil {
+			return math.Inf(1)
+		}
+		return *p
+	}
+	for _, pair := range [][2]int{{0, 2}, {0, 4}, {1, 3}} {
+		for j := range dup.Targets {
+			a, b := cell(dup.Rows[pair[0]][j]), cell(dup.Rows[pair[1]][j])
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("duplicate source rows %d and %d differ at column %d: %v vs %v",
+					pair[0], pair[1], j, a, b)
+			}
+		}
+	}
+
 	// Error shapes: malformed, 0 (ids are 1-based), out of range — which
 	// must echo the operator's 1-based numbering — wrong methods.
 	var e struct {
@@ -336,7 +361,7 @@ func TestShedding(t *testing.T) {
 
 // TestRequestTimeout runs the handlers with an already-expired deadline:
 // the context plumbed through must abort the work with 504 — for tables,
-// via the between-rows check in DistanceTableCtx.
+// via the between-lane-blocks check in DistanceTableCtx.
 func TestRequestTimeout(t *testing.T) {
 	f := makeFixture(t)
 	_, ts := startServer(t, f, 16, time.Nanosecond)
@@ -345,8 +370,8 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusGatewayTimeout, &e)
 	getJSON(t, ts.URL+"/table?sources=1,2&targets=3,4", http.StatusGatewayTimeout, &e)
-	if !strings.Contains(e.Error, "rows") {
-		t.Fatalf("table timeout error %q does not report row progress", e.Error)
+	if !strings.Contains(e.Error, "lane-blocks") {
+		t.Fatalf("table timeout error %q does not report lane-block progress", e.Error)
 	}
 }
 

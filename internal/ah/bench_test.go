@@ -256,6 +256,35 @@ type benchReport struct {
 		AvgUpSettledPerSource float64 `json:"avg_up_settled_per_source"`
 		AvgSweptPerSource     float64 `json:"avg_swept_per_source"`
 	} `json:"one_to_many"`
+	// ManyToMany pins the lane-blocked columnar sweep (S sources per
+	// block, each downward edge streamed once and relaxed for all lanes)
+	// against the scalar per-source sweep on the same selection. The two
+	// sweep ns/cell figures time only the downward-sweep stage (via
+	// Engine.StageSeconds, min over rounds): whole-table cost is dominated
+	// by the exact re-sum resolve, which is identical on both sides, so
+	// the memory-wall win lives in the sweep stage. SweepSpeedup is gated
+	// >= 5x at the acceptance configuration (S=16, K=256, default graph,
+	// single worker). The Par fields repeat the blocked run with
+	// lane-blocks sharded over GOMAXPROCS workers; they stay zero on a
+	// single-CPU host, where sharding has nothing to win.
+	ManyToMany struct {
+		Lanes                 int     `json:"lanes"`
+		Workers               int     `json:"workers"`
+		HostCPUs              int     `json:"host_cpus"`
+		Sources               int     `json:"sources"`
+		KTargets              int     `json:"k_targets"`
+		SelectionNodes        int     `json:"selection_nodes"`
+		Blocks                int     `json:"blocks"`
+		ScalarSweepNsPerCell  float64 `json:"scalar_sweep_ns_per_cell"`
+		BlockedSweepNsPerCell float64 `json:"blocked_sweep_ns_per_cell"`
+		SweepSpeedup          float64 `json:"sweep_speedup"`
+		ScalarTableNsPerCell  float64 `json:"scalar_table_ns_per_cell"`
+		BlockedTableNsPerCell float64 `json:"blocked_table_ns_per_cell"`
+		TableSpeedup          float64 `json:"table_speedup"`
+		WorkersPar            int     `json:"workers_par"`
+		ParSweepNsPerCell     float64 `json:"par_sweep_ns_per_cell"`
+		ParTableNsPerCell     float64 `json:"par_table_ns_per_cell"`
+	} `json:"many_to_many"`
 	// LargeRungQueries records the AH query metrics on the 4x larger rung
 	// (the parallel-build graph), so the stall-on-demand win is visible at
 	// two scales, not just the 10k headline. HostCPUs contextualises the
@@ -383,6 +412,117 @@ func TestRecordBench(t *testing.T) {
 		k, sel.Size(), rep.OneToMany.EngineNsPerSource/1e6, rep.OneToMany.P2PNsPerSource/1e6, rep.OneToMany.Speedup)
 	if side == 100 && k == 256 && rep.OneToMany.Speedup < 5 {
 		t.Errorf("one_to_many speedup %.2fx at the acceptance configuration, want >= 5x", rep.OneToMany.Speedup)
+	}
+
+	// Lane-blocked columnar sweep vs scalar per-source sweep over the same
+	// selection: 64 sources (4 blocks at S=16), sweep-stage clocks taken as
+	// the min over rounds to shave scheduler noise, blocked rows checked
+	// bit-identical to scalar rows before anything is recorded.
+	mmSources := make([]graph.NodeID, 64)
+	for i := range mmSources {
+		mmSources[i] = graph.NodeID(trng.Intn(g.NumNodes()))
+	}
+	mmEng := batch.NewEngineOpts(idx, batch.Options{Lanes: 16, Workers: 1})
+	mmSel := mmEng.Select(targets)
+	cells := float64(len(mmSources) * len(targets))
+	const mmRounds = 3
+
+	scalarRows := make([][]float64, len(mmSources))
+	for i, s := range mmSources { // warm-up pass doubles as ground truth
+		scalarRows[i] = make([]float64, k)
+		mmEng.Row(s, mmSel, scalarRows[i])
+	}
+	rowOut := make([]float64, k)
+	scalarSweepSec, scalarTableSec := math.Inf(1), math.Inf(1)
+	for r := 0; r < mmRounds; r++ {
+		mmEng.ResetCounters()
+		start = time.Now()
+		for _, s := range mmSources {
+			mmEng.Row(s, mmSel, rowOut)
+		}
+		total := time.Since(start).Seconds()
+		_, sw, _ := mmEng.StageSeconds()
+		scalarSweepSec = math.Min(scalarSweepSec, sw)
+		scalarTableSec = math.Min(scalarTableSec, total)
+	}
+
+	blockedRows, _ := mmEng.TableRows(mmSel, mmSources, nil) // warm-up
+	for i := range mmSources {
+		for j := 0; j < k; j++ {
+			if blockedRows[i][j] != scalarRows[i][j] {
+				t.Fatalf("many_to_many cell [%d][%d]: blocked=%v scalar=%v",
+					i, j, blockedRows[i][j], scalarRows[i][j])
+			}
+		}
+	}
+	blockedSweepSec, blockedTableSec := math.Inf(1), math.Inf(1)
+	for r := 0; r < mmRounds; r++ {
+		mmEng.ResetCounters()
+		start = time.Now()
+		mmEng.TableRows(mmSel, mmSources, nil)
+		total := time.Since(start).Seconds()
+		_, sw, _ := mmEng.StageSeconds()
+		blockedSweepSec = math.Min(blockedSweepSec, sw)
+		blockedTableSec = math.Min(blockedTableSec, total)
+	}
+	_, mmBlocks := mmEng.Blocks()
+
+	mm := &rep.ManyToMany
+	mm.Lanes = mmEng.Lanes()
+	mm.Workers = mmEng.Workers()
+	mm.HostCPUs = runtime.NumCPU()
+	mm.Sources = len(mmSources)
+	mm.KTargets = k
+	mm.SelectionNodes = mmSel.Size()
+	mm.Blocks = mmBlocks
+	mm.ScalarSweepNsPerCell = scalarSweepSec * 1e9 / cells
+	mm.BlockedSweepNsPerCell = blockedSweepSec * 1e9 / cells
+	mm.SweepSpeedup = scalarSweepSec / blockedSweepSec
+	mm.ScalarTableNsPerCell = scalarTableSec * 1e9 / cells
+	mm.BlockedTableNsPerCell = blockedTableSec * 1e9 / cells
+	mm.TableSpeedup = scalarTableSec / blockedTableSec
+	t.Logf("many_to_many: S=%d, %d sources x %d targets, sweep %.1f -> %.1f ns/cell (%.2fx), table %.1f -> %.1f ns/cell (%.2fx)",
+		mm.Lanes, mm.Sources, k, mm.ScalarSweepNsPerCell, mm.BlockedSweepNsPerCell, mm.SweepSpeedup,
+		mm.ScalarTableNsPerCell, mm.BlockedTableNsPerCell, mm.TableSpeedup)
+	if side == 100 && k == 256 && mm.SweepSpeedup < 5 {
+		t.Errorf("many_to_many sweep speedup %.2fx at the acceptance configuration, want >= 5x", mm.SweepSpeedup)
+	}
+
+	// On multi-CPU hosts, repeat the blocked run with lane-blocks sharded
+	// over all cores. Sweep stage seconds sum worker CPU time, so the per-
+	// cell sweep figure must hold up (same kernel, no contention penalty)
+	// while table wall-clock drops with the sharding.
+	if ncpu := runtime.GOMAXPROCS(0); ncpu > 1 {
+		parEng := batch.NewEngineOpts(idx, batch.Options{Lanes: 16, Workers: ncpu})
+		parSel := parEng.Select(targets)
+		parRows, _ := parEng.TableRows(parSel, mmSources, nil) // warm-up
+		for i := range mmSources {
+			for j := 0; j < k; j++ {
+				if parRows[i][j] != scalarRows[i][j] {
+					t.Fatalf("many_to_many par cell [%d][%d]: blocked=%v scalar=%v",
+						i, j, parRows[i][j], scalarRows[i][j])
+				}
+			}
+		}
+		parSweepSec, parTableSec := math.Inf(1), math.Inf(1)
+		for r := 0; r < mmRounds; r++ {
+			parEng.ResetCounters()
+			start = time.Now()
+			parEng.TableRows(parSel, mmSources, nil)
+			total := time.Since(start).Seconds()
+			_, sw, _ := parEng.StageSeconds()
+			parSweepSec = math.Min(parSweepSec, sw)
+			parTableSec = math.Min(parTableSec, total)
+		}
+		mm.WorkersPar = ncpu
+		mm.ParSweepNsPerCell = parSweepSec * 1e9 / cells
+		mm.ParTableNsPerCell = parTableSec * 1e9 / cells
+		t.Logf("many_to_many par: %d workers, sweep %.1f ns/cell, table %.1f ns/cell",
+			ncpu, mm.ParSweepNsPerCell, mm.ParTableNsPerCell)
+		if side == 100 && k == 256 && scalarSweepSec/parSweepSec < 5 {
+			t.Errorf("many_to_many par sweep speedup %.2fx at the acceptance configuration, want >= 5x",
+				scalarSweepSec/parSweepSec)
+		}
 	}
 
 	// Sequential-vs-parallel preprocessing wall-clock on a 4x larger

@@ -33,23 +33,41 @@
 // order — exactly the accumulation ah.Querier.Distance performs, gated by
 // the same kind of equivalence harness.
 //
+// Multi-source calls are *lane-blocked*: DistanceTable (via TableRows)
+// and OneToManyBlocked pack sources into blocks of Lanes() lanes, lay the
+// per-source labels out columnar (S lanes per node / sweep position), and
+// relax every downward edge once for all S lanes in one cache-resident
+// inner loop — the CSR streams through the cache once per block instead
+// of once per source, which is where the S× memory traffic of the
+// row-at-a-time loop went (see block.go). Blocks shard over Workers()
+// goroutines. Results remain bit-identical to the scalar Row path and to
+// per-pair Dijkstra. The scalar Select/Row building blocks stay public:
+// at tiny target counts a row's sweep is already cache-resident and the
+// scalar loop's lower constant wins.
+//
 // An Engine holds only per-search mutable state over a shared immutable
 // Index, mirroring the ah.Querier contract: one Engine per goroutine (see
-// serve.TablePool for pooling), any number of Engines per Index. All
-// workspace arrays are generation-stamped, so back-to-back queries cost
-// O(work), never O(n) clears. A Selection is immutable once built and may
-// be shared by any number of Engines concurrently.
+// serve.TablePool for pooling), any number of Engines per Index — the
+// worker goroutines an Engine fans lane-blocks out to use per-worker
+// workspaces and are joined before any method returns, so the contract is
+// unchanged from the caller's side. All workspace arrays are
+// generation-stamped, so back-to-back queries cost O(work), never O(n)
+// clears. A Selection is immutable once built and may be shared by any
+// number of Engines concurrently.
 package batch
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ah"
 	"repro/internal/graph"
 	"repro/internal/obsv"
+	"repro/internal/par"
 	"repro/internal/pqueue"
 )
 
@@ -71,7 +89,36 @@ var (
 		"Resolved cells per second of the most recent DistanceTable call.")
 	tablesTotal = obsv.Default().Counter("batch_tables_total",
 		"DistanceTable calls completed (all engines).")
+	lanesGauge = obsv.Default().Gauge("batch_lanes",
+		"Configured lane width (sources per blocked sweep) of the most recently constructed engine.")
+	blockSweepSeconds = obsv.Default().Histogram("batch_block_sweep_seconds",
+		"Duration of one lane-blocked columnar downward sweep.", obsv.LatencyBuckets)
 )
+
+// DefaultLanes is the lane width blocked calls use unless configured: 16
+// sources per sweep makes each position's lane row two cache lines and
+// amortises the edge stream 16×, past which wider blocks mostly grow the
+// columnar working set without removing more traffic.
+const DefaultLanes = 16
+
+// maxLanes caps the configured width: the columnar workspaces are
+// O(nodes·lanes), so an absurd width would turn a config typo into an
+// allocation of tens of gigabytes.
+const maxLanes = 256
+
+// Options configures an Engine's blocked execution. The zero value picks
+// the defaults, so NewEngineOpts(x, Options{}) == NewEngine(x).
+type Options struct {
+	// Lanes is the number of sources a blocked sweep carries per block
+	// (the S of the columnar layout). 0 means DefaultLanes; values are
+	// clamped to [1, 256]. Lanes=1 degenerates to single-lane blocks —
+	// functionally the scalar path with the blocked plumbing.
+	Lanes int
+	// Workers is how many goroutines lane-blocks (and selection
+	// construction) shard over. 0 means GOMAXPROCS; 1 keeps everything on
+	// the calling goroutine.
+	Workers int
+}
 
 // Engine is a reusable batched-query workspace over a shared immutable
 // ah.Index. Not safe for concurrent use; clone one per goroutine.
@@ -108,13 +155,64 @@ type Engine struct {
 	ovPath   []graph.EdgeID
 	basePath []graph.EdgeID
 
+	// Blocked execution: configuration plus one lazily-built laneBlock
+	// workspace per worker slot (blocks[w] is only ever touched by the
+	// goroutine running worker w of a fan-out, or by the engine's own
+	// goroutine between fan-outs).
+	lanes   int
+	workers int
+	blocks  []*laneBlock
+
+	// Parallel-Select membership claims: a CAS generation array replaces
+	// selStamp when the climb is sharded (see climbPar).
+	selClaim []int32
+	selGen   int32
+
 	settled int
 	swept   int
+
+	// Lane-block progress of the counters' window: blocksTotal is how
+	// many blocks the blocked calls comprised, blocksDone how many
+	// completed (they differ only after a cooperative stop).
+	blocksDone  int
+	blocksTotal int
+
+	// Stage clocks (seconds since the last ResetCounters): the batched
+	// pipeline priced per stage, so the bench recorder can compare sweep
+	// kernels without the resolve stage — identical in both paths —
+	// flattening the ratio.
+	upSec, sweepSec, resSec float64
 }
 
-// NewEngine returns a fresh batched-query workspace over x. The cost is a
-// few O(n) slices; all index structure is shared.
+// NewEngine returns a fresh batched-query workspace over x with default
+// Options. The cost is a few O(n) slices; all index structure is shared.
+// Columnar lane workspaces (O(n·Lanes) per worker) materialise on the
+// first blocked call, so engines used only for scalar rows never pay for
+// them.
 func NewEngine(x *ah.Index) *Engine {
+	return NewEngineOpts(x, Options{})
+}
+
+// NewEngineOpts is NewEngine with explicit blocked-execution options.
+func NewEngineOpts(x *ah.Index, opts Options) *Engine {
+	lanes := opts.Lanes
+	if lanes == 0 {
+		lanes = DefaultLanes
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > maxLanes {
+		lanes = maxLanes
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	lanesGauge.Set(float64(lanes))
 	n := x.Graph().NumNodes()
 	return &Engine{
 		x:        x,
@@ -127,25 +225,53 @@ func NewEngine(x *ah.Index) *Engine {
 		pq:       pqueue.New(n),
 		selStamp: make([]uint32, n),
 		selPos:   make([]int32, n),
+		lanes:    lanes,
+		workers:  workers,
 	}
 }
 
 // Index returns the shared index this engine answers queries on.
 func (e *Engine) Index() *ah.Index { return e.x }
 
+// Lanes returns the configured lane width S of blocked calls.
+func (e *Engine) Lanes() int { return e.lanes }
+
+// Workers returns how many goroutines blocked calls shard over.
+func (e *Engine) Workers() int { return e.workers }
+
 // Settled returns how many nodes the last batched call popped across all
 // of its upward searches, the machine-independent cost of the source side.
 func (e *Engine) Settled() int { return e.settled }
 
 // Swept returns how many downward CSR entries the last batched call
-// relaxed across all of its sweeps, the cost of the target side.
+// relaxed across all of its sweeps, the cost of the target side. Blocked
+// calls count each entry once per lane-block (it is streamed once and
+// relaxed for every lane in registers), so for the same table the blocked
+// count is ~1/Lanes() the scalar count — that ratio IS the saved traffic.
 func (e *Engine) Swept() int { return e.swept }
 
-// ResetCounters zeroes the Settled/Swept accumulators. OneToMany and
-// DistanceTable reset them implicitly; callers composing tables out of
-// Select/Row directly (e.g. serve's context-aware row loop) reset once up
-// front so the counters cover exactly their batch.
-func (e *Engine) ResetCounters() { e.settled, e.swept = 0, 0 }
+// Blocks returns how many lane-blocks the blocked calls since the last
+// ResetCounters completed and comprised. done < total only after a
+// cooperative stop (DistanceTableStop / TableRows with a stop func).
+func (e *Engine) Blocks() (done, total int) { return e.blocksDone, e.blocksTotal }
+
+// StageSeconds returns the accumulated wall-clock of the three pipeline
+// stages since the last ResetCounters: upward Dijkstras, downward sweeps,
+// and per-cell path re-sum resolution. For parallel blocked calls the
+// stages are summed across workers (CPU-seconds, not elapsed).
+func (e *Engine) StageSeconds() (upward, sweep, resolve float64) {
+	return e.upSec, e.sweepSec, e.resSec
+}
+
+// ResetCounters zeroes the Settled/Swept/Blocks accumulators and the
+// stage clocks. OneToMany and the table entry points reset them
+// implicitly; callers composing tables out of Select/Row/RowBlock
+// directly reset once up front so the counters cover exactly their batch.
+func (e *Engine) ResetCounters() {
+	e.settled, e.swept = 0, 0
+	e.blocksDone, e.blocksTotal = 0, 0
+	e.upSec, e.sweepSec, e.resSec = 0, 0, 0
+}
 
 // NodeRangeError reports a query node id outside the engine's index node
 // range, returned by the Checked entry points; match it with errors.As.
@@ -173,6 +299,14 @@ func (e *Engine) validateIDs(lists ...[]graph.NodeID) error {
 		}
 	}
 	return nil
+}
+
+// ValidateNodes bounds-checks id lists against the index's node range,
+// returning a *NodeRangeError for the first offender. Callers composing
+// tables out of Select/RowBlock directly (the streaming CLI) use it to
+// get the same typed rejection the Checked entry points produce.
+func (e *Engine) ValidateNodes(lists ...[]graph.NodeID) error {
+	return e.validateIDs(lists...)
 }
 
 // OneToManyChecked is OneToMany behind a bounds check: ids outside the
@@ -206,14 +340,39 @@ func (e *Engine) DistanceTableChecked(sources, targets []graph.NodeID) ([][]floa
 // panics on a bad id — use OneToManyChecked for ids of unknown provenance.
 func (e *Engine) OneToMany(src graph.NodeID, targets []graph.NodeID, dst []float64) []float64 {
 	down := e.x.Downward()
-	e.settled, e.swept = 0, 0
+	e.ResetCounters()
+	t0 := time.Now()
 	e.upward(src)
+	t1 := time.Now()
 	e.sweep(down)
+	t2 := time.Now()
 	n := len(down.Order)
 	for _, t := range targets {
 		dst = append(dst, e.resolve(src, down.Order, int32(n-1)-e.x.Rank(t)))
 	}
+	e.upSec += t1.Sub(t0).Seconds()
+	e.sweepSec += t2.Sub(t1).Seconds()
+	e.resSec += time.Since(t2).Seconds()
 	return dst
+}
+
+// OneToManyBlocked is OneToMany's lane-blocked multi-source sibling:
+// distances from every source to every target over full-CSR columnar
+// sweeps, one sweep per lane-block of Lanes() sources instead of one per
+// source, blocks sharded over Workers() goroutines. The right tool when
+// restriction doesn't pay (thousands of targets) but many sources share
+// the call. Duplicate sources cost one lane; results are bit-identical to
+// OneToMany.
+func (e *Engine) OneToManyBlocked(sources, targets []graph.NodeID) [][]float64 {
+	down := e.x.Downward()
+	e.ResetCounters()
+	n := len(down.Order)
+	tpos := make([]int32, len(targets))
+	for j, t := range targets {
+		tpos[j] = int32(n-1) - e.x.Rank(t)
+	}
+	rows, _ := e.blockedTable(down, tpos, sources, nil)
+	return rows
 }
 
 // Selection is the target-side preprocessing of a many-to-many query: the
@@ -239,17 +398,56 @@ func (s *Selection) Targets() []graph.NodeID { return s.targets }
 // Size returns the number of nodes in the restricted sweep.
 func (s *Selection) Size() int { return len(s.csr.Order) }
 
+// parSelectMinTargets is the target count below which Select stays
+// sequential even on a multi-worker engine: the climb's total work is a
+// few edge scans per member, and spinning up goroutines for a handful of
+// targets costs more than the climb itself.
+const parSelectMinTargets = 16
+
 // Select computes the sweep restriction for a target set: a reachability
 // climb over reversed downward edges (from a node to the tails of its
 // upward-in entries) collects every node that can reach a target downward
 // — the only candidates for the peak or descent of an up-down path into
 // one — and the downward CSR rows of those nodes, re-pointed at restricted
 // positions. The member set is closed under the climb, so every restricted
-// edge's tail is a member. The targets slice is copied; the selection does
-// not alias caller memory.
+// edge's tail is a member. On a multi-worker engine the climb and the row
+// fill shard over Workers() goroutines; the result is identical for every
+// worker count (the member *set* is order-independent and the descending
+// rank sort canonicalises it — ranks are unique). The targets slice is
+// copied; the selection does not alias caller memory.
 func (e *Engine) Select(targets []graph.NodeID) *Selection {
 	start := time.Now()
 	defer selectSeconds.ObserveSince(start)
+	var members []graph.NodeID
+	if e.workers > 1 && len(targets) >= parSelectMinTargets {
+		members = e.climbPar(targets)
+	} else {
+		members = e.climb(targets)
+	}
+
+	rank := e.x.Ranks()
+	sort.Slice(members, func(i, j int) bool { return rank[members[i]] > rank[members[j]] })
+
+	pos := e.selPos
+	for i, v := range members {
+		pos[v] = int32(i)
+	}
+	sel := &Selection{
+		targets: append([]graph.NodeID(nil), targets...),
+		csr: graph.BuildDownCSRRestrictedWorkers(members, pos,
+			e.d.UpInStart, e.d.UpInFrom, e.d.UpInW, e.d.UpInEid, e.workers),
+	}
+	sel.tpos = make([]int32, len(sel.targets))
+	for j, t := range sel.targets {
+		sel.tpos[j] = pos[t]
+	}
+	return sel
+}
+
+// climb is the sequential reachability climb: every node with a downward
+// path into some target, via the engine's generation-stamped membership
+// array.
+func (e *Engine) climb(targets []graph.NodeID) []graph.NodeID {
 	e.selCur++
 	if e.selCur == 0 {
 		for i := range e.selStamp {
@@ -278,58 +476,270 @@ func (e *Engine) Select(targets []graph.NodeID) *Selection {
 		}
 	}
 	e.selStack = stack[:0]
+	return members
+}
 
-	rank := e.x.Ranks()
-	sort.Slice(members, func(i, j int) bool { return rank[members[i]] > rank[members[j]] })
+// climbPar shards the climb over targets: workers claim nodes through a
+// shared CAS generation array (the parallel analogue of selStamp), climb
+// with private stacks, and append claimed nodes to private member lists
+// concatenated at the join. Exactly one worker wins each node, so the
+// union is the same set the sequential climb finds — in a different,
+// scheduling-dependent order, which the caller's rank sort erases.
+func (e *Engine) climbPar(targets []graph.NodeID) []graph.NodeID {
+	if e.selClaim == nil {
+		e.selClaim = make([]int32, e.g.NumNodes())
+	}
+	e.selGen++
+	if e.selGen == 0 {
+		for i := range e.selClaim {
+			e.selClaim[i] = 0
+		}
+		e.selGen = 1
+	}
+	gen := e.selGen
+	workers := e.workers
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	parts := make([][]graph.NodeID, workers)
+	stacks := make([][]graph.NodeID, workers)
+	par.Do(len(targets), workers, func(w, i int) {
+		t := targets[i]
+		stack := stacks[w][:0]
+		if claimNode(e.selClaim, t, gen) {
+			stack = append(stack, t)
+			parts[w] = append(parts[w], t)
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for j := e.d.UpInStart[v]; j < e.d.UpInStart[v+1]; j++ {
+				if u := e.d.UpInFrom[j]; claimNode(e.selClaim, u, gen) {
+					stack = append(stack, u)
+					parts[w] = append(parts[w], u)
+				}
+			}
+		}
+		stacks[w] = stack
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	members := make([]graph.NodeID, 0, total)
+	for _, p := range parts {
+		members = append(members, p...)
+	}
+	return members
+}
 
-	pos := e.selPos
-	for i, v := range members {
-		pos[v] = int32(i)
+// claimNode atomically claims v for the current selection generation;
+// exactly one caller per (v, gen) sees true.
+func claimNode(claim []int32, v graph.NodeID, gen int32) bool {
+	for {
+		old := atomic.LoadInt32(&claim[v])
+		if old == gen {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&claim[v], old, gen) {
+			return true
+		}
 	}
-	sel := &Selection{
-		targets: append([]graph.NodeID(nil), targets...),
-		csr:     graph.BuildDownCSRRestricted(members, pos, e.d.UpInStart, e.d.UpInFrom, e.d.UpInW, e.d.UpInEid),
-	}
-	sel.tpos = make([]int32, len(sel.targets))
-	for j, t := range sel.targets {
-		sel.tpos[j] = pos[t]
-	}
-	return sel
 }
 
 // Row computes one source's distances to every target of sel, writing
 // len(sel.Targets()) values into out (which must have that length): one
-// upward search plus one sweep over the restricted CSR. Settled/Swept
-// accumulate; DistanceTable resets them per table.
+// upward search plus one scalar sweep over the restricted CSR. This is
+// the row-at-a-time path — cheapest for a lone source or tiny target
+// sets; multi-source tables go through TableRows/RowBlock. Counters
+// accumulate; callers reset them per batch.
 func (e *Engine) Row(src graph.NodeID, sel *Selection, out []float64) {
+	t0 := time.Now()
 	e.upward(src)
+	t1 := time.Now()
 	e.sweep(sel.csr)
+	t2 := time.Now()
 	for j, tp := range sel.tpos {
 		out[j] = e.resolve(src, sel.csr.Order, tp)
 	}
+	e.upSec += t1.Sub(t0).Seconds()
+	e.sweepSec += t2.Sub(t1).Seconds()
+	e.resSec += time.Since(t2).Seconds()
+}
+
+// RowBlock computes one lane-block of rows: up to Lanes() sources against
+// sel in a single columnar sweep, writing source sources[l]'s distances
+// into out[l] (each of length len(sel.Targets())). It is the streaming
+// building block under TableRows — callers that emit rows as blocks
+// finalize (cmd/ahix table) drive it directly and reuse the same out
+// buffers block after block, holding at most Lanes()·K cells at a time.
+// Runs on the calling goroutine; counters accumulate.
+func (e *Engine) RowBlock(sources []graph.NodeID, sel *Selection, out [][]float64) {
+	if len(sources) == 0 || len(sources) > e.lanes {
+		panic(fmt.Sprintf("batch: RowBlock of %d sources on a %d-lane engine", len(sources), e.lanes))
+	}
+	if len(out) != len(sources) {
+		panic(fmt.Sprintf("batch: RowBlock got %d output rows for %d sources", len(out), len(sources)))
+	}
+	b := e.blockFor(0)
+	b.reset()
+	b.run(e, sel.csr, sel.tpos, sources, out)
+	e.mergeBlock(b)
+	e.blocksDone++
+	e.blocksTotal++
 }
 
 // DistanceTable returns the exact shortest-path distance matrix
-// rows[i][j] = dist(sources[i], targets[j]), +Inf where unreachable. The
-// target restriction is computed once and reused across sources; see
-// Select/Row to manage that explicitly (e.g. to reuse a Selection across
-// tables or engines). Out-of-range ids panic (the workspace arrays are
-// indexed unchecked); use DistanceTableChecked for unvalidated input.
+// rows[i][j] = dist(sources[i], targets[j]), +Inf where unreachable,
+// computed lane-blocked: the target restriction once, then sources packed
+// Lanes() per columnar sweep and blocks sharded over Workers()
+// goroutines. See Select/TableRows to manage the selection explicitly
+// (e.g. to reuse it across tables or engines), DistanceTableStop for
+// cooperative cancellation. Out-of-range ids panic (the workspace arrays
+// are indexed unchecked); use DistanceTableChecked for unvalidated input.
 func (e *Engine) DistanceTable(sources, targets []graph.NodeID) [][]float64 {
-	start := time.Now()
 	sel := e.Select(targets)
-	e.settled, e.swept = 0, 0
+	e.ResetCounters()
+	rows, _ := e.TableRows(sel, sources, nil)
+	return rows
+}
+
+// DistanceTableStop is DistanceTable with cooperative cancellation: stop
+// is polled before each lane-block, and a true return abandons the rest
+// of the table — rows comes back nil with ok=false, and Blocks() reports
+// how far it got. serve threads request contexts through here.
+func (e *Engine) DistanceTableStop(sources, targets []graph.NodeID, stop func() bool) (rows [][]float64, ok bool) {
+	sel := e.Select(targets)
+	e.ResetCounters()
+	return e.TableRows(sel, sources, stop)
+}
+
+// TableRows computes the rows of a many-to-many table over an existing
+// Selection with the blocked kernel: sources are deduplicated (each
+// distinct source costs one lane; duplicates get row copies), packed into
+// lane-blocks of Lanes(), and sharded over Workers() goroutines. A
+// non-nil stop is polled before each lane-block; a true return abandons
+// the remaining blocks and returns (nil, false). Counters accumulate like
+// Row's; the DistanceTable entry points reset them per table.
+func (e *Engine) TableRows(sel *Selection, sources []graph.NodeID, stop func() bool) ([][]float64, bool) {
+	return e.blockedTable(sel.csr, sel.tpos, sources, stop)
+}
+
+// blockedTable is the shared multi-source core of TableRows and
+// OneToManyBlocked: dedup, fan out lane-blocks, reassemble rows in source
+// order, record the table metrics.
+func (e *Engine) blockedTable(down *graph.DownCSR, tpos []int32, sources []graph.NodeID, stop func() bool) ([][]float64, bool) {
+	start := time.Now()
+	uniq, rowOf := dedupSources(sources)
+	urows := make([][]float64, len(uniq))
+	for i := range urows {
+		urows[i] = make([]float64, len(tpos))
+	}
+	if !e.runBlocks(down, tpos, uniq, urows, stop) {
+		return nil, false
+	}
 	rows := make([][]float64, len(sources))
-	for i, s := range sources {
-		rows[i] = make([]float64, len(targets))
-		e.Row(s, sel, rows[i])
+	claimed := make([]bool, len(uniq))
+	for i, u := range rowOf {
+		if !claimed[u] {
+			claimed[u] = true
+			rows[i] = urows[u]
+		} else {
+			rows[i] = append([]float64(nil), urows[u]...)
+		}
 	}
 	tablesTotal.Inc()
 	tableSweepEntries.Observe(float64(e.swept))
 	if sec := time.Since(start).Seconds(); sec > 0 {
-		tableCellsPerSec.Set(float64(len(sources)*len(targets)) / sec)
+		tableCellsPerSec.Set(float64(len(sources)*len(tpos)) / sec)
 	}
-	return rows
+	return rows, true
+}
+
+// runBlocks fans the lane-blocks of sources out over the engine's
+// workers: block bi covers sources[bi·S : (bi+1)·S] and writes the
+// matching window of rows. Each worker slot owns a private laneBlock
+// workspace; counters merge back in slot order after the join, so totals
+// are deterministic regardless of which worker ran which block. Returns
+// false when stop cut the fan-out short.
+func (e *Engine) runBlocks(down *graph.DownCSR, tpos []int32, sources []graph.NodeID, rows [][]float64, stop func() bool) bool {
+	S := e.lanes
+	nb := (len(sources) + S - 1) / S
+	e.blocksTotal += nb
+	if nb == 0 {
+		return true
+	}
+	workers := e.workers
+	if workers > nb {
+		workers = nb
+	}
+	for w := 0; w < workers; w++ {
+		e.blockFor(w).reset()
+	}
+	// completed is written only by the goroutine that ran the block and
+	// read after the join — no concurrent access.
+	completed := make([]bool, nb)
+	aborted := par.DoStop(nb, workers, stop, func(w, bi int) {
+		lo := bi * S
+		hi := lo + S
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		e.blocks[w].run(e, down, tpos, sources[lo:hi], rows[lo:hi])
+		completed[bi] = true
+	})
+	for w := 0; w < workers; w++ {
+		e.mergeBlock(e.blocks[w])
+	}
+	for _, c := range completed {
+		if c {
+			e.blocksDone++
+		}
+	}
+	return !aborted
+}
+
+// blockFor returns worker slot w's laneBlock, building it on first use.
+// Must be called between fan-outs (never concurrently): runBlocks
+// materialises every slot it will use before dispatching.
+func (e *Engine) blockFor(w int) *laneBlock {
+	for len(e.blocks) <= w {
+		e.blocks = append(e.blocks, nil)
+	}
+	if e.blocks[w] == nil {
+		e.blocks[w] = newLaneBlock(e.g.NumNodes(), e.lanes)
+	}
+	return e.blocks[w]
+}
+
+// mergeBlock folds a joined worker workspace's counters and clocks into
+// the engine's.
+func (e *Engine) mergeBlock(b *laneBlock) {
+	e.settled += b.settled
+	e.swept += b.swept
+	e.upSec += b.upSec
+	e.sweepSec += b.sweepSec
+	e.resSec += b.resSec
+}
+
+// dedupSources maps a source list to the distinct sources actually
+// computed: uniq in first-occurrence order, rowOf[i] the uniq index of
+// sources[i]. Duplicate sources would otherwise burn a lane each — a real
+// pattern (the same depot heading many rows of a fleet table).
+func dedupSources(sources []graph.NodeID) (uniq []graph.NodeID, rowOf []int) {
+	rowOf = make([]int, len(sources))
+	idx := make(map[graph.NodeID]int, len(sources))
+	uniq = make([]graph.NodeID, 0, len(sources))
+	for i, s := range sources {
+		u, ok := idx[s]
+		if !ok {
+			u = len(uniq)
+			uniq = append(uniq, s)
+			idx[s] = u
+		}
+		rowOf[i] = u
+	}
+	return uniq, rowOf
 }
 
 // upward runs the forward upward Dijkstra from src: relax only upward

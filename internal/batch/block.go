@@ -1,0 +1,373 @@
+// The lane-blocked columnar sweep: the many-to-many engine's answer to
+// the memory wall. The scalar path (Row) streams the downward CSR once
+// per source, so an S×K table reads the same adjacency arrays S times —
+// the hot loop is bound by memory traffic, not arithmetic. A laneBlock
+// instead carries S sources ("lanes") through ONE pass: per-source labels
+// live as a column block (S contiguous lanes per node / sweep position),
+// the upward Dijkstras run per lane into the columnar labels, and each
+// downward edge is then relaxed for all S lanes in a cache-resident inner
+// loop — the CSR is streamed once per block instead of once per source,
+// MonetDB-style vertical layout applied to PHAST.
+//
+// The kernel keeps no parent arrays: the hot loop is a pure min-plus
+// update, and winners are recovered exactly at resolve time by re-running
+// the winning relaxation (see laneBlock.resolve). Distances and unpacked
+// paths are bit-identical to the scalar engine's, which the blocked
+// equivalence harness gates against per-pair Dijkstra on every topology.
+package batch
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// laneBlock is a self-contained workspace for lane-blocked batched
+// queries: everything one worker needs to run up to S upward searches and
+// resolve them with a single columnar sweep. An Engine keeps one
+// laneBlock per parallel worker slot, so lane-blocks shard over
+// internal/par workers without sharing any mutable state.
+type laneBlock struct {
+	S  int // lane stride: the engine's configured lane count
+	bs int // active lanes of the block being processed (<= S)
+
+	// Columnar upward-search labels, node-major with S lanes per node:
+	// ud[v*S+l] is lane l's tentative distance to v, upe[v*S+l] its
+	// parent edge in lane l's upward tree. The workspace is epoch-stamped
+	// per *node* per *block*: the first lane to touch v in a block
+	// Inf-fills all S of its lanes, which makes one shared stamp array
+	// behave exactly like S per-lane stamps — back-to-back blocks cost
+	// O(work), never O(n·S) clears.
+	ud     []float64
+	upe    []graph.EdgeID
+	ustamp []uint32
+	ucur   uint32
+	pq     *pqueue.Queue
+
+	// Columnar sweep labels, position-major with S lanes per position.
+	// Every lane of every position is written before any later position
+	// reads it, so like the scalar sweep arrays this needs no clearing or
+	// stamping. There are no parent arrays — see resolve.
+	bd []float64
+
+	// Path re-sum buffers (per worker, like the engine's own).
+	ovPath   []graph.EdgeID
+	basePath []graph.EdgeID
+
+	// Cost counters and stage clocks since reset(); the engine merges
+	// them back after a table so totals stay deterministic regardless of
+	// which worker ran which block.
+	settled, swept, blocks  int
+	upSec, sweepSec, resSec float64
+}
+
+func newLaneBlock(nodes, lanes int) *laneBlock {
+	return &laneBlock{
+		S:      lanes,
+		ud:     make([]float64, nodes*lanes),
+		upe:    make([]graph.EdgeID, nodes*lanes),
+		ustamp: make([]uint32, nodes),
+		pq:     pqueue.New(nodes),
+	}
+}
+
+// reset zeroes the counters and clocks ahead of a table. The label arrays
+// are left alone — they are epoch-stamped (ud/upe) or write-before-read
+// (bd), so stale contents are unreachable.
+func (b *laneBlock) reset() {
+	b.settled, b.swept, b.blocks = 0, 0, 0
+	b.upSec, b.sweepSec, b.resSec = 0, 0, 0
+}
+
+// run processes one lane-block end to end: an upward Dijkstra per lane,
+// one columnar sweep over down, and the exact per-cell resolution.
+// tpos maps output columns to sweep positions; rows[l] (length len(tpos))
+// receives source srcs[l]'s distances.
+func (b *laneBlock) run(e *Engine, down *graph.DownCSR, tpos []int32, srcs []graph.NodeID, rows [][]float64) {
+	b.bs = len(srcs)
+	b.ucur++
+	if b.ucur == 0 {
+		for i := range b.ustamp {
+			b.ustamp[i] = 0
+		}
+		b.ucur = 1
+	}
+	start := time.Now()
+	for l, src := range srcs {
+		b.upward(e, l, src)
+	}
+	t1 := time.Now()
+	b.upSec += t1.Sub(start).Seconds()
+	b.sweep(down)
+	t2 := time.Now()
+	sweepSec := t2.Sub(t1).Seconds()
+	b.sweepSec += sweepSec
+	blockSweepSeconds.Observe(sweepSec)
+	for l, src := range srcs {
+		out := rows[l]
+		for j, tp := range tpos {
+			out[j] = b.resolve(e, src, down, tp, l)
+		}
+	}
+	b.resSec += time.Since(t2).Seconds()
+	b.blocks++
+}
+
+// upward runs lane l's forward upward Dijkstra from src — the same
+// no-theta, no-stall search the scalar engine runs, writing its labels
+// into lane l of the column block.
+func (b *laneBlock) upward(e *Engine, l int, src graph.NodeID) {
+	d := e.d
+	b.pq.Reset()
+	b.relax(l, src, 0, -1)
+	for b.pq.Len() > 0 {
+		v, dv := b.pq.Pop()
+		b.settled++
+		for i := d.UpOutStart[v]; i < d.UpOutStart[v+1]; i++ {
+			b.relax(l, d.UpOutTo[i], dv+d.UpOutW[i], d.UpOutEid[i])
+		}
+	}
+}
+
+func (b *laneBlock) relax(l int, v graph.NodeID, dist float64, eid graph.EdgeID) {
+	base := int(v) * b.S
+	if b.ustamp[v] != b.ucur {
+		// First touch of v this block: stamp once, open all lanes.
+		b.ustamp[v] = b.ucur
+		lanes := b.ud[base : base+b.S]
+		for i := range lanes {
+			lanes[i] = Inf
+		}
+	} else if dist >= b.ud[base+l] {
+		return
+	}
+	b.ud[base+l] = dist
+	b.upe[base+l] = eid
+	b.pq.Push(v, dist)
+}
+
+// sweep runs the columnar downward resolution over a sweep-ordered CSR:
+// ascending positions, each position's S lanes initialised from its
+// node's columnar upward labels and then improved by the downward edges
+// from earlier — already final — positions, every edge relaxed for all
+// active lanes while its operands sit in registers. The edge stream is
+// the interleaved (AoS) layout, one sequential 16-byte record per edge
+// instead of three parallel array streams.
+func (b *laneBlock) sweep(down *graph.DownCSR) {
+	S := b.S
+	k := len(down.Order)
+	if need := k * S; cap(b.bd) < need {
+		c := 2 * cap(b.bd)
+		if c < need {
+			c = need
+		}
+		b.bd = make([]float64, c)
+	}
+	bd := b.bd[:k*S]
+	edges := down.Interleaved()
+	switch {
+	case S == 16 && b.bs == 16:
+		b.sweep16(down, bd, edges)
+	case S == 8 && b.bs == 8:
+		b.sweep8(down, bd, edges)
+	default:
+		b.sweepAny(down, bd, edges)
+	}
+	b.swept += len(edges)
+}
+
+// sweepAny is the width-generic kernel: full blocks of any configured
+// lane count, and the partial last block of a table.
+func (b *laneBlock) sweepAny(down *graph.DownCSR, bd []float64, edges []graph.DownEdge) {
+	S, bs := b.S, b.bs
+	for i, v := range down.Order {
+		row := bd[i*S : i*S+bs : i*S+bs]
+		if b.ustamp[v] == b.ucur {
+			copy(row, b.ud[int(v)*S:int(v)*S+bs])
+		} else {
+			for l := range row {
+				row[l] = Inf
+			}
+		}
+		for _, ed := range edges[down.Start[i]:down.Start[i+1]] {
+			f := int(ed.From) * S
+			frow := bd[f : f+bs : f+bs]
+			w := ed.W
+			for l, fv := range frow {
+				if d := fv + w; d < row[l] {
+					row[l] = d
+				}
+			}
+		}
+	}
+}
+
+// sweep16 is sweepAny specialised to full 16-lane blocks. Three things
+// make it the fast path: fixed-size array windows resolve every bounds
+// check at compile time; the position's 16-lane row lives in locals
+// (registers, mostly) across its whole in-row, so each edge costs only
+// loads of the predecessor row — the final labels store once per
+// position, not once per edge; and the update is the branchless min
+// builtin (MINSD on amd64), immune to relaxation-pattern branch misses.
+// min picks bit-identical values to the strict-< branch: all labels are
+// non-negative finite or +Inf (no NaNs, no -0), so equal operands are
+// bit-equal and either choice is the same float.
+func (b *laneBlock) sweep16(down *graph.DownCSR, bd []float64, edges []graph.DownEdge) {
+	for i, v := range down.Order {
+		row := (*[16]float64)(bd[i*16:])
+		in := edges[down.Start[i]:down.Start[i+1]]
+		stamped := b.ustamp[v] == b.ucur
+		var u *[16]float64
+		if stamped {
+			u = (*[16]float64)(b.ud[int(v)*16:])
+		}
+		// Two passes of 8 lanes: 8 accumulators (plus scratch) fit the
+		// register file without spilling, and the in-row's edge records
+		// are still L1-hot on the second pass — rows average a handful of
+		// edges.
+		var r0, r1, r2, r3, r4, r5, r6, r7 float64
+		if stamped {
+			r0, r1, r2, r3 = u[0], u[1], u[2], u[3]
+			r4, r5, r6, r7 = u[4], u[5], u[6], u[7]
+		} else {
+			r0, r1, r2, r3 = Inf, Inf, Inf, Inf
+			r4, r5, r6, r7 = Inf, Inf, Inf, Inf
+		}
+		for _, ed := range in {
+			f := (*[8]float64)(bd[int(ed.From)*16:])
+			w := ed.W
+			r0 = min(r0, f[0]+w)
+			r1 = min(r1, f[1]+w)
+			r2 = min(r2, f[2]+w)
+			r3 = min(r3, f[3]+w)
+			r4 = min(r4, f[4]+w)
+			r5 = min(r5, f[5]+w)
+			r6 = min(r6, f[6]+w)
+			r7 = min(r7, f[7]+w)
+		}
+		row[0], row[1], row[2], row[3] = r0, r1, r2, r3
+		row[4], row[5], row[6], row[7] = r4, r5, r6, r7
+		if stamped {
+			r0, r1, r2, r3 = u[8], u[9], u[10], u[11]
+			r4, r5, r6, r7 = u[12], u[13], u[14], u[15]
+		} else {
+			r0, r1, r2, r3 = Inf, Inf, Inf, Inf
+			r4, r5, r6, r7 = Inf, Inf, Inf, Inf
+		}
+		for _, ed := range in {
+			f := (*[8]float64)(bd[int(ed.From)*16+8:])
+			w := ed.W
+			r0 = min(r0, f[0]+w)
+			r1 = min(r1, f[1]+w)
+			r2 = min(r2, f[2]+w)
+			r3 = min(r3, f[3]+w)
+			r4 = min(r4, f[4]+w)
+			r5 = min(r5, f[5]+w)
+			r6 = min(r6, f[6]+w)
+			r7 = min(r7, f[7]+w)
+		}
+		row[8], row[9], row[10], row[11] = r0, r1, r2, r3
+		row[12], row[13], row[14], row[15] = r4, r5, r6, r7
+	}
+}
+
+// sweep8 is the 8-lane sibling of sweep16: one pass, same
+// register-resident accumulators and branchless min update.
+func (b *laneBlock) sweep8(down *graph.DownCSR, bd []float64, edges []graph.DownEdge) {
+	for i, v := range down.Order {
+		var r0, r1, r2, r3, r4, r5, r6, r7 float64
+		if b.ustamp[v] == b.ucur {
+			u := (*[8]float64)(b.ud[int(v)*8:])
+			r0, r1, r2, r3 = u[0], u[1], u[2], u[3]
+			r4, r5, r6, r7 = u[4], u[5], u[6], u[7]
+		} else {
+			r0, r1, r2, r3 = Inf, Inf, Inf, Inf
+			r4, r5, r6, r7 = Inf, Inf, Inf, Inf
+		}
+		for _, ed := range edges[down.Start[i]:down.Start[i+1]] {
+			f := (*[8]float64)(bd[int(ed.From)*8:])
+			w := ed.W
+			r0 = min(r0, f[0]+w)
+			r1 = min(r1, f[1]+w)
+			r2 = min(r2, f[2]+w)
+			r3 = min(r3, f[3]+w)
+			r4 = min(r4, f[4]+w)
+			r5 = min(r5, f[5]+w)
+			r6 = min(r6, f[6]+w)
+			r7 = min(r7, f[7]+w)
+		}
+		row := (*[8]float64)(bd[i*8:])
+		row[0], row[1], row[2], row[3] = r0, r1, r2, r3
+		row[4], row[5], row[6], row[7] = r4, r5, r6, r7
+	}
+}
+
+// resolve reports lane l's distance at sweep position tp, reconstructing
+// the winning up-down path and re-summing its original-graph edges in
+// travel order — exactly the scalar engine's accumulation, so blocked
+// cells are bit-identical to Row's and to per-pair Dijkstra.
+//
+// The sweep kept no parent arrays, so the descent is recovered by
+// equality re-scan: the winning relaxation assigned bd = bd[from]+w in
+// one IEEE-754 addition of operands that are final and still in place,
+// and recomputing that addition reproduces the bit pattern exactly. The
+// upward label is checked first and the row's in-edges in order, which
+// reproduces the scalar kernel's tie-break (the strict-< update records
+// the label, else the first edge attaining the row minimum) — the
+// recovered chain is the chain the scalar sFrom/sEid arrays would hold.
+func (b *laneBlock) resolve(e *Engine, src graph.NodeID, down *graph.DownCSR, tp int32, l int) float64 {
+	S := b.S
+	val := b.bd[int(tp)*S+l]
+	if math.IsInf(val, 1) {
+		return Inf
+	}
+	edges := down.Interleaved()
+	// Walk backward from the target: descent edges first, then the
+	// upward tree from the peak; one reversal yields travel order.
+	buf := b.ovPath[:0]
+	cur := int(tp)
+	for {
+		v := down.Order[cur]
+		if b.ustamp[v] == b.ucur && b.ud[int(v)*S+l] == val {
+			break // the upward label won: cur is the peak
+		}
+		found := false
+		for _, ed := range edges[down.Start[cur]:down.Start[cur+1]] {
+			if b.bd[int(ed.From)*S+l]+ed.W == val {
+				buf = append(buf, ed.Eid)
+				cur = int(ed.From)
+				val = b.bd[cur*S+l]
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Unreachable by construction: every finite label is either an
+			// upward label or some in-edge's relaxation, and both compare
+			// bit-exactly above.
+			panic("batch: blocked resolve found no winning predecessor")
+		}
+	}
+	for v := down.Order[cur]; v != src; {
+		oe := b.upe[int(v)*S+l]
+		buf = append(buf, oe)
+		from, _ := e.ov.Endpoints(oe)
+		v = from
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	b.ovPath = buf
+	base := b.basePath[:0]
+	for _, oe := range buf {
+		base = e.ov.Unpack(oe, base)
+	}
+	b.basePath = base
+	d := 0.0
+	for _, be := range base {
+		d += e.g.EdgeWeight(be)
+	}
+	return d
+}

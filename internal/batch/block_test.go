@@ -1,0 +1,355 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// scalarTable computes the reference matrix row-at-a-time through the
+// scalar Select/Row path — the PR 5 kernel the blocked path must match
+// bit for bit.
+func scalarTable(e *Engine, sources, targets []graph.NodeID) [][]float64 {
+	sel := e.Select(targets)
+	rows := make([][]float64, len(sources))
+	for i, s := range sources {
+		rows[i] = make([]float64, len(targets))
+		e.Row(s, sel, rows[i])
+	}
+	return rows
+}
+
+// assertSameMatrix requires exact (bitwise for finite values) equality.
+func assertSameMatrix(t *testing.T, got, want [][]float64, tag string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d has %d columns, want %d", tag, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			g, w := got[i][j], want[i][j]
+			if g != w && !(math.IsInf(g, 1) && math.IsInf(w, 1)) {
+				t.Fatalf("%s: cell [%d][%d] = %v, want %v (diff %g)", tag, i, j, g, w, g-w)
+			}
+		}
+	}
+}
+
+// TestBlockedEquivalence is the blocked correctness spine: on every
+// topology, for lane widths 1/3/8/16 and worker counts 1/4, tables of
+// several source counts (none, fewer than a block, exactly a block, and
+// blocks plus a remainder) must be bit-identical to the scalar Row path
+// AND to per-pair Dijkstra. Sources include duplicates and a src==dst
+// lane. Runs under -race in make check, which also exercises the
+// cross-goroutine block fan-out.
+func TestBlockedEquivalence(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			scalar := NewEngineOpts(idx, Options{Lanes: 1, Workers: 1})
+			uni := dijkstra.NewSearch(g)
+			rng := rand.New(rand.NewSource(21))
+			n := g.NumNodes()
+			targets := randomNodes(rng, n, 24)
+			targets[1] = targets[2] // duplicate targets
+
+			for _, S := range []int{1, 3, 8, 16} {
+				for _, workers := range []int{1, 4} {
+					e := NewEngineOpts(idx, Options{Lanes: S, Workers: workers})
+					if e.Lanes() != S || e.Workers() != workers {
+						t.Fatalf("engine options not applied: lanes=%d workers=%d", e.Lanes(), e.Workers())
+					}
+					counts := []int{1, S, 2*S + 3}
+					if S > 1 {
+						counts = append(counts, S-1)
+					}
+					for _, sc := range counts {
+						sources := randomNodes(rng, n, sc)
+						sources[0] = targets[0] // src == dst lane
+						if sc > 1 {
+							sources[sc-1] = sources[0] // duplicate source
+						}
+						rows := e.DistanceTable(sources, targets)
+						want := scalarTable(scalar, sources, targets)
+						tag := name
+						assertSameMatrix(t, rows, want, tag)
+						// Spot-check a diagonal of cells against Dijkstra so
+						// the scalar reference itself stays anchored.
+						for k := 0; k < len(sources) && k < len(targets); k++ {
+							w := uni.Distance(sources[k], targets[k])
+							got := rows[k][k]
+							if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
+								t.Fatalf("S=%d workers=%d: cell [%d][%d] = %v, Dijkstra %v", S, workers, k, k, got, w)
+							}
+						}
+						done, total := e.Blocks()
+						uniq := len(uniqueNodes(sources))
+						wantBlocks := (uniq + S - 1) / S
+						if done != wantBlocks || total != wantBlocks {
+							t.Fatalf("S=%d workers=%d sources=%d (uniq %d): Blocks() = %d/%d, want %d",
+								S, workers, sc, uniq, done, total, wantBlocks)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func uniqueNodes(ids []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, len(ids))
+	out := ids[:0:0]
+	for _, v := range ids {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestBlockedEdgeTargetSets covers degenerate target sets: empty (rows of
+// length zero — no sweep positions at all) and singleton.
+func TestBlockedEdgeTargetSets(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngineOpts(idx, Options{Lanes: 8, Workers: 2})
+	uni := dijkstra.NewSearch(g)
+	rng := rand.New(rand.NewSource(22))
+	n := g.NumNodes()
+	sources := randomNodes(rng, n, 11)
+
+	rows := e.DistanceTable(sources, nil)
+	if len(rows) != len(sources) {
+		t.Fatalf("empty-target table has %d rows, want %d", len(rows), len(sources))
+	}
+	for i, row := range rows {
+		if len(row) != 0 {
+			t.Fatalf("row %d of an empty-target table has %d cells", i, len(row))
+		}
+	}
+
+	target := []graph.NodeID{sources[3]} // also a src==dst lane
+	rows = e.DistanceTable(sources, target)
+	for i, s := range sources {
+		want := uni.Distance(s, target[0])
+		if rows[i][0] != want && !(math.IsInf(rows[i][0], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("singleton table row %d: %v, want %v", i, rows[i][0], want)
+		}
+	}
+	if rows[3][0] != 0 {
+		t.Fatalf("src==dst cell = %v, want exactly 0", rows[3][0])
+	}
+}
+
+// TestOneToManyBlockedEquivalence pins the full-CSR blocked sibling to
+// the scalar OneToMany, including duplicate sources.
+func TestOneToManyBlockedEquivalence(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			e := NewEngineOpts(idx, Options{Lanes: 8, Workers: 4})
+			scalar := NewEngine(idx)
+			rng := rand.New(rand.NewSource(23))
+			n := g.NumNodes()
+			targets := randomNodes(rng, n, 40)
+			sources := randomNodes(rng, n, 13)
+			sources[12] = sources[0]
+
+			rows := e.OneToManyBlocked(sources, targets)
+			want := make([][]float64, len(sources))
+			for i, s := range sources {
+				want[i] = scalar.OneToMany(s, targets, nil)
+			}
+			assertSameMatrix(t, rows, want, name)
+		})
+	}
+}
+
+// TestRowBlockStreaming drives the streaming building block the CLI
+// uses: blocks of rows computed into reused buffers must reproduce
+// DistanceTable exactly, block after block, including a final partial
+// block.
+func TestRowBlockStreaming(t *testing.T) {
+	g := topologies(t)["RandomGeometric"]
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngineOpts(idx, Options{Lanes: 4, Workers: 1})
+	rng := rand.New(rand.NewSource(24))
+	n := g.NumNodes()
+	sources := randomNodes(rng, n, 11) // 2 full blocks + remainder of 3
+	targets := randomNodes(rng, n, 17)
+
+	want := NewEngineOpts(idx, Options{Lanes: 4, Workers: 1}).DistanceTable(sources, targets)
+
+	sel := e.Select(targets)
+	e.ResetCounters()
+	S := e.Lanes()
+	block := make([][]float64, S)
+	for i := range block {
+		block[i] = make([]float64, len(targets))
+	}
+	var got [][]float64
+	for lo := 0; lo < len(sources); lo += S {
+		hi := lo + S
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		e.RowBlock(sources[lo:hi], sel, block[:hi-lo])
+		for _, row := range block[:hi-lo] {
+			got = append(got, append([]float64(nil), row...))
+		}
+	}
+	assertSameMatrix(t, got, want, "RowBlock stream")
+	if done, total := e.Blocks(); done != 3 || total != 3 {
+		t.Fatalf("Blocks() = %d/%d after 3 RowBlocks", done, total)
+	}
+}
+
+// TestDistanceTableStop checks cooperative cancellation: a stop that
+// fires immediately abandons the table before any block completes, the
+// progress counters say so, and the engine stays usable.
+func TestDistanceTableStop(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngineOpts(idx, Options{Lanes: 4, Workers: 2})
+	rng := rand.New(rand.NewSource(25))
+	n := g.NumNodes()
+	sources := randomNodes(rng, n, 10)
+	targets := randomNodes(rng, n, 12)
+
+	rows, ok := e.DistanceTableStop(sources, targets, func() bool { return true })
+	if ok || rows != nil {
+		t.Fatalf("stopped table returned ok=%v rows=%v", ok, rows != nil)
+	}
+	if done, total := e.Blocks(); done != 0 || total != 3 {
+		t.Fatalf("Blocks() after immediate stop = %d/%d, want 0/3", done, total)
+	}
+
+	// nil stop: same call completes, and the workspace is intact.
+	rows, ok = e.DistanceTableStop(sources, targets, nil)
+	if !ok {
+		t.Fatal("unstopped table did not complete")
+	}
+	want := scalarTable(NewEngine(idx), sources, targets)
+	assertSameMatrix(t, rows, want, "after stop")
+}
+
+// TestDedupSourcesComputeOnce asserts duplicate sources cost one lane:
+// the settled count of a table with every source repeated equals the
+// count for the deduplicated list, and the duplicate rows are equal.
+func TestDedupSourcesComputeOnce(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := ah.Build(g, ah.Options{})
+	rng := rand.New(rand.NewSource(26))
+	n := g.NumNodes()
+	base := uniqueNodes(randomNodes(rng, n, 6))
+	targets := randomNodes(rng, n, 9)
+
+	doubled := append(append([]graph.NodeID(nil), base...), base...)
+	e1 := NewEngineOpts(idx, Options{Lanes: 4, Workers: 1})
+	rows := e1.DistanceTable(doubled, targets)
+	e2 := NewEngineOpts(idx, Options{Lanes: 4, Workers: 1})
+	e2.DistanceTable(base, targets)
+	if e1.Settled() != e2.Settled() {
+		t.Fatalf("doubled sources settled %d, deduplicated %d — duplicates were recomputed", e1.Settled(), e2.Settled())
+	}
+	for i := range base {
+		for j := range targets {
+			if rows[i][j] != rows[i+len(base)][j] {
+				t.Fatalf("duplicate source row %d diverges at column %d", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelSelectDeterministic pins the sharded selection build to the
+// sequential one: same member order, offsets, edges, weights, ids, and
+// target positions for any worker count.
+func TestParallelSelectDeterministic(t *testing.T) {
+	for name, g := range topologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			idx := ah.Build(g, ah.Options{})
+			rng := rand.New(rand.NewSource(27))
+			n := g.NumNodes()
+			// Enough targets to cross parSelectMinTargets.
+			targets := randomNodes(rng, n, 48)
+
+			seq := NewEngineOpts(idx, Options{Workers: 1}).Select(targets)
+			for _, workers := range []int{2, 4, 7} {
+				par := NewEngineOpts(idx, Options{Workers: workers}).Select(targets)
+				if len(par.csr.Order) != len(seq.csr.Order) {
+					t.Fatalf("workers=%d: %d members, want %d", workers, len(par.csr.Order), len(seq.csr.Order))
+				}
+				for i := range seq.csr.Order {
+					if par.csr.Order[i] != seq.csr.Order[i] {
+						t.Fatalf("workers=%d: Order[%d] = %d, want %d", workers, i, par.csr.Order[i], seq.csr.Order[i])
+					}
+				}
+				for i := range seq.csr.Start {
+					if par.csr.Start[i] != seq.csr.Start[i] {
+						t.Fatalf("workers=%d: Start[%d] differs", workers, i)
+					}
+				}
+				for k := range seq.csr.From {
+					if par.csr.From[k] != seq.csr.From[k] || par.csr.W[k] != seq.csr.W[k] || par.csr.Eid[k] != seq.csr.Eid[k] {
+						t.Fatalf("workers=%d: edge %d differs", workers, k)
+					}
+				}
+				for j := range seq.tpos {
+					if par.tpos[j] != seq.tpos[j] {
+						t.Fatalf("workers=%d: tpos[%d] differs", workers, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBlockedWorkspaceReuse runs back-to-back tables of different shapes
+// through one engine — the generation-stamped columnar workspaces must
+// not leak labels between tables.
+func TestBlockedWorkspaceReuse(t *testing.T) {
+	g := topologies(t)["RandomGeometric"]
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngineOpts(idx, Options{Lanes: 8, Workers: 2})
+	scalar := NewEngine(idx)
+	rng := rand.New(rand.NewSource(28))
+	n := g.NumNodes()
+	for round := 0; round < 5; round++ {
+		sources := randomNodes(rng, n, 3+round*5)
+		targets := randomNodes(rng, n, 1+round*7)
+		rows := e.DistanceTable(sources, targets)
+		want := scalarTable(scalar, sources, targets)
+		assertSameMatrix(t, rows, want, "round")
+	}
+}
+
+// TestStageSeconds sanity-checks the stage clocks: a real table must
+// accumulate all three stages, and ResetCounters must zero them.
+func TestStageSeconds(t *testing.T) {
+	g := topologies(t)["GridCity"]
+	idx := ah.Build(g, ah.Options{})
+	e := NewEngineOpts(idx, Options{Lanes: 8, Workers: 1})
+	rng := rand.New(rand.NewSource(29))
+	n := g.NumNodes()
+	e.DistanceTable(randomNodes(rng, n, 12), randomNodes(rng, n, 16))
+	up, sweep, res := e.StageSeconds()
+	if up <= 0 || sweep <= 0 || res <= 0 {
+		t.Fatalf("stage clocks up=%v sweep=%v res=%v after a real table", up, sweep, res)
+	}
+	e.ResetCounters()
+	up, sweep, res = e.StageSeconds()
+	if up != 0 || sweep != 0 || res != 0 {
+		t.Fatalf("stage clocks not reset: %v %v %v", up, sweep, res)
+	}
+}

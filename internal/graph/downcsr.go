@@ -1,6 +1,11 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/par"
+)
 
 // DownCSR is a sweep-ordered view of a "downward" edge set: the rows are
 // nodes in the order a linear PHAST-style sweep must process them, and row
@@ -25,6 +30,38 @@ type DownCSR struct {
 	From  []int32   // tail sweep position of each edge, From[k] < its row
 	W     []float64 // edge weights
 	Eid   []EdgeID  // originating overlay edge ids (for path unpacking)
+
+	// Interleaved() cache; see DownEdge.
+	ilOnce sync.Once
+	il     []DownEdge
+}
+
+// DownEdge is one downward edge in edge-major (array-of-structs) layout:
+// the operands a relaxation needs — tail position and weight — share one
+// 16-byte, cache-line-friendly record instead of living in three parallel
+// array streams. The edge id rides in what would otherwise be alignment
+// padding, so the path-recovery re-scan gets it for free.
+type DownEdge struct {
+	From int32   // tail sweep position (same value as DownCSR.From)
+	Eid  EdgeID  // originating overlay edge id
+	W    float64 // edge weight
+}
+
+// Interleaved returns the CSR's edges re-laid-out as DownEdge records,
+// built lazily on first use and cached: a lane-blocked sweep touches every
+// edge's tail and weight once per block, and the interleaved layout turns
+// those two (plus the id) into a single sequential stream. The rows are
+// the same as the parallel arrays' (Start offsets index both); the result
+// is immutable and safe to share across goroutines.
+func (d *DownCSR) Interleaved() []DownEdge {
+	d.ilOnce.Do(func() {
+		il := make([]DownEdge, len(d.From))
+		for k := range il {
+			il[k] = DownEdge{From: d.From[k], Eid: d.Eid[k], W: d.W[k]}
+		}
+		d.il = il
+	})
+	return d.il
 }
 
 // NumNodes returns the number of sweep positions (= nodes covered).
@@ -54,6 +91,21 @@ func BuildDownCSR(order []NodeID, inStart []int32, inFrom []NodeID, inW []float6
 // produced From positions are garbage. The in-CSR stays indexed by
 // original node ids; only member rows are materialised.
 func BuildDownCSRRestricted(order []NodeID, pos, inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID) *DownCSR {
+	return BuildDownCSRRestrictedWorkers(order, pos, inStart, inFrom, inW, inEid, 1)
+}
+
+// restrictedFillChunk is the row span one worker fills at a time when the
+// restricted build is sharded: rows are tiny (a handful of edges), so
+// per-row dispatch through the work-stealing cursor would cost more than
+// the copy itself.
+const restrictedFillChunk = 256
+
+// BuildDownCSRRestrictedWorkers is BuildDownCSRRestricted with the row
+// fill sharded over the given number of goroutines (1 = the sequential
+// path, byte-identical output for every worker count). The offset prefix
+// sum stays sequential — it is a dependent scan — but the rows it
+// delimits are independent, so workers copy disjoint chunks of them.
+func BuildDownCSRRestrictedWorkers(order []NodeID, pos, inStart []int32, inFrom []NodeID, inW []float64, inEid []EdgeID, workers int) *DownCSR {
 	n := len(order)
 	d := &DownCSR{
 		Order: order,
@@ -66,14 +118,23 @@ func BuildDownCSRRestricted(order []NodeID, pos, inStart []int32, inFrom []NodeI
 	d.From = make([]int32, m)
 	d.W = make([]float64, m)
 	d.Eid = make([]EdgeID, m)
-	for i, v := range order {
-		p := d.Start[i]
-		for j := inStart[v]; j < inStart[v+1]; j, p = j+1, p+1 {
-			d.From[p] = pos[inFrom[j]]
-			d.W[p] = inW[j]
-			d.Eid[p] = inEid[j]
+	chunks := (n + restrictedFillChunk - 1) / restrictedFillChunk
+	par.Do(chunks, workers, func(_, c int) {
+		lo := c * restrictedFillChunk
+		hi := lo + restrictedFillChunk
+		if hi > n {
+			hi = n
 		}
-	}
+		for i := lo; i < hi; i++ {
+			v := order[i]
+			p := d.Start[i]
+			for j := inStart[v]; j < inStart[v+1]; j, p = j+1, p+1 {
+				d.From[p] = pos[inFrom[j]]
+				d.W[p] = inW[j]
+				d.Eid[p] = inEid[j]
+			}
+		}
+	})
 	return d
 }
 

@@ -156,3 +156,65 @@ func TestBuildDownCSRFromGraphReverse(t *testing.T) {
 		t.Fatalf("downward edges %d, want %d", d.NumEdges(), g.NumEdges())
 	}
 }
+
+// TestDownCSRInterleaved checks the AoS edge view mirrors the parallel
+// arrays record for record and is built exactly once (cached).
+func TestDownCSRInterleaved(t *testing.T) {
+	order, inStart, inFrom, inW, inEid := downFixture()
+	d := BuildDownCSR(order, inStart, inFrom, inW, inEid)
+	il := d.Interleaved()
+	if len(il) != d.NumEdges() {
+		t.Fatalf("interleaved has %d records, want %d", len(il), d.NumEdges())
+	}
+	for k := range il {
+		if il[k].From != d.From[k] || il[k].W != d.W[k] || il[k].Eid != d.Eid[k] {
+			t.Fatalf("record %d = %+v, want (%d, %v, %d)", k, il[k], d.From[k], d.W[k], d.Eid[k])
+		}
+	}
+	if &d.Interleaved()[0] != &il[0] {
+		t.Fatal("second Interleaved call rebuilt the cache")
+	}
+}
+
+// TestBuildDownCSRRestrictedWorkersDeterministic pins the sharded row
+// fill to the sequential build: byte-identical arrays for every worker
+// count, on a structure large enough to span several fill chunks.
+func TestBuildDownCSRRestrictedWorkersDeterministic(t *testing.T) {
+	// A long chain: node i+1 has one in-edge from node i; order is the
+	// chain itself, so every tail precedes its head.
+	n := 3 * restrictedFillChunk
+	order := make([]NodeID, n)
+	pos := make([]int32, n)
+	inStart := make([]int32, n+1)
+	var inFrom []NodeID
+	var inW []float64
+	var inEid []EdgeID
+	for i := 0; i < n; i++ {
+		order[i] = NodeID(i)
+		pos[i] = int32(i)
+		inStart[i+1] = inStart[i]
+		if i > 0 {
+			inStart[i+1]++
+			inFrom = append(inFrom, NodeID(i-1))
+			inW = append(inW, float64(i))
+			inEid = append(inEid, EdgeID(i))
+		}
+	}
+	seq := BuildDownCSRRestrictedWorkers(order, pos, inStart, inFrom, inW, inEid, 1)
+	for _, workers := range []int{2, 4, 9} {
+		got := BuildDownCSRRestrictedWorkers(order, pos, inStart, inFrom, inW, inEid, workers)
+		if len(got.From) != len(seq.From) {
+			t.Fatalf("workers=%d: %d edges, want %d", workers, len(got.From), len(seq.From))
+		}
+		for i := range seq.Start {
+			if got.Start[i] != seq.Start[i] {
+				t.Fatalf("workers=%d: Start[%d] differs", workers, i)
+			}
+		}
+		for k := range seq.From {
+			if got.From[k] != seq.From[k] || got.W[k] != seq.W[k] || got.Eid[k] != seq.Eid[k] {
+				t.Fatalf("workers=%d: edge %d differs", workers, k)
+			}
+		}
+	}
+}

@@ -15,16 +15,30 @@ import (
 // than one worker fn must be safe to call concurrently with itself and
 // must not depend on arrival order.
 func Do(n, workers int, fn func(worker, i int)) {
+	DoStop(n, workers, nil, fn)
+}
+
+// DoStop is Do with cooperative early termination: when stop is non-nil it
+// is polled once before each dispatched index (on the goroutine about to
+// run it), and a true return abandons that index and every undispatched
+// one. Indices already running are finished, never interrupted, so fn's
+// per-index effects stay all-or-nothing. Returns true when the loop was
+// cut short. A nil stop makes DoStop exactly Do.
+func DoStop(n, workers int, stop func() bool, fn func(worker, i int)) bool {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				return true
+			}
 			fn(0, i)
 		}
-		return
+		return false
 	}
 	var cursor atomic.Int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -35,9 +49,16 @@ func Do(n, workers int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
+				// aborted short-circuits sibling workers once any poll has
+				// fired, so one slow stop func cannot be called n times.
+				if stop != nil && (aborted.Load() || stop()) {
+					aborted.Store(true)
+					return
+				}
 				fn(w, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return aborted.Load()
 }

@@ -61,3 +61,87 @@ func TestDoSequentialOrder(t *testing.T) {
 		t.Fatalf("visited %d indices, want 5", len(got))
 	}
 }
+
+// TestDoStopImmediate checks a stop that is already true prevents every
+// dispatch, sequentially and in parallel.
+func TestDoStopImmediate(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ran := false
+		aborted := DoStop(100, workers, func() bool { return true }, func(w, i int) { ran = true })
+		if !aborted {
+			t.Fatalf("workers=%d: DoStop did not report the abort", workers)
+		}
+		if ran {
+			t.Fatalf("workers=%d: fn ran despite an immediately-true stop", workers)
+		}
+	}
+}
+
+// TestDoStopSequentialCutoff checks the sequential path stops exactly at
+// the poll that fires: indices before it ran, none after.
+func TestDoStopSequentialCutoff(t *testing.T) {
+	var got []int
+	n := 0
+	aborted := DoStop(10, 1, func() bool { n++; return n > 4 }, func(w, i int) {
+		got = append(got, i)
+	})
+	if !aborted {
+		t.Fatal("no abort reported")
+	}
+	if len(got) != 4 {
+		t.Fatalf("ran %v, want exactly the first 4 indices", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+// TestDoStopNilIsDo checks a nil stop behaves exactly like Do: full
+// coverage, no abort.
+func TestDoStopNilIsDo(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var mu sync.Mutex
+		visits := make([]int, 50)
+		if DoStop(50, workers, nil, func(w, i int) {
+			mu.Lock()
+			visits[i]++
+			mu.Unlock()
+		}) {
+			t.Fatalf("workers=%d: nil stop reported an abort", workers)
+		}
+		for i, c := range visits {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestDoStopParallelPartial checks a mid-run abort in the parallel path:
+// some indices may have run, but after DoStop returns nothing else does
+// (all workers joined), and the abort is reported.
+func TestDoStopParallelPartial(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	stopAfter := 8
+	aborted := DoStop(1000, 4, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count >= stopAfter
+	}, func(w, i int) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if !aborted {
+		t.Fatal("no abort reported")
+	}
+	mu.Lock()
+	ran := count
+	mu.Unlock()
+	if ran >= 1000 {
+		t.Fatalf("all %d indices ran despite the stop", ran)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/graph"
 	"repro/internal/obsv"
 	"repro/internal/store"
@@ -85,8 +86,9 @@ func (e *Epoch) Release() {
 type Hot struct {
 	cur atomic.Pointer[Epoch]
 
-	reg *obsv.Registry
-	hm  *hotMetrics // nil when reg is the noop registry
+	reg   *obsv.Registry
+	hm    *hotMetrics   // nil when reg is the noop registry
+	topts batch.Options // blocked-table options for every epoch's Service
 
 	// mu serialises Reload/Close and guards path/seq and the last-install
 	// outcome; queries never take it.
@@ -146,7 +148,15 @@ func OpenHot(path string) (*Hot, error) {
 // for an uninstrumented handle). Epoch Services are wired to the same
 // registry.
 func OpenHotWith(path string, reg *obsv.Registry) (*Hot, error) {
-	h := &Hot{reg: reg, hm: newHotMetrics(reg)}
+	return OpenHotOpts(path, reg, batch.Options{})
+}
+
+// OpenHotOpts is OpenHotWith with explicit blocked-table options (lane
+// width, worker fan-out), applied to the Service of every epoch this
+// handle installs — reloads included, so a -lanes daemon flag survives
+// index swaps.
+func OpenHotOpts(path string, reg *obsv.Registry, topts batch.Options) (*Hot, error) {
+	h := &Hot{reg: reg, hm: newHotMetrics(reg), topts: topts}
 	if err := h.install(path); err != nil {
 		return nil, err
 	}
@@ -181,7 +191,7 @@ func (h *Hot) install(path string) (err error) {
 		h.hm.verifySec.ObserveSince(vStart)
 	}
 	h.seq++
-	e := &Epoch{m: m, svc: NewServiceWith(m.Index(), h.reg), seq: h.seq, hot: h}
+	e := &Epoch{m: m, svc: NewServiceOpts(m.Index(), h.reg, h.topts), seq: h.seq, hot: h}
 	e.refs.Store(1)
 	old := h.cur.Swap(e)
 	h.path = path

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/dijkstra"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -399,8 +401,8 @@ func TestLimiter(t *testing.T) {
 }
 
 // TestDistanceTableCtxCancel checks the cooperative cancellation path: a
-// dead context abandons the table between rows, reports how far it got,
-// and leaves the stats untouched (no half-counted table).
+// dead context abandons the table between lane-blocks, reports how far it
+// got, and leaves the stats untouched (no half-counted table).
 func TestDistanceTableCtxCancel(t *testing.T) {
 	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 300, K: 3, Seed: 16})
 	if err != nil {
@@ -415,7 +417,7 @@ func TestDistanceTableCtxCancel(t *testing.T) {
 	if _, err := svc.DistanceTableCtx(ctx, srcs, tgts); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled table: %v, want context.Canceled", err)
 	}
-	if st := svc.Stats(); st.Tables != 0 || st.TableSettled != 0 {
+	if st := svc.Stats(); st.Tables != 0 || st.TableSettled != 0 || st.TableBlocks != 0 {
 		t.Fatalf("cancelled table leaked into stats: %+v", st)
 	}
 	// And the workspace went back to the pool in a usable state.
@@ -425,6 +427,44 @@ func TestDistanceTableCtxCancel(t *testing.T) {
 	}
 	if st := svc.Stats(); st.Tables != 1 {
 		t.Fatalf("Stats.Tables = %d, want 1", st.Tables)
+	}
+}
+
+// TestDistanceTableCtxExpired is the already-expired-deadline regression:
+// a deadline in the past must abort before the first lane-block runs —
+// zero blocks reported, error wrapping DeadlineExceeded — rather than
+// computing the whole table and noticing afterwards.
+func TestDistanceTableCtxExpired(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 300, K: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ah.Build(g, ah.Options{})
+	// Lanes: 2 over 5 sources means a completed table is 3 blocks, so the
+	// "0/3 lane-blocks" progress in the error is unambiguous.
+	svc := NewServiceOpts(idx, obsv.Noop(), batch.Options{Lanes: 2})
+	srcs := []graph.NodeID{1, 2, 3, 4, 5}
+	tgts := []graph.NodeID{6, 7}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = svc.DistanceTableCtx(ctx, srcs, tgts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired table: %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "0/3 lane-blocks") {
+		t.Fatalf("expired table error %q does not report 0/3 lane-blocks", err)
+	}
+	if st := svc.Stats(); st.Tables != 0 || st.TableBlocks != 0 {
+		t.Fatalf("expired table leaked into stats: %+v", st)
+	}
+	// The same service still serves once given a live context.
+	rows, err := svc.DistanceTableCtx(context.Background(), srcs, tgts)
+	if err != nil || len(rows) != len(srcs) {
+		t.Fatalf("table after expiry: %v, %d rows", err, len(rows))
+	}
+	if st := svc.Stats(); st.TableBlocks != 3 {
+		t.Fatalf("Stats.TableBlocks = %d, want 3", st.TableBlocks)
 	}
 }
 

@@ -111,6 +111,10 @@ func TestConcurrentDistanceTables(t *testing.T) {
 			if want := uint64(goroutines*4) * uint64(q.Swept()); st.TableSwept != want {
 				t.Errorf("Stats.TableSwept = %d, want %d", st.TableSwept, want)
 			}
+			qBlocks, _ := q.Blocks()
+			if want := uint64(goroutines*4) * uint64(qBlocks); st.TableBlocks != want {
+				t.Errorf("Stats.TableBlocks = %d, want %d", st.TableBlocks, want)
+			}
 		})
 	}
 }
