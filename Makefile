@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test race overhead-gate bench bench-record
+.PHONY: check fmt-check vet build test race overhead-gate chaos bench bench-record
 
-check: fmt-check vet build test race overhead-gate
+check: fmt-check vet build test race overhead-gate chaos
 
 # gofmt over the whole tree (the repo root recurses into every package
 # dir, new ones included); any unformatted file fails the gate.
@@ -36,9 +36,26 @@ test:
 # concurrent histogram hammer (N observers racing the exposition
 # renderer; bucket counts must sum exactly).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./internal/obsv/... ./cmd/ahixd/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./internal/obsv/... ./internal/faultfs/... ./internal/chaos/... ./cmd/ahixd/...
 	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
+
+# The fault-injection gate: a deterministic matrix of >= 50 faultfs
+# schedules (injected I/O errors, torn writes, bit flips and truncations
+# in reads and mappings, simulated crashes) driven through save, load, and
+# hot reload. The invariants: never a wrong answer (post-chaos queries are
+# bit-identical to sequential Dijkstra), never a dead serving handle,
+# always last-good-or-typed-error, corrupt files quarantined, atomic saves
+# never torn. Prints the "chaos: N schedules, V invariant violations"
+# summary on success and the full subtest log on failure; any violation
+# fails the gate.
+chaos:
+	@log=$$(mktemp); \
+	if $(GO) test -count=1 -run TestChaosMatrix -v ./internal/chaos/ >$$log 2>&1; then \
+		grep -h "^chaos:" $$log; rm -f $$log; \
+	else \
+		cat $$log; rm -f $$log; exit 1; \
+	fi
 
 # Metrics must be effectively free on the query hot path: p2p queries on a
 # Service wired to a real obsv registry must run within 5% of one wired to

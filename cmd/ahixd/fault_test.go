@@ -1,0 +1,296 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestPanicRecovery pins the daemon's blast-radius contract: a panicking
+// handler costs its own request a 500 and a counter tick, and the very
+// next request is answered correctly — the process, listener, and index
+// all survive.
+func TestPanicRecovery(t *testing.T) {
+	f := makeFixture(t)
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(f.pathA, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(hot, serverConfig{maxInflight: 16, timeout: 5 * time.Second, reg: reg})
+
+	// The daemon has no intentionally panicking input, so the test grafts
+	// one route beside the real ones under the same recovery middleware
+	// that routes() installs outermost.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	mux.Handle("/", s.routes())
+	ts := httptest.NewServer(s.recovered(mux))
+	t.Cleanup(func() {
+		ts.Close()
+		hot.Close()
+	})
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/boom", http.StatusInternalServerError, &e)
+	if !strings.Contains(e.Error, "panic") {
+		t.Fatalf("panic 500 body %q does not say what happened", e.Error)
+	}
+	if n := s.panics.Load(); n != 1 {
+		t.Fatalf("panics recovered = %d, want 1", n)
+	}
+
+	// The daemon survives: the next (real) request is answered correctly.
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if want := f.uniA.Distance(0, 255); !sameCell(d.Distance, want) {
+		t.Fatalf("post-panic distance = %v, want %v", d.Distance, want)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.PanicsRecovered != 1 {
+		t.Fatalf("stats panics_recovered = %d, want 1", st.PanicsRecovered)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(expo), "panics_recovered_total 1") {
+		t.Fatalf("exposition missing panics_recovered_total 1:\n%s", expo)
+	}
+}
+
+// TestRetryAfterJitter saturates the limiter and checks the shed
+// responses spread their Retry-After over [base, 2*base] seconds instead
+// of telling every client the same instant to come back.
+func TestRetryAfterJitter(t *testing.T) {
+	f := makeFixture(t)
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(f.pathA, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 3
+	s := newServer(hot, serverConfig{maxInflight: 1, timeout: 5 * time.Second, retryAfter: base, reg: reg})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		hot.Close()
+	})
+
+	if !s.lim.TryAcquire() {
+		t.Fatal("could not take the only slot")
+	}
+	defer s.lim.Release()
+
+	seen := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(ts.URL + "/distance?src=1&dst=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("saturated query %d = %d, want 503", i, resp.StatusCode)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+		}
+		if ra < base || ra > 2*base {
+			t.Fatalf("Retry-After %d outside [%d, %d]", ra, base, 2*base)
+		}
+		seen[ra] = true
+	}
+	// 40 draws from 4 values: all-identical would mean the jitter is dead
+	// (chance under uniform randomness ~4^-38).
+	if len(seen) < 2 {
+		t.Fatalf("no jitter: every shed said Retry-After %v", seen)
+	}
+}
+
+// TestDegradedDaemon serves a checksum-valid index whose downward group is
+// structurally wrong: point queries answer, /table refuses with a
+// machine-readable 503, /healthz reports "degraded" (still 200 — the
+// daemon is up), and /stats carries the reason.
+func TestDegradedDaemon(t *testing.T) {
+	f := makeFixture(t)
+	blob, err := os.ReadFile(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := store.TamperDownward(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "degraded.ahix")
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(path, reg)
+	if err != nil {
+		t.Fatalf("degraded index rejected outright: %v", err)
+	}
+	s := newServer(hot, serverConfig{maxInflight: 16, timeout: 5 * time.Second, reg: reg})
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		hot.Close()
+	})
+
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if want := f.uniA.Distance(0, 255); !sameCell(d.Distance, want) {
+		t.Fatalf("degraded p2p distance = %v, want %v", d.Distance, want)
+	}
+
+	var refusal struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	getJSON(t, ts.URL+"/table?sources=1,2&targets=3,4", http.StatusServiceUnavailable, &refusal)
+	if refusal.Error == "" || refusal.Reason == "" {
+		t.Fatalf("degraded /table refusal not machine-readable: %+v", refusal)
+	}
+
+	var h healthzResponse
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "degraded" || h.Degraded == "" {
+		t.Fatalf("healthz on degraded index = %+v", h)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Index.Degraded == "" {
+		t.Fatalf("stats hides the degradation: %+v", st.Index)
+	}
+	expo := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}()
+	if !strings.Contains(expo, "index_degraded 1") {
+		t.Fatalf("exposition missing index_degraded 1:\n%s", expo)
+	}
+
+	// Reloading a healthy index clears degraded mode end to end.
+	resp, err := http.Post(ts.URL+"/reload?index="+f.pathA, "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload to healthy = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	var tr tableResponse
+	getJSON(t, ts.URL+"/table?sources=1,2&targets=3,4", http.StatusOK, &tr)
+	for i, src := range tr.Sources {
+		for j, dst := range tr.Targets {
+			want := f.uniA.Distance(graph.NodeID(src-1), graph.NodeID(dst-1))
+			if !sameCell(tr.Rows[i][j], want) {
+				t.Fatalf("post-heal cell[%d][%d] = %v, want %v", i, j, tr.Rows[i][j], want)
+			}
+		}
+	}
+	var healed healthzResponse // fresh struct: omitempty fields would survive a re-decode
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &healed)
+	if healed.Status != "ok" || healed.Degraded != "" {
+		t.Fatalf("healthz after healing reload = %+v", healed)
+	}
+}
+
+// TestReloadCorruptRollsBackDaemon is the acceptance scenario at the HTTP
+// layer: POST /reload with a corrupt file fails with 400, quarantines the
+// file, counts a rollback in /stats, and the old epoch keeps serving its
+// own truth.
+func TestReloadCorruptRollsBackDaemon(t *testing.T) {
+	f := makeFixture(t)
+	s, ts := startServer(t, f, 16, 5*time.Second)
+
+	blob, err := os.ReadFile(f.pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-9] ^= 0x40 // payload bit flip under the original checksum
+	bad := filepath.Join(t.TempDir(), "push.ahix")
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/reload?index="+bad, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload of corrupt file = %d (%s), want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "quarantined") {
+		t.Fatalf("reload failure does not mention quarantine: %s", body)
+	}
+	if _, err := os.Stat(bad + store.BadSuffix); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	var reason store.QuarantineReason
+	doc, err := os.ReadFile(bad + store.ReasonSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(doc, &reason); err != nil || reason.Error == "" {
+		t.Fatalf("quarantine reason document %s: %v", doc, err)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Index.ReloadRollbacks != 1 || st.Index.Epoch != 1 || st.Index.LastReloadOK {
+		t.Fatalf("stats after rollback = %+v", st.Index)
+	}
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if want := f.uniA.Distance(0, 255); !sameCell(d.Distance, want) || d.Epoch != 1 {
+		t.Fatalf("last-good epoch answer = %+v, want %v on epoch 1", d, want)
+	}
+	_ = s
+
+	// A transient failure path through the daemon: reloading a path that
+	// does not exist is an I/O error, not corruption — no quarantine
+	// artifacts appear next to it.
+	missing := filepath.Join(t.TempDir(), "absent.ahix")
+	resp, err = http.Post(ts.URL+"/reload?index="+missing, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload of missing file = %d, want 400", resp.StatusCode)
+	}
+	if _, err := os.Stat(missing + store.BadSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing-file reload produced a quarantine: %v", err)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -59,6 +60,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -90,6 +92,9 @@ func run(args []string, out io.Writer) error {
 	accessLog := fs.Bool("access-log", true, "write a JSON access-log line per request to stderr")
 	lanes := fs.Int("lanes", 0, "sources per blocked table sweep (0 = engine default)")
 	tableWorkers := fs.Int("table-workers", 0, "goroutines a single table fans lane-blocks over (0 = GOMAXPROCS)")
+	retryAfter := fs.Int("retry-after", 1, "base of the jittered Retry-After header (seconds) on shed requests")
+	reloadRetries := fs.Int("reload-retries", 3, "install attempts per reload before rolling back to the serving index (transient failures only; corrupt files are quarantined immediately)")
+	reloadBackoff := fs.Duration("reload-backoff", 100*time.Millisecond, "base backoff between reload retries, doubling per attempt")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +102,11 @@ func run(args []string, out io.Writer) error {
 		return errors.New("missing -index")
 	}
 
-	hot, err := serve.OpenHotOpts(*index, obsv.Default(), batch.Options{Lanes: *lanes, Workers: *tableWorkers})
+	hot, err := serve.OpenHotWithOptions(*index, serve.HotOptions{
+		Registry: obsv.Default(),
+		Table:    batch.Options{Lanes: *lanes, Workers: *tableWorkers},
+		Retry:    serve.RetryPolicy{Attempts: *reloadRetries, Backoff: *reloadBackoff},
+	})
 	if err != nil {
 		return err
 	}
@@ -106,6 +115,7 @@ func run(args []string, out io.Writer) error {
 		timeout:     *timeout,
 		slow:        *slowQuery,
 		accessLog:   *accessLog,
+		retryAfter:  *retryAfter,
 		logw:        os.Stderr,
 		reg:         obsv.Default(),
 	})
@@ -184,18 +194,25 @@ type serverConfig struct {
 	timeout     time.Duration
 	slow        time.Duration // slow-query threshold, 0 = disabled
 	accessLog   bool
+	retryAfter  int // Retry-After base seconds on shed requests, min 1
 	logw        io.Writer
 	reg         *obsv.Registry
 }
 
 // server is the HTTP layer over the hot-swappable serving stack.
 type server struct {
-	hot     *serve.Hot
-	lim     *serve.Limiter
-	timeout time.Duration
-	slow    time.Duration
-	logging bool
-	reg     *obsv.Registry
+	hot        *serve.Hot
+	lim        *serve.Limiter
+	timeout    time.Duration
+	slow       time.Duration
+	logging    bool
+	retryAfter int
+	reg        *obsv.Registry
+
+	// panics counts handler panics the recovery middleware absorbed;
+	// panicsM is the registry mirror (nil-safe when unregistered).
+	panics  atomic.Uint64
+	panicsM *obsv.Counter
 
 	// logMu serialises log lines: entries are marshalled outside the lock
 	// and written in one call so concurrent requests never interleave
@@ -232,18 +249,23 @@ func newServer(hot *serve.Hot, cfg serverConfig) *server {
 	if cfg.reg == nil {
 		cfg.reg = obsv.Default()
 	}
+	if cfg.retryAfter < 1 {
+		cfg.retryAfter = 1
+	}
 	s := &server{
-		hot:       hot,
-		lim:       serve.NewLimiterWith(cfg.maxInflight, cfg.reg),
-		timeout:   cfg.timeout,
-		slow:      cfg.slow,
-		logging:   cfg.accessLog,
-		reg:       cfg.reg,
-		logw:      cfg.logw,
-		reqSec:    make(map[string]*obsv.Histogram),
-		queryHist: make(map[string]*obsv.Histogram),
+		hot:        hot,
+		lim:        serve.NewLimiterWith(cfg.maxInflight, cfg.reg),
+		timeout:    cfg.timeout,
+		slow:       cfg.slow,
+		logging:    cfg.accessLog,
+		retryAfter: cfg.retryAfter,
+		reg:        cfg.reg,
+		logw:       cfg.logw,
+		reqSec:     make(map[string]*obsv.Histogram),
+		queryHist:  make(map[string]*obsv.Histogram),
 	}
 	if !cfg.reg.IsNoop() {
+		s.panicsM = cfg.reg.Counter("panics_recovered_total", "Handler panics absorbed by the recovery middleware (each answered with a 500).")
 		for _, rt := range instrumentedRoutes {
 			s.reqSec[rt.path] = cfg.reg.Histogram("http_request_seconds",
 				"HTTP request latency by endpoint.", obsv.LatencyBuckets, obsv.L("path", rt.path))
@@ -268,7 +290,33 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
 	mux.HandleFunc("/reload", s.instrument("/reload", true, s.handleReload))
 	mux.HandleFunc("/metrics", s.handleMetrics) // never limited: scrapes must work while saturated
-	return mux
+	return s.recovered(mux)
+}
+
+// recovered is the outermost middleware: a panicking handler must cost one
+// request, not the daemon. The panic is absorbed, counted
+// (panics_recovered_total), logged, and answered with a 500 when the
+// handler had not started the response yet; the connection state stays
+// consistent because nothing above this frame unwinds.
+func (s *server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			s.panics.Add(1)
+			s.panicsM.Inc()
+			s.logMu.Lock()
+			fmt.Fprintf(s.logw, `{"type":"panic","path":%q,"panic":%q}`+"\n", r.URL.Path, fmt.Sprint(v))
+			s.logMu.Unlock()
+			if sw.code == 0 {
+				writeErr(sw, http.StatusInternalServerError, "internal error (panic recovered)")
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
 }
 
 // statusWriter captures the response code for metrics and logging.
@@ -383,7 +431,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.lim.TryAcquire() {
-			w.Header().Set("Retry-After", "1")
+			// Jittered into [base, 2*base] so a fleet of shed clients does
+			// not reconverge on the same instant and re-stampede the
+			// limiter; -retry-after sets the base.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter+rand.Intn(s.retryAfter+1)))
 			writeErr(w, http.StatusServiceUnavailable, "over capacity, request shed")
 			return
 		}
@@ -527,6 +578,17 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusGatewayTimeout, err.Error())
 			return
 		}
+		var de *serve.DegradedError
+		if errors.As(err, &de) {
+			// Degraded index: point queries still work, tables do not.
+			// Machine-readable so an orchestrator can route table traffic
+			// elsewhere while keeping p2p traffic here.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error":  "index degraded, distance tables unavailable",
+				"reason": de.Reason,
+			})
+			return
+		}
 		writeRangeErr(w, err)
 		return
 	}
@@ -551,6 +613,9 @@ type indexStats struct {
 	Path            string    `json:"path"`
 	Reloads         uint64    `json:"reloads"`
 	Retired         uint64    `json:"retired"`
+	ReloadRetries   uint64    `json:"reload_retries"`
+	ReloadRollbacks uint64    `json:"reload_rollbacks"`
+	Degraded        string    `json:"degraded,omitempty"`
 	LastReloadOK    bool      `json:"last_reload_ok"`
 	LastReloadError string    `json:"last_reload_error,omitempty"`
 	LastReloadAt    time.Time `json:"last_reload_at"`
@@ -575,11 +640,12 @@ type histSummary struct {
 // admission control, the current epoch's query counters plus the lifetime
 // total (retired epochs folded in), and per-operation latency summaries.
 type statsResponse struct {
-	Index     indexStats             `json:"index"`
-	Admission admissionStats         `json:"admission"`
-	Current   serve.Stats            `json:"current"`
-	Total     serve.Stats            `json:"total"`
-	Latency   map[string]histSummary `json:"latency_seconds"`
+	Index           indexStats             `json:"index"`
+	Admission       admissionStats         `json:"admission"`
+	PanicsRecovered uint64                 `json:"panics_recovered"`
+	Current         serve.Stats            `json:"current"`
+	Total           serve.Stats            `json:"total"`
+	Latency         map[string]histSummary `json:"latency_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -590,6 +656,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Path:            hs.Path,
 			Reloads:         hs.Reloads,
 			Retired:         hs.Retired,
+			ReloadRetries:   hs.Retries,
+			ReloadRollbacks: hs.Rollbacks,
+			Degraded:        hs.Degraded,
 			LastReloadOK:    hs.LastReloadOK,
 			LastReloadError: hs.LastReloadError,
 			LastReloadAt:    hs.LastReloadAt,
@@ -599,9 +668,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:    s.lim.InFlight(),
 			MaxInFlight: s.lim.Cap(),
 		},
-		Current: hs.Current,
-		Total:   hs.Total,
-		Latency: make(map[string]histSummary, len(s.queryHist)),
+		PanicsRecovered: s.panics.Load(),
+		Current:         hs.Current,
+		Total:           hs.Total,
+		Latency:         make(map[string]histSummary, len(s.queryHist)),
 	}
 	for op, h := range s.queryHist {
 		snap := h.Snapshot()
@@ -617,11 +687,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // healthzResponse reports serving health: current epoch, index path, and
 // the outcome of the most recent install attempt — a failed SIGHUP reload
-// leaves the old epoch serving, which "epoch" alone cannot reveal.
+// leaves the old epoch serving, which "epoch" alone cannot reveal. Status
+// "degraded" means point-to-point queries work but distance tables are
+// refused (the index's downward mirror failed validation); the daemon is
+// up and HTTP 200 is correct, Degraded carries the reason.
 type healthzResponse struct {
-	Status          string    `json:"status"` // "ok" or "unavailable"
+	Status          string    `json:"status"` // "ok", "degraded", or "unavailable"
 	Epoch           uint64    `json:"epoch,omitempty"`
 	Path            string    `json:"path,omitempty"`
+	Degraded        string    `json:"degraded,omitempty"`
 	LastReloadOK    bool      `json:"last_reload_ok"`
 	LastReloadError string    `json:"last_reload_error,omitempty"`
 	LastReloadAt    time.Time `json:"last_reload_at"`
@@ -633,6 +707,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:          "ok",
 		Epoch:           hs.Epoch,
 		Path:            hs.Path,
+		Degraded:        hs.Degraded,
 		LastReloadOK:    hs.LastReloadOK,
 		LastReloadError: hs.LastReloadError,
 		LastReloadAt:    hs.LastReloadAt,
@@ -641,6 +716,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "unavailable"
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
+	}
+	if hs.Degraded != "" {
+		resp.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

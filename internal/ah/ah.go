@@ -122,9 +122,12 @@ type Index struct {
 
 	// down is the rank-descending downward CSR backing the batched
 	// one-to-many sweeps (see downward.go): adopted from a persisted AHIX
-	// section by AdoptDownward, or derived once on first use.
-	downOnce sync.Once
-	down     *graph.DownCSR
+	// section by AdoptDownward, or derived once on first use. When
+	// downDisabled is non-empty the capability is off — Downward returns
+	// nil and the reason explains why (see DisableDownward).
+	downOnce     sync.Once
+	down         *graph.DownCSR
+	downDisabled string
 
 	// compat is the lazily created Querier backing the convenience
 	// Distance/Path/Settled methods on Index.

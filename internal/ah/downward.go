@@ -39,6 +39,9 @@ func (x *Index) RankDescending() []graph.NodeID {
 // structure returns the adopted — possibly mmap-backed — copy instead of
 // deriving one.
 func (x *Index) Downward() *graph.DownCSR {
+	if x.downDisabled != "" {
+		return nil
+	}
 	x.downOnce.Do(func() {
 		if x.down == nil {
 			x.down = graph.BuildDownCSR(x.RankDescending(), x.upInStart, x.upInFrom, x.upInW, x.upInEid)
@@ -46,6 +49,26 @@ func (x *Index) Downward() *graph.DownCSR {
 	})
 	return x.down
 }
+
+// DisableDownward turns the one-to-many capability off with a reason,
+// leaving point-to-point queries untouched. The store's decode path calls
+// it when a blob carries a downward-CSR group whose checksums verify but
+// whose content is structurally wrong: the persisted copy cannot be
+// trusted, and re-deriving would silently mask a buggy producer — serving
+// degraded keeps the damage visible while the rest of the index works.
+// Call during reassembly, before the index is shared; it must not race
+// Downward.
+func (x *Index) DisableDownward(reason string) {
+	if reason == "" {
+		reason = "downward CSR disabled"
+	}
+	x.downDisabled = reason
+	x.down = nil
+}
+
+// DownwardDisabled returns the reason one-to-many service is off, or ""
+// when the index is fully capable.
+func (x *Index) DownwardDisabled() string { return x.downDisabled }
 
 // AdoptDownward attaches a persisted downward CSR instead of deriving one,
 // after structural validation in the style of the other adopted derived

@@ -1,0 +1,361 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/faultfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// fixture is the chaos workload: two differently-weighted indexes over the
+// same 256-node lattice (A is the serving index, B the reload target), the
+// raw index B for save-phase schedules, and sequential-Dijkstra truth for
+// a fixed pair workload and a fixed table on both graphs. Everything after
+// a schedule must be bit-identical to one of these truths.
+type fixture struct {
+	blobA, blobB []byte
+	idxB         *ah.Index
+	pairs        [][2]graph.NodeID
+	wantA, wantB []float64
+	srcs, tgts   []graph.NodeID
+	tableA       [][]float64
+	tableB       [][]float64
+}
+
+func makeFixture(t *testing.T) *fixture {
+	t.Helper()
+	cfg := gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.3, Seed: 7,
+	}
+	gA, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	gB, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{
+		idxB: ah.Build(gB, ah.Options{}),
+		srcs: []graph.NodeID{0, 17, 101, 255},
+		tgts: []graph.NodeID{1, 9, 42, 128, 254},
+	}
+	dir := t.TempDir()
+	pa, pb := filepath.Join(dir, "a.ahix"), filepath.Join(dir, "b.ahix")
+	if err := store.Save(pa, ah.Build(gA, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(pb, f.idxB); err != nil {
+		t.Fatal(err)
+	}
+	if f.blobA, err = os.ReadFile(pa); err != nil {
+		t.Fatal(err)
+	}
+	if f.blobB, err = os.ReadFile(pb); err != nil {
+		t.Fatal(err)
+	}
+
+	uniA, uniB := dijkstra.NewSearch(gA), dijkstra.NewSearch(gB)
+	rng := rand.New(rand.NewSource(19))
+	n := gA.NumNodes()
+	const pairs = 32
+	f.pairs = make([][2]graph.NodeID, pairs)
+	f.wantA = make([]float64, pairs)
+	f.wantB = make([]float64, pairs)
+	for i := range f.pairs {
+		s, d := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		f.pairs[i] = [2]graph.NodeID{s, d}
+		f.wantA[i] = uniA.Distance(s, d)
+		f.wantB[i] = uniB.Distance(s, d)
+	}
+	truthTable := func(uni *dijkstra.Search) [][]float64 {
+		rows := make([][]float64, len(f.srcs))
+		for i, s := range f.srcs {
+			rows[i] = make([]float64, len(f.tgts))
+			for j, d := range f.tgts {
+				rows[i][j] = uni.Distance(s, d)
+			}
+		}
+		return rows
+	}
+	f.tableA, f.tableB = truthTable(uniA), truthTable(uniB)
+	return f
+}
+
+func (f *fixture) write(t *testing.T, dir, name string, blob []byte) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// typedError reports whether err has one of the clean shapes the stack
+// promises: classified corruption, an injected/crash fault, or a plain
+// file-system error (missing file and friends keep their os shape).
+func typedError(err error) bool {
+	var perr *os.PathError
+	return store.IsCorrupt(err) ||
+		errors.Is(err, faultfs.ErrInjected) ||
+		errors.Is(err, faultfs.ErrCrashed) ||
+		errors.As(err, &perr)
+}
+
+// checkPairs asserts every workload answer is bit-identical to want.
+func checkPairs(t *testing.T, label string, dist func(s, d graph.NodeID) (float64, error), f *fixture, want []float64) {
+	t.Helper()
+	for i, p := range f.pairs {
+		d, err := dist(p[0], p[1])
+		if err != nil {
+			t.Errorf("%s: pair %d errored: %v", label, i, err)
+			return
+		}
+		if d != want[i] {
+			t.Errorf("%s: pair %d = %v, want %v (wrong answer)", label, i, d, want[i])
+			return
+		}
+	}
+}
+
+// runReload drives one schedule through the hot-reload lifecycle: epoch A
+// serves, a reload to B runs entirely under the schedule, and afterwards —
+// faults gone — the handle must either serve B (install won) or A
+// (rollback to last-good), bit-identical to Dijkstra, with the failure
+// correctly classified. checkQuarantine is set for schedules that cannot
+// interfere with the quarantine ops themselves (rename, writefile).
+func runReload(t *testing.T, f *fixture, sched faultfs.Schedule, checkQuarantine bool) {
+	dir := t.TempDir()
+	liveA := f.write(t, dir, "a.ahix", f.blobA)
+	liveB := f.write(t, dir, "b.ahix", f.blobB)
+
+	h, err := serve.OpenHotWithOptions(liveA, serve.HotOptions{
+		Registry: obsv.Noop(),
+		Retry: serve.RetryPolicy{
+			Attempts: 2,
+			Backoff:  time.Millisecond,
+			Sleep:    func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatalf("clean open of epoch A failed: %v", err)
+	}
+	defer h.Close()
+
+	restore := store.SetFS(faultfs.New(faultfs.OS(), sched))
+	seq, rerr := h.Reload(liveB)
+	restore()
+
+	want, wantTable := f.wantB, f.tableB
+	if rerr != nil {
+		want, wantTable = f.wantA, f.tableA
+		if !typedError(rerr) {
+			t.Errorf("reload failed with an unclassified error: %v", rerr)
+		}
+		if st := h.Stats(); st.Epoch != 1 {
+			t.Errorf("failed reload left epoch %d serving, want last-good 1", st.Epoch)
+		}
+		if checkQuarantine {
+			if store.IsCorrupt(rerr) {
+				if _, err := os.Stat(liveB + store.BadSuffix); err != nil {
+					t.Errorf("corrupt reload target not quarantined: %v", err)
+				}
+				var reason store.QuarantineReason
+				doc, err := os.ReadFile(liveB + store.ReasonSuffix)
+				if err != nil {
+					t.Errorf("quarantine reason missing: %v", err)
+				} else if err := json.Unmarshal(doc, &reason); err != nil || reason.Error == "" {
+					t.Errorf("quarantine reason document %s: %v", doc, err)
+				}
+			} else if _, err := os.Stat(liveB + store.BadSuffix); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("transient failure quarantined the target: %v", err)
+			}
+		}
+	} else if seq != 2 {
+		t.Errorf("successful reload installed epoch %d, want 2", seq)
+	}
+
+	// The daemon is alive and answering its epoch's exact truth.
+	st := h.Stats()
+	if st.Epoch == 0 {
+		t.Fatal("no epoch serving after the schedule (dead stack)")
+	}
+	checkPairs(t, "post-chaos", h.Distance, f, want)
+	rows, err := h.DistanceTable(f.srcs, f.tgts)
+	if err != nil {
+		t.Fatalf("post-chaos table errored: %v", err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != wantTable[i][j] {
+				t.Fatalf("post-chaos table cell [%d][%d] = %v, want %v", i, j, rows[i][j], wantTable[i][j])
+			}
+		}
+	}
+}
+
+// runLoad drives one schedule through the whole-file read path: Load under
+// faults either yields an index answering B's exact truth or a classified
+// error — a flipped or truncated read must never survive the checksums.
+func runLoad(t *testing.T, f *fixture, sched faultfs.Schedule) {
+	dir := t.TempDir()
+	liveB := f.write(t, dir, "b.ahix", f.blobB)
+
+	restore := store.SetFS(faultfs.New(faultfs.OS(), sched))
+	idx, lerr := store.Load(liveB)
+	restore()
+
+	if lerr != nil {
+		if !typedError(lerr) {
+			t.Errorf("load failed with an unclassified error: %v", lerr)
+		}
+		return
+	}
+	svc := serve.NewServiceWith(idx, obsv.Noop())
+	checkPairs(t, "loaded", svc.Distance, f, f.wantB)
+}
+
+// runSave drives one schedule through the atomic-save path: whatever the
+// schedule does to create/write/sync/rename, the destination afterwards
+// holds either a complete loadable index with B's exact truth or nothing.
+func runSave(t *testing.T, f *fixture, sched faultfs.Schedule) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "out.ahix")
+
+	restore := store.SetFS(faultfs.New(faultfs.OS(), sched))
+	serr := store.Save(dest, f.idxB)
+	restore()
+
+	if serr != nil && !typedError(serr) {
+		t.Errorf("save failed with an unclassified error: %v", serr)
+	}
+	if _, err := os.Stat(dest); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stat destination: %v", err)
+		}
+		if serr == nil {
+			t.Fatal("save claimed success but wrote nothing")
+		}
+		return // failed save, no destination: the atomic contract held
+	}
+	// Destination exists — whether save reported success (normal) or a
+	// failure after the rename point (e.g. directory sync): it must be a
+	// complete index, never torn bytes.
+	idx, err := store.Load(dest)
+	if err != nil {
+		t.Fatalf("destination exists but does not load (torn save, serr=%v): %v", serr, err)
+	}
+	svc := serve.NewServiceWith(idx, obsv.Noop())
+	checkPairs(t, "saved", svc.Distance, f, f.wantB)
+}
+
+// TestChaosMatrix is the `make chaos` gate: ≥50 deterministic fault
+// schedules across the reload, load, and save phases of the index
+// lifecycle, each asserting the robustness invariants. Every schedule is
+// its own subtest named after its fault list, so a failure replays with
+// -run 'TestChaosMatrix/<name>'.
+func TestChaosMatrix(t *testing.T) {
+	f := makeFixture(t)
+
+	schedules, violations := 0, 0
+	run := func(name string, fn func(t *testing.T)) {
+		schedules++
+		if !t.Run(name, fn) {
+			violations++
+		}
+	}
+	reload := func(sched faultfs.Schedule, quar bool) {
+		run("reload/"+schedName(sched), func(t *testing.T) { runReload(t, f, sched, quar) })
+	}
+	load := func(sched faultfs.Schedule) {
+		run("load/"+schedName(sched), func(t *testing.T) { runLoad(t, f, sched) })
+	}
+	save := func(sched faultfs.Schedule) {
+		run("save/"+schedName(sched), func(t *testing.T) { runSave(t, f, sched) })
+	}
+
+	// Reload phase: transient errors on each op of the mmap-open path, at
+	// first and second call (retry must heal the first, pass through the
+	// rest), exhaustion pairs, data corruption at spread offsets, crashes.
+	for _, op := range []faultfs.Op{faultfs.OpOpen, faultfs.OpStat, faultfs.OpMmap} {
+		for call := 1; call <= 2; call++ {
+			reload(faultfs.Schedule{{Op: op, Call: call, Kind: faultfs.KindErr}}, true)
+		}
+		reload(faultfs.Schedule{
+			{Op: op, Call: 1, Kind: faultfs.KindErr},
+			{Op: op, Call: 2, Kind: faultfs.KindErr},
+		}, true)
+	}
+	for _, kind := range []faultfs.Kind{faultfs.KindFlip, faultfs.KindTrunc} {
+		for _, frac := range []float64{0.05, 0.3, 0.6, 0.95} {
+			reload(faultfs.Schedule{{Op: faultfs.OpMmap, Call: 1, Kind: kind, Frac: frac}}, true)
+		}
+	}
+	reload(faultfs.Schedule{{Op: faultfs.OpOpen, Call: 1, Kind: faultfs.KindCrash}}, true)
+	reload(faultfs.Schedule{{Op: faultfs.OpMmap, Call: 1, Kind: faultfs.KindCrash}}, true)
+
+	// Load phase: the whole-file read errors, corrupts, truncates, crashes.
+	load(faultfs.Schedule{{Op: faultfs.OpRead, Call: 1, Kind: faultfs.KindErr}})
+	load(faultfs.Schedule{{Op: faultfs.OpRead, Call: 1, Kind: faultfs.KindCrash}})
+	for _, kind := range []faultfs.Kind{faultfs.KindFlip, faultfs.KindTrunc} {
+		for _, frac := range []float64{0.05, 0.3, 0.6, 0.95} {
+			load(faultfs.Schedule{{Op: faultfs.OpRead, Call: 1, Kind: kind, Frac: frac}})
+		}
+	}
+
+	// Save phase: every op of the atomic-save path errors and crashes, and
+	// writes tear at spread cut points.
+	for _, op := range []faultfs.Op{
+		faultfs.OpCreate, faultfs.OpWrite, faultfs.OpSync, faultfs.OpChmod,
+		faultfs.OpClose, faultfs.OpRename, faultfs.OpSyncDir,
+	} {
+		save(faultfs.Schedule{{Op: op, Call: 1, Kind: faultfs.KindErr}})
+		save(faultfs.Schedule{{Op: op, Call: 1, Kind: faultfs.KindCrash}})
+	}
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		save(faultfs.Schedule{{Op: faultfs.OpWrite, Call: 1, Kind: faultfs.KindTorn, Frac: frac}})
+	}
+
+	// Seeded random schedules through the reload phase: two faults each,
+	// any op, any kind — the union of everything above in unplanned
+	// combinations. Quarantine side effects are not asserted here because a
+	// random fault can hit the quarantine ops themselves.
+	for seed := int64(1); seed <= 12; seed++ {
+		reload(faultfs.Random(seed, 2), false)
+	}
+
+	fmt.Printf("chaos: %d schedules, %d invariant violations\n", schedules, violations)
+	if schedules < 50 {
+		t.Errorf("chaos matrix ran %d schedules, want at least 50", schedules)
+	}
+}
+
+// schedName renders a schedule as a subtest-safe name.
+func schedName(s faultfs.Schedule) string {
+	name := ""
+	for i, f := range s {
+		if i > 0 {
+			name += "+"
+		}
+		name += f.String()
+	}
+	if name == "" {
+		return "empty"
+	}
+	return name
+}

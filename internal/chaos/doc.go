@@ -1,0 +1,17 @@
+// Package chaos is the fault-injection gate `make chaos` runs: a seeded
+// matrix of faultfs schedules driven through the full index lifecycle —
+// save, open, verify, hot reload, query — asserting the robustness
+// invariants the serving stack promises:
+//
+//   - never a wrong answer: every query that returns data is bit-identical
+//     to sequential Dijkstra on the graph of the index that answered it;
+//   - never a dead stack: after every schedule the handle still serves;
+//   - always last-good or a clean typed error: a failed install leaves the
+//     previous epoch answering, corruption is classified (store.IsCorrupt)
+//     and quarantined, transient I/O errors keep their os/faultfs shape;
+//   - atomic saves: a destination path either holds a complete, loadable
+//     index or nothing — never torn bytes.
+//
+// The package has no production code; the matrix lives in chaos_test.go
+// and every schedule is reproducible from the printed seed/fault list.
+package chaos

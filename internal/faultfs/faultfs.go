@@ -1,0 +1,146 @@
+// Package faultfs is a deterministic fault-injection layer over the file
+// operations the persistence layer (internal/store) performs. It exists
+// so the failure paths of the index lifecycle — a disk that errors on the
+// third read, a write torn halfway through a payload, a bit flipped in a
+// mapped section, a process killed between write and rename — are
+// ordinary, reproducible test cases instead of hopes.
+//
+// The design is two layers:
+//
+//   - FS is the file-operation surface store routes through: open, read,
+//     stat, mmap/munmap, temp-file creation, write, sync, rename, remove,
+//     directory sync. OS() returns the passthrough implementation that
+//     production always uses.
+//   - Injector wraps any FS with a Schedule of Faults. Each Fault names
+//     an operation, the 1-based call index at which to fire, and a Kind:
+//     return an error, tear a write (persist only a prefix, then fail),
+//     flip a bit or truncate the data a read/mmap returns, or simulate a
+//     crash (that operation and every later one fails, so even cleanup
+//     paths — os.Remove of a temp file — behave as if the process died).
+//
+// Everything is deterministic: a Schedule is plain data, Random(seed, n)
+// derives one reproducibly from a seed, and the Injector counts calls
+// exactly, so a failing chaos schedule replays bit-for-bit.
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// Op identifies one interceptable file operation.
+type Op uint8
+
+const (
+	// OpOpen is a read-only file open (the mmap path's first step).
+	OpOpen Op = iota
+	// OpStat is the size probe on an opened file.
+	OpStat
+	// OpRead is a whole-file read (the Load path).
+	OpRead
+	// OpMmap maps an opened file.
+	OpMmap
+	// OpMunmap releases a mapping.
+	OpMunmap
+	// OpCreate is temp-file creation (the atomic-save path's first step).
+	OpCreate
+	// OpWrite is a write to a created file.
+	OpWrite
+	// OpSync is an fsync of a created file.
+	OpSync
+	// OpChmod widens a created file's mode.
+	OpChmod
+	// OpClose closes a created file.
+	OpClose
+	// OpRename atomically replaces the destination path.
+	OpRename
+	// OpRemove deletes a file (save-failure cleanup).
+	OpRemove
+	// OpSyncDir fsyncs a directory after a rename.
+	OpSyncDir
+	// OpWriteFile writes a small whole file (quarantine reason files).
+	OpWriteFile
+
+	// NumOps is one past the last operation id.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"open", "stat", "read", "mmap", "munmap", "create", "write",
+	"sync", "chmod", "close", "rename", "remove", "syncdir", "writefile",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// File is the handle surface store needs from an opened or created file.
+// *os.File satisfies it; an Injector wraps one to intercept the
+// per-handle operations.
+type File interface {
+	Write(b []byte) (int, error)
+	Sync() error
+	Chmod(mode os.FileMode) error
+	Close() error
+	Stat() (fs.FileInfo, error)
+	Name() string
+	// Fd exposes the descriptor for mmap. Injected wrappers forward it.
+	Fd() uintptr
+}
+
+// FS is the file-operation surface the persistence layer routes through.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// Mmap maps size bytes of f read-only.
+	Mmap(f File, size int) ([]byte, error)
+	// Munmap releases a mapping returned by Mmap.
+	Munmap(data []byte) error
+	// CreateTemp creates a new temp file in dir.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory at dir (open + fsync + close),
+	// returning the raw error; durability policy stays with the caller.
+	SyncDir(dir string) error
+	// WriteFile writes data to path in one call.
+	WriteFile(path string, data []byte, perm os.FileMode) error
+}
+
+// osFS is the passthrough FS production uses.
+type osFS struct{}
+
+// OS returns the real file system: every method delegates straight to the
+// os/syscall layer.
+func OS() FS { return osFS{} }
+
+func (osFS) Open(path string) (File, error)       { return os.Open(path) }
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (osFS) Mmap(f File, size int) ([]byte, error) { return mmapFile(f, size) }
+func (osFS) Munmap(data []byte) error              { return munmapFile(data) }

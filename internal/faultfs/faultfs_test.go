@@ -1,0 +1,269 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestPassthroughCounts drives the OS surface through an empty injector
+// and asserts exact call accounting — the property every chaos schedule's
+// "fail the N-th call" semantics stand on.
+func TestPassthroughCounts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("hello faultfs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(OS(), nil)
+
+	for i := 0; i < 3; i++ {
+		data, err := in.ReadFile(path)
+		if err != nil || string(data) != "hello faultfs" {
+			t.Fatalf("ReadFile %d: %q, %v", i, data, err)
+		}
+	}
+	if got := in.Calls(OpRead); got != 3 {
+		t.Fatalf("OpRead counted %d, want 3", got)
+	}
+
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 13 {
+		t.Fatalf("Stat: %v, %v", fi, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for op, want := range map[Op]int{OpOpen: 1, OpStat: 1, OpClose: 1, OpWrite: 0} {
+		if got := in.Calls(op); got != want {
+			t.Errorf("%v counted %d, want %d", op, got, want)
+		}
+	}
+	if in.Fired() != 0 || in.Crashed() {
+		t.Fatal("empty schedule fired something")
+	}
+}
+
+// TestFailAtNthCall asserts a scheduled error hits exactly its call index
+// — earlier and later calls pass — and that a custom error comes through
+// the chain for errors.Is.
+func TestFailAtNthCall(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("disk on fire")
+	in := New(OS(), Schedule{{Op: OpRead, Call: 2, Kind: KindErr, Err: sentinel}})
+
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("call 1 failed: %v", err)
+	}
+	if _, err := in.ReadFile(path); !errors.Is(err, sentinel) {
+		t.Fatalf("call 2: got %v, want the sentinel", err)
+	}
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("call 3 failed: %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired %d faults, want 1", in.Fired())
+	}
+}
+
+// TestTornWrite asserts a torn write persists exactly the scheduled
+// prefix and reports ErrInjected.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS(), Schedule{{Op: OpWrite, Call: 1, Kind: KindTorn, Frac: 0.5}})
+	f, err := in.CreateTemp(dir, "torn-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("torn write returned %v, want ErrInjected", werr)
+	}
+	if n != 5 {
+		t.Fatalf("torn write persisted %d bytes, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk content %q, want the 5-byte prefix", got)
+	}
+}
+
+// TestFlipAndTrunc assert the read-side data faults: a flipped bit at a
+// deterministic offset, and a truncated prefix, on both ReadFile and the
+// mmap path (whose fake mapping Munmap must accept without a syscall).
+func TestFlipAndTrunc(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in := New(OS(), Schedule{
+		{Op: OpRead, Call: 1, Kind: KindFlip, Frac: 0.5},
+		{Op: OpRead, Call: 2, Kind: KindTrunc, Frac: 0.25},
+	})
+	flipped, err := in.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range payload {
+		if flipped[i] != payload[i] {
+			diff++
+			if flipped[i]^payload[i] != 1<<(i%8) {
+				t.Fatalf("byte %d changed by more than one bit: %02x -> %02x", i, payload[i], flipped[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bytes, want exactly 1", diff)
+	}
+	trunc, err := in.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trunc) != 16 || !reflect.DeepEqual(trunc, payload[:16]) {
+		t.Fatalf("trunc returned %d bytes, want the 16-byte prefix", len(trunc))
+	}
+
+	if !MmapAvailable {
+		t.Skip("no mmap on this platform")
+	}
+	in = New(OS(), Schedule{{Op: OpMmap, Call: 1, Kind: KindFlip, Frac: 0.5}})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := in.Mmap(f, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff = 0
+	for i := range payload {
+		if data[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("mmap flip changed %d bytes, want exactly 1", diff)
+	}
+	// The fake mapping is heap memory; Munmap must recognise it and not
+	// hand it to the munmap syscall (which would EINVAL or worse).
+	if err := in.Munmap(data); err != nil {
+		t.Fatalf("Munmap of fake mapping: %v", err)
+	}
+	// The on-disk file is untouched: corruption was injected in flight.
+	clean, err := os.ReadFile(path)
+	if err != nil || !reflect.DeepEqual(clean, payload) {
+		t.Fatalf("flip leaked through to the file: %v", err)
+	}
+}
+
+// TestCrashMode asserts that after a KindCrash fault every subsequent
+// operation fails with ErrCrashed — cleanup included, which is what makes
+// it a faithful kill simulation.
+func TestCrashMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(OS(), Schedule{{Op: OpRename, Call: 1, Kind: KindCrash}})
+	if err := in.Rename(path, path+".new"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename: %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not in crashed state")
+	}
+	if err := in.Remove(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after crash: %v, want ErrCrashed", err)
+	}
+	if _, err := in.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("crash simulation touched the real file: %v", err)
+	}
+}
+
+// TestRandomDeterministic pins the seeded schedule generator: equal seeds
+// yield identical schedules, different seeds differ.
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(42, 8), Random(42, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Random(43, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, f := range a {
+		if f.Op >= NumOps || f.Call < 1 || f.Call > 3 || f.Frac < 0 || f.Frac >= 1 {
+			t.Fatalf("schedule fault out of range: %v", f)
+		}
+	}
+}
+
+// TestConcurrentGates hammers one injector from many goroutines under the
+// race gate: counts must sum exactly and the single scheduled fault must
+// fire exactly once.
+func TestConcurrentGates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(OS(), Schedule{{Op: OpRead, Call: 17, Kind: KindErr}})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	var failures sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := in.ReadFile(path); err != nil {
+					failures.Store(w*per+i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := in.Calls(OpRead); got != workers*per {
+		t.Fatalf("counted %d reads, want %d", got, workers*per)
+	}
+	nfail := 0
+	failures.Range(func(_, v any) bool {
+		nfail++
+		if !errors.Is(v.(error), ErrInjected) {
+			t.Errorf("unexpected error: %v", v)
+		}
+		return true
+	})
+	if nfail != 1 {
+		t.Fatalf("%d calls failed, want exactly the scheduled 1", nfail)
+	}
+}

@@ -1,0 +1,365 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// Errors the injector returns. ErrInjected marks a scheduled single-shot
+// failure; ErrCrashed marks the point after which a simulated crash makes
+// every operation fail. Both are wrapped with the operation and call
+// index, so match them with errors.Is.
+var (
+	ErrInjected = errors.New("faultfs: injected fault")
+	ErrCrashed  = errors.New("faultfs: simulated crash")
+)
+
+// Kind selects what a Fault does when its call index comes up.
+type Kind uint8
+
+const (
+	// KindErr makes the operation return an error (Fault.Err, or
+	// ErrInjected) without doing anything.
+	KindErr Kind = iota
+	// KindTorn applies to OpWrite: persist only a Frac-sized prefix of
+	// the buffer, then fail — a write torn by ENOSPC/EIO mid-payload.
+	KindTorn
+	// KindFlip applies to OpRead/OpMmap: the operation succeeds but one
+	// bit of the returned data, at the Frac-relative offset, is flipped —
+	// in-flight or at-rest corruption the checksums must catch.
+	KindFlip
+	// KindTrunc applies to OpRead/OpMmap: the operation succeeds but
+	// returns only a Frac-sized prefix — a file torn by a lost writeback.
+	KindTrunc
+	// KindCrash makes the operation and every operation after it fail
+	// with ErrCrashed: the process is "dead" from this point on, so even
+	// cleanup paths (removing a temp file) never run — exactly the state
+	// a kill between write and rename leaves behind.
+	KindCrash
+)
+
+var kindNames = [...]string{"err", "torn", "flip", "trunc", "crash"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Fault is one scheduled failure: the Call-th invocation (1-based) of Op
+// misbehaves per Kind. Frac in [0,1) positions data faults (torn-write
+// cut point, flipped bit, truncation length) relative to the buffer; Err,
+// when non-nil, overrides ErrInjected as the injected error.
+type Fault struct {
+	Op   Op
+	Call int
+	Kind Kind
+	Frac float64
+	Err  error
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%d:%s(%.3f)", f.Op, f.Call, f.Kind, f.Frac)
+}
+
+// Schedule is a set of faults armed together on one Injector.
+type Schedule []Fault
+
+// Random derives a reproducible n-fault schedule from seed: uniformly
+// random operations at call indexes 1..3, all kinds represented, data
+// positions drawn from the same stream. Equal seeds yield equal
+// schedules.
+func Random(seed int64, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = Fault{
+			Op:   Op(rng.Intn(int(NumOps))),
+			Call: 1 + rng.Intn(3),
+			Kind: Kind(rng.Intn(len(kindNames))),
+			Frac: rng.Float64(),
+		}
+	}
+	return s
+}
+
+// Injector wraps an FS with a fault schedule. It counts every operation
+// exactly (per-op, 1-based) and fires each scheduled fault at its call
+// index; unscheduled calls pass straight through to the inner FS. Safe
+// for concurrent use; the counters make concurrent schedules
+// deterministic only if the caller's operation order is.
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	sched   Schedule
+	calls   [NumOps]int
+	fired   int
+	crashed bool
+	fakes   map[*byte]bool // mmap results the injector fabricated
+}
+
+// New arms sched over inner. A nil or empty schedule yields a pure
+// counting passthrough — useful on its own to assert how many times an
+// operation ran.
+func New(inner FS, sched Schedule) *Injector {
+	return &Injector{inner: inner, sched: sched, fakes: make(map[*byte]bool)}
+}
+
+// Calls reports how many times op has been invoked so far.
+func (in *Injector) Calls(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Fired reports how many scheduled faults have triggered.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crashed reports whether a KindCrash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// gate counts one invocation of op and resolves what happens to it:
+// a nil, nil return means proceed normally; a non-nil error means fail
+// now; a non-nil fault with nil error means the operation must apply the
+// fault's data transformation (torn/flip/trunc) itself.
+func (in *Injector) gate(op Op) (*Fault, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, fmt.Errorf("faultfs: %s after crash: %w", op, ErrCrashed)
+	}
+	in.calls[op]++
+	for i := range in.sched {
+		f := &in.sched[i]
+		if f.Op != op || f.Call != in.calls[op] {
+			continue
+		}
+		in.fired++
+		switch f.Kind {
+		case KindCrash:
+			in.crashed = true
+			return nil, fmt.Errorf("faultfs: crash at %s call %d: %w", op, f.Call, ErrCrashed)
+		case KindTorn, KindFlip, KindTrunc:
+			// Data faults only make sense on data-carrying operations;
+			// anywhere else they degrade to a plain error.
+			if (f.Kind == KindTorn && op == OpWrite) ||
+				(f.Kind != KindTorn && (op == OpRead || op == OpMmap)) {
+				return f, nil
+			}
+			fallthrough
+		default:
+			if f.Err != nil {
+				return nil, fmt.Errorf("faultfs: injected %s failure at call %d: %w", op, f.Call, f.Err)
+			}
+			return nil, fmt.Errorf("faultfs: injected %s failure at call %d: %w", op, f.Call, ErrInjected)
+		}
+	}
+	return nil, nil
+}
+
+// cut returns the Frac-relative prefix length of n, kept strictly inside
+// (0, n) for n > 1 so torn data is neither empty nor whole.
+func cut(frac float64, n int) int {
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n && n > 1 {
+		k = n - 1
+	}
+	return k
+}
+
+// flipBit flips one bit of b at the Frac-relative offset.
+func flipBit(frac float64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	off := int(frac * float64(len(b)))
+	if off >= len(b) {
+		off = len(b) - 1
+	}
+	b[off] ^= 1 << (off % 8)
+}
+
+func (in *Injector) Open(path string) (File, error) {
+	if _, err := in.gate(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	f, err := in.gate(OpRead)
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := in.inner.ReadFile(path)
+	if rerr != nil || f == nil {
+		return data, rerr
+	}
+	switch f.Kind {
+	case KindFlip:
+		flipBit(f.Frac, data)
+	case KindTrunc:
+		data = data[:cut(f.Frac, len(data))]
+	}
+	return data, nil
+}
+
+func (in *Injector) Mmap(f File, size int) ([]byte, error) {
+	ft, err := in.gate(OpMmap)
+	if err != nil {
+		return nil, err
+	}
+	data, merr := in.inner.Mmap(f, size)
+	if merr != nil || ft == nil {
+		return data, merr
+	}
+	// A data fault on a read-only shared mapping must not write through
+	// to the file, so the injector substitutes a private heap copy and
+	// remembers it: Munmap recognises the fake and skips the syscall.
+	n := len(data)
+	if ft.Kind == KindTrunc {
+		n = cut(ft.Frac, n)
+	}
+	fake := make([]byte, n)
+	copy(fake, data[:n])
+	if ft.Kind == KindFlip {
+		flipBit(ft.Frac, fake)
+	}
+	in.inner.Munmap(data)
+	if n > 0 {
+		in.mu.Lock()
+		in.fakes[&fake[0]] = true
+		in.mu.Unlock()
+	}
+	return fake, nil
+}
+
+func (in *Injector) Munmap(data []byte) error {
+	if _, err := in.gate(OpMunmap); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		in.mu.Lock()
+		fake := in.fakes[&data[0]]
+		if fake {
+			delete(in.fakes, &data[0])
+		}
+		in.mu.Unlock()
+		if fake {
+			return nil
+		}
+	}
+	return in.inner.Munmap(data)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := in.gate(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.gate(OpRename); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	if _, err := in.gate(OpRemove); err != nil {
+		return err
+	}
+	return in.inner.Remove(path)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.gate(OpSyncDir); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+func (in *Injector) WriteFile(path string, data []byte, perm os.FileMode) error {
+	if _, err := in.gate(OpWriteFile); err != nil {
+		return err
+	}
+	return in.inner.WriteFile(path, data, perm)
+}
+
+// injFile routes a handle's operations back through the injector's gates.
+type injFile struct {
+	f  File
+	in *Injector
+}
+
+func (w *injFile) Write(b []byte) (int, error) {
+	ft, err := w.in.gate(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if ft != nil && ft.Kind == KindTorn {
+		n, werr := w.f.Write(b[:cut(ft.Frac, len(b))])
+		if werr != nil {
+			return n, werr
+		}
+		return n, fmt.Errorf("faultfs: torn write at %d/%d bytes: %w", n, len(b), ErrInjected)
+	}
+	return w.f.Write(b)
+}
+
+func (w *injFile) Sync() error {
+	if _, err := w.in.gate(OpSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Chmod(mode os.FileMode) error {
+	if _, err := w.in.gate(OpChmod); err != nil {
+		return err
+	}
+	return w.f.Chmod(mode)
+}
+
+func (w *injFile) Close() error {
+	if _, err := w.in.gate(OpClose); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+func (w *injFile) Stat() (fs.FileInfo, error) {
+	if _, err := w.in.gate(OpStat); err != nil {
+		return nil, err
+	}
+	return w.f.Stat()
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+func (w *injFile) Fd() uintptr  { return w.f.Fd() }

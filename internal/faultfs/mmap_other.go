@@ -1,0 +1,18 @@
+//go:build !unix
+
+package faultfs
+
+import "errors"
+
+// MmapAvailable gates the zero-copy open path. Platforms without a
+// wired-up mmap fall back to reading the file into memory; opening still
+// works, the caller just owns a private copy.
+const MmapAvailable = false
+
+func mmapFile(f File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error {
+	return nil
+}

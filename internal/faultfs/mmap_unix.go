@@ -1,0 +1,19 @@
+//go:build unix
+
+package faultfs
+
+import "syscall"
+
+// MmapAvailable gates the zero-copy open path; on unix a map can still be
+// refused per-call via the error return of FS.Mmap.
+const MmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// serving the same index file shares one page-cache copy.
+func mmapFile(f File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/obsv"
+	"repro/internal/store"
+)
+
+// TestReloadRetriesTransient pins the transient half of the self-healing
+// split: an I/O error on the reload target's first open is retried with
+// backoff (the sleep recorded, the retry counted) and the second attempt
+// installs the new epoch — no quarantine, no rollback.
+func TestReloadRetriesTransient(t *testing.T) {
+	f := makeHotFixture(t)
+	var slept []time.Duration
+	h, err := OpenHotWithOptions(f.pathA, HotOptions{
+		Registry: obsv.NewRegistry(),
+		Retry: RetryPolicy{
+			Attempts: 3,
+			Backoff:  40 * time.Millisecond,
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	defer store.SetFS(faultfs.New(faultfs.OS(), faultfs.Schedule{
+		{Op: faultfs.OpOpen, Call: 1, Kind: faultfs.KindErr},
+	}))()
+	seq, err := h.Reload(f.pathB)
+	if err != nil {
+		t.Fatalf("Reload did not heal over a transient open failure: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("healed reload installed epoch %d, want 2", seq)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("recorded %d backoff sleeps, want 1", len(slept))
+	}
+	if d := slept[0]; d < 20*time.Millisecond || d >= 40*time.Millisecond {
+		t.Fatalf("backoff slept %v, want jittered into [20ms, 40ms)", d)
+	}
+	st := h.Stats()
+	if st.Retries != 1 || st.Rollbacks != 0 {
+		t.Fatalf("retries=%d rollbacks=%d, want 1 and 0", st.Retries, st.Rollbacks)
+	}
+	if !st.LastReloadOK {
+		t.Fatalf("last reload marked failed: %s", st.LastReloadError)
+	}
+	d, err := h.Distance(f.wl.pairs[0][0], f.wl.pairs[0][1])
+	if err != nil || d != f.wantB[0] {
+		t.Fatalf("post-heal answer %v (err %v), want B truth %v", d, err, f.wantB[0])
+	}
+}
+
+// TestReloadExhaustsRetries pins the bounded side of the retry loop: a
+// persistently failing target gives up after Attempts tries, counts a
+// rollback, and leaves the old epoch serving.
+func TestReloadExhaustsRetries(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHotWithOptions(f.pathA, HotOptions{
+		Registry: obsv.NewRegistry(),
+		Retry: RetryPolicy{
+			Attempts: 3,
+			Backoff:  time.Millisecond,
+			Sleep:    func(time.Duration) {},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	restore := store.SetFS(faultfs.New(faultfs.OS(), faultfs.Schedule{
+		{Op: faultfs.OpOpen, Call: 1, Kind: faultfs.KindErr},
+		{Op: faultfs.OpOpen, Call: 2, Kind: faultfs.KindErr},
+		{Op: faultfs.OpOpen, Call: 3, Kind: faultfs.KindErr},
+	}))
+	_, rerr := h.Reload(f.pathB)
+	restore()
+	if !errors.Is(rerr, faultfs.ErrInjected) {
+		t.Fatalf("Reload = %v, want the injected error after exhausting retries", rerr)
+	}
+	st := h.Stats()
+	if st.Retries != 2 || st.Rollbacks != 1 {
+		t.Fatalf("retries=%d rollbacks=%d, want 2 and 1", st.Retries, st.Rollbacks)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("epoch %d after failed reload, want the last-good 1", st.Epoch)
+	}
+	// The target file was never quarantined: the failure was I/O, not
+	// corruption, and the bytes on disk are fine.
+	if _, err := os.Stat(f.pathB + store.BadSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("transient failure quarantined the file: %v", err)
+	}
+	d, err := h.Distance(f.wl.pairs[0][0], f.wl.pairs[0][1])
+	if err != nil || d != f.wantA[0] {
+		t.Fatalf("last-good answer %v (err %v), want A truth %v", d, err, f.wantA[0])
+	}
+}
+
+// TestReloadCorruptQuarantinesAndRollsBack is the acceptance-criteria
+// rollback scenario: reloading a corrupt index under a serving epoch fails
+// without retries, moves the bad file to <path>.bad with a machine-readable
+// reason document, counts a rollback, and the old epoch keeps answering
+// with its own truth.
+func TestReloadCorruptQuarantinesAndRollsBack(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHotWithOptions(f.pathA, HotOptions{
+		Registry: obsv.NewRegistry(),
+		Retry: RetryPolicy{
+			Attempts: 3,
+			Backoff:  time.Millisecond,
+			Sleep: func(time.Duration) {
+				t.Error("corruption must not be retried: bytes do not heal")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// A flipped payload byte under the original checksum: Open's cheap
+	// checks pass, the full Verify catches it.
+	blob, err := os.ReadFile(f.pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-9] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "push.ahix")
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rerr := h.Reload(bad)
+	if rerr == nil {
+		t.Fatal("Reload accepted a corrupt index")
+	}
+	if !store.IsCorrupt(rerr) {
+		t.Fatalf("Reload error %v not classified corrupt", rerr)
+	}
+	if _, err := os.Stat(bad); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file still at its path: %v", err)
+	}
+	if _, err := os.Stat(bad + store.BadSuffix); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	doc, err := os.ReadFile(bad + store.ReasonSuffix)
+	if err != nil {
+		t.Fatalf("quarantine reason missing: %v", err)
+	}
+	var reason store.QuarantineReason
+	if err := json.Unmarshal(doc, &reason); err != nil {
+		t.Fatalf("quarantine reason not JSON: %v\n%s", err, doc)
+	}
+	if reason.From != bad || reason.Error == "" {
+		t.Fatalf("quarantine reason incomplete: %+v", reason)
+	}
+
+	st := h.Stats()
+	if st.Rollbacks != 1 || st.Retries != 0 {
+		t.Fatalf("rollbacks=%d retries=%d, want 1 and 0", st.Rollbacks, st.Retries)
+	}
+	if st.Epoch != 1 || st.LastReloadOK {
+		t.Fatalf("stats after rollback: epoch=%d lastOK=%v, want last-good epoch 1 and a recorded failure", st.Epoch, st.LastReloadOK)
+	}
+	for i, p := range f.wl.pairs {
+		d, err := h.Distance(p[0], p[1])
+		if err != nil || d != f.wantA[i] {
+			t.Fatalf("pair %d after rollback: %v (err %v), want A truth %v", i, d, err, f.wantA[i])
+		}
+	}
+}
+
+// TestHotServesDegradedIndex pins degraded mode through the serving stack:
+// a checksum-valid index whose downward group is structurally wrong opens
+// and serves point-to-point queries, refuses tables with a *DegradedError
+// carrying the reason, and reports the reason through Degraded and Stats.
+func TestHotServesDegradedIndex(t *testing.T) {
+	f := makeHotFixture(t)
+	blob, err := os.ReadFile(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := store.TamperDownward(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "degraded.ahix")
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := OpenHotWithOptions(path, HotOptions{Registry: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("degraded index rejected outright: %v", err)
+	}
+	defer h.Close()
+	if h.Degraded() == "" {
+		t.Fatal("tampered downward group served fully capable")
+	}
+	for i, p := range f.wl.pairs {
+		d, err := h.Distance(p[0], p[1])
+		if err != nil || d != f.wantA[i] {
+			t.Fatalf("degraded p2p pair %d: %v (err %v), want %v", i, d, err, f.wantA[i])
+		}
+	}
+	_, terr := h.DistanceTable(f.srcs, f.tgts)
+	var de *DegradedError
+	if !errors.As(terr, &de) {
+		t.Fatalf("DistanceTable on a degraded index = %v, want *DegradedError", terr)
+	}
+	if de.Reason == "" {
+		t.Fatal("DegradedError carries no reason")
+	}
+	if st := h.Stats(); st.Degraded == "" {
+		t.Fatal("HotStats.Degraded empty on a degraded epoch")
+	}
+
+	// Reloading a healthy file clears the degradation.
+	if _, err := h.Reload(f.pathA); err != nil {
+		t.Fatal(err)
+	}
+	if h.Degraded() != "" {
+		t.Fatalf("still degraded after reloading a healthy index: %s", h.Degraded())
+	}
+	rows, err := h.DistanceTable(f.srcs, f.tgts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != f.tableA[i][j] {
+				t.Fatalf("table cell [%d][%d] = %v, want %v", i, j, rows[i][j], f.tableA[i][j])
+			}
+		}
+	}
+}

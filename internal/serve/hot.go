@@ -26,7 +26,9 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,9 +88,11 @@ func (e *Epoch) Release() {
 type Hot struct {
 	cur atomic.Pointer[Epoch]
 
-	reg   *obsv.Registry
-	hm    *hotMetrics   // nil when reg is the noop registry
-	topts batch.Options // blocked-table options for every epoch's Service
+	reg    *obsv.Registry
+	hm     *hotMetrics   // nil when reg is the noop registry
+	topts  batch.Options // blocked-table options for every epoch's Service
+	retry  RetryPolicy
+	noQuar bool
 
 	// mu serialises Reload/Close and guards path/seq and the last-install
 	// outcome; queries never take it.
@@ -98,8 +102,10 @@ type Hot struct {
 	lastErr string    // failure message of the most recent install attempt, "" on success
 	lastAt  time.Time // when the most recent install attempt finished
 
-	reloads atomic.Uint64
-	retired atomic.Uint64
+	reloads   atomic.Uint64
+	retired   atomic.Uint64
+	retries   atomic.Uint64
+	rollbacks atomic.Uint64
 
 	// totalMu guards the fold of retired epochs' stats and the first
 	// close error (retire runs on whichever goroutine releases last).
@@ -113,8 +119,11 @@ type Hot struct {
 // one registry continue the same cumulative series.
 type hotMetrics struct {
 	epoch       *obsv.Gauge
+	degraded    *obsv.Gauge
 	reloads     *obsv.Counter
 	reloadFails *obsv.Counter
+	retries     *obsv.Counter
+	rollbacks   *obsv.Counter
 	retiredN    *obsv.Counter
 	reloadSec   *obsv.Histogram
 	verifySec   *obsv.Histogram
@@ -127,13 +136,50 @@ func newHotMetrics(reg *obsv.Registry) *hotMetrics {
 	}
 	return &hotMetrics{
 		epoch:       reg.Gauge("serve_epoch", "Sequence number of the serving index epoch (0 after close)."),
+		degraded:    reg.Gauge("index_degraded", "1 when the serving index lost its one-to-many capability at load time, else 0."),
 		reloads:     reg.Counter("serve_reloads_total", "Successful index installs, the initial open included."),
 		reloadFails: reg.Counter("serve_reload_failures_total", "Install attempts that failed to open, verify, or validate."),
+		retries:     reg.Counter("reload_retries_total", "Install attempts re-run after a transient (non-corruption) failure."),
+		rollbacks:   reg.Counter("reload_rollbacks_total", "Reloads that failed outright, leaving the last-good epoch serving."),
 		retiredN:    reg.Counter("serve_epochs_retired_total", "Replaced epochs that fully drained and closed their mapping."),
 		reloadSec:   reg.Histogram("serve_reload_seconds", "Duration of successful index installs (open+verify+swap).", obsv.DurationBuckets),
 		verifySec:   reg.Histogram("serve_verify_seconds", "Duration of the full payload checksum during installs.", obsv.DurationBuckets),
 		drainSec:    reg.Histogram("serve_epoch_drain_seconds", "Time from an epoch's replacement to its last in-flight query draining.", obsv.DurationBuckets),
 	}
+}
+
+// RetryPolicy bounds the retry loop OpenHotWithOptions and Reload wrap
+// around index installs. Only transient failures — I/O errors reaching the
+// file — are retried; corruption short-circuits immediately (bytes do not
+// heal) into quarantine. The zero value means one attempt, no retries.
+type RetryPolicy struct {
+	// Attempts is the maximum number of install attempts per reload,
+	// minimum (and default) 1.
+	Attempts int
+	// Backoff is the delay base before the first retry, doubling per retry
+	// up to MaxBackoff; the actual sleep is jittered uniformly in
+	// [d/2, d) so a fleet of daemons reloading the same pushed index does
+	// not hammer shared storage in lockstep. Defaults to 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; defaults to 5s.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep between attempts; tests install a recorder
+	// here. nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// HotOptions bundles every knob of OpenHotWithOptions; the zero value
+// matches OpenHot (default registry aside).
+type HotOptions struct {
+	// Registry receives the handle's metrics; nil means obsv.Default().
+	Registry *obsv.Registry
+	// Table configures the blocked-table engines of every epoch's Service.
+	Table batch.Options
+	// Retry bounds the install retry loop.
+	Retry RetryPolicy
+	// NoQuarantine keeps corrupt index files in place instead of moving
+	// them to <path>.bad with a reason file.
+	NoQuarantine bool
 }
 
 // OpenHot opens path (store.Open), runs the full payload checksum
@@ -156,11 +202,73 @@ func OpenHotWith(path string, reg *obsv.Registry) (*Hot, error) {
 // handle installs — reloads included, so a -lanes daemon flag survives
 // index swaps.
 func OpenHotOpts(path string, reg *obsv.Registry, topts batch.Options) (*Hot, error) {
-	h := &Hot{reg: reg, hm: newHotMetrics(reg), topts: topts}
-	if err := h.install(path); err != nil {
+	return OpenHotWithOptions(path, HotOptions{Registry: reg, Table: topts})
+}
+
+// OpenHotWithOptions is the fully configurable constructor: registry,
+// table options, install retry policy, and quarantine behaviour. The
+// other constructors delegate here.
+func OpenHotWithOptions(path string, opts HotOptions) (*Hot, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obsv.Default()
+	}
+	h := &Hot{reg: reg, hm: newHotMetrics(reg), topts: opts.Table, retry: opts.Retry, noQuar: opts.NoQuarantine}
+	if err := h.installRetry(path); err != nil {
 		return nil, err
 	}
 	return h, nil
+}
+
+// installRetry runs install under the handle's RetryPolicy: transient
+// failures are retried with doubling jittered backoff, corruption is
+// quarantined (unless disabled) and returned immediately — a corrupt
+// file's bytes will not be different on the next attempt, and moving it
+// aside stops a supervisor's reload loop from rediscovering it forever.
+// Callers other than the constructor hold h.mu.
+func (h *Hot) installRetry(path string) error {
+	attempts := h.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	d := h.retry.Backoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	maxd := h.retry.MaxBackoff
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	sleep := h.retry.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 1; ; attempt++ {
+		err := h.install(path)
+		if err == nil {
+			return nil
+		}
+		if store.IsCorrupt(err) {
+			if !h.noQuar {
+				if bad, qerr := store.Quarantine(path, err); qerr == nil {
+					err = fmt.Errorf("%w (quarantined to %s)", err, bad)
+				}
+			}
+			return err
+		}
+		if attempt >= attempts {
+			return err
+		}
+		h.retries.Add(1)
+		if h.hm != nil {
+			h.hm.retries.Inc()
+		}
+		sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+		d *= 2
+		if d > maxd {
+			d = maxd
+		}
+	}
 }
 
 // install opens, verifies, and swaps in path as the next epoch. Callers
@@ -199,6 +307,11 @@ func (h *Hot) install(path string) (err error) {
 		h.hm.epoch.Set(float64(h.seq))
 		h.hm.reloads.Inc()
 		h.hm.reloadSec.ObserveSince(start)
+		degraded := 0.0
+		if e.svc.Degraded() != "" {
+			degraded = 1
+		}
+		h.hm.degraded.Set(degraded)
 	}
 	if old != nil {
 		h.reloads.Add(1)
@@ -213,8 +326,11 @@ func (h *Hot) install(path string) (err error) {
 // already running finish on the old mapping, requests arriving after
 // Reload returns see the new one, and the old mapping is closed exactly
 // once after the last in-flight query drains. A file that fails to open,
-// verify, or validate leaves the current epoch serving untouched. Returns
-// the new epoch's sequence number.
+// verify, or validate leaves the current epoch serving untouched — a
+// rollback to last-good, counted in reload_rollbacks_total — with
+// transient failures retried per the handle's RetryPolicy and corrupt
+// files quarantined to <path>.bad first. Returns the new epoch's sequence
+// number.
 func (h *Hot) Reload(path string) (uint64, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -224,7 +340,11 @@ func (h *Hot) Reload(path string) (uint64, error) {
 	if path == "" {
 		path = h.path
 	}
-	if err := h.install(path); err != nil {
+	if err := h.installRetry(path); err != nil {
+		h.rollbacks.Add(1)
+		if h.hm != nil {
+			h.hm.rollbacks.Inc()
+		}
 		return 0, err
 	}
 	return h.seq, nil
@@ -325,6 +445,17 @@ func (h *Hot) DistanceTable(sources, targets []graph.NodeID) ([][]float64, error
 	return e.svc.DistanceTable(sources, targets)
 }
 
+// Degraded returns the serving epoch's degradation reason, "" when fully
+// capable (or closed).
+func (h *Hot) Degraded() string {
+	e := h.Acquire()
+	if e == nil {
+		return ""
+	}
+	defer e.Release()
+	return e.svc.Degraded()
+}
+
 // HotStats extends the Service counters with swap-lifecycle state; the
 // JSON tags are the wire shape cmd/ahixd's /stats endpoint exposes.
 type HotStats struct {
@@ -346,6 +477,14 @@ type HotStats struct {
 	LastReloadError string `json:"last_reload_error,omitempty"`
 	// LastReloadAt is when the most recent install attempt finished.
 	LastReloadAt time.Time `json:"last_reload_at"`
+	// Retries counts install attempts re-run after a transient failure.
+	Retries uint64 `json:"reload_retries"`
+	// Rollbacks counts reloads that failed outright, leaving the previous
+	// epoch — the last-good index — serving.
+	Rollbacks uint64 `json:"reload_rollbacks"`
+	// Degraded is the serving epoch's degradation reason ("" when the
+	// one-to-many capability is fully available).
+	Degraded string `json:"degraded,omitempty"`
 	// Current is the serving epoch's counters (zero after Close).
 	Current Stats `json:"current"`
 	// Total is Current plus every retired epoch's counters: the lifetime
@@ -368,10 +507,13 @@ func (h *Hot) Stats() HotStats {
 		LastReloadOK:    lastErr == "",
 		LastReloadError: lastErr,
 		LastReloadAt:    lastAt,
+		Retries:         h.retries.Load(),
+		Rollbacks:       h.rollbacks.Load(),
 	}
 	if e := h.Acquire(); e != nil {
 		st.Epoch = e.seq
 		st.Current = e.svc.Stats()
+		st.Degraded = e.svc.Degraded()
 		e.Release()
 	}
 	h.totalMu.Lock()

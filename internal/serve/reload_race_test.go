@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obsv"
+)
+
+// TestReloadRacesTableStreams drives long-running lane-block table streams
+// (Lanes: 1, so every source is its own block and a table spans many
+// cooperative stop checks) against a storm of reloads alternating between
+// two differently-weighted indexes. The invariants, checked under -race by
+// `make check`:
+//
+//   - no mixed-epoch cells: every completed table matches, cell for cell,
+//     the Dijkstra truth of the single epoch that served it (the epoch is
+//     pinned by Acquire for the whole call, so a swap mid-stream must not
+//     leak into the rows);
+//   - cancellation is cooperative: a context cancelled mid-table either
+//     aborts with the context's error or the table had already completed —
+//     never a partial or corrupt result;
+//   - every replaced epoch drains and retires exactly once.
+func TestReloadRacesTableStreams(t *testing.T) {
+	f := makeHotFixture(t)
+	h, err := OpenHotWithOptions(f.pathA, HotOptions{
+		Registry: obsv.Noop(),
+		Table:    batch.Options{Lanes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	const reloads = 6
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		completed atomic.Uint64
+		aborted   atomic.Uint64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := h.Acquire()
+				if e == nil {
+					return
+				}
+				_, table := f.epochTruth(e.Seq())
+				ctx, cancel := context.WithCancel(context.Background())
+				if i%3 == 2 {
+					// The cancellation variant: pull the plug while the
+					// stream is (probably) mid-block.
+					go func() {
+						time.Sleep(time.Duration(w+1) * 50 * time.Microsecond)
+						cancel()
+					}()
+				}
+				rows, err := e.Service().DistanceTableCtx(ctx, f.srcs, f.tgts)
+				switch {
+				case err == nil:
+					for r := range rows {
+						for c := range rows[r] {
+							if rows[r][c] != table[r][c] {
+								t.Errorf("epoch %d table cell [%d][%d] = %v, want %v (mixed-epoch cells?)",
+									e.Seq(), r, c, rows[r][c], table[r][c])
+								e.Release()
+								cancel()
+								return
+							}
+						}
+					}
+					completed.Add(1)
+				case errors.Is(err, context.Canceled):
+					aborted.Add(1)
+				default:
+					t.Errorf("table stream failed with a non-cancellation error: %v", err)
+				}
+				e.Release()
+				cancel()
+			}
+		}(w)
+	}
+
+	paths := [2]string{f.pathB, f.pathA}
+	for i := 0; i < reloads; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := h.Reload(paths[i%2]); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if completed.Load() == 0 {
+		t.Fatal("no table stream ran to completion")
+	}
+	t.Logf("tables completed=%d aborted=%d across %d reloads", completed.Load(), aborted.Load(), reloads)
+	st := h.Stats()
+	if st.Retired != reloads {
+		t.Fatalf("retired %d epochs, want every replaced one (%d) drained", st.Retired, reloads)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

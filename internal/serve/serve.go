@@ -46,6 +46,21 @@ func (e *RangeError) Error() string {
 	return fmt.Sprintf("serve: node %d out of range [0, %d)", e.Node, e.Nodes)
 }
 
+// DegradedError reports a distance-table request refused because the
+// served index is degraded: its persisted downward CSR failed validation
+// at load time (ah.Index.DownwardDisabled), so the one-to-many capability
+// is off while point-to-point queries keep serving. Match it with
+// errors.As; the daemon turns it into a machine-readable 503.
+type DegradedError struct {
+	// Reason is the load-time validation failure that disabled the
+	// capability.
+	Reason string
+}
+
+func (e *DegradedError) Error() string {
+	return "serve: index degraded, distance tables unavailable: " + e.Reason
+}
+
 // Querier is a per-goroutine query handle over a shared immutable
 // ah.Index: it embeds the ah.Querier search workspace — promoting its
 // Distance/Path methods and the per-query Settled/Stalled counters — and
@@ -255,9 +270,14 @@ func newSvcMetrics(reg *obsv.Registry) *svcMetrics {
 // call borrows a pooled querier for its duration, so N concurrent callers
 // cost N workspaces, not N index copies.
 type Service struct {
-	pool         *QuerierPool
-	tables       *TablePool
-	m            *svcMetrics // nil when wired to the noop registry
+	pool   *QuerierPool
+	tables *TablePool
+	m      *svcMetrics // nil when wired to the noop registry
+	// degraded caches idx.DownwardDisabled() from construction time:
+	// distance-table calls short-circuit with a *DegradedError before
+	// checking out an engine (whose pool.New would derive — and trust —
+	// the very structure the load path refused).
+	degraded     string
 	queries      atomic.Uint64
 	settled      atomic.Uint64
 	stalled      atomic.Uint64
@@ -284,11 +304,20 @@ func NewServiceWith(idx *ah.Index, reg *obsv.Registry) *Service {
 // NewServiceOpts is NewServiceWith with explicit blocked-execution
 // options for the table engines (lane width, worker fan-out per table).
 func NewServiceOpts(idx *ah.Index, reg *obsv.Registry, topts batch.Options) *Service {
-	return &Service{pool: NewQuerierPool(idx), tables: NewTablePoolOpts(idx, topts), m: newSvcMetrics(reg)}
+	return &Service{
+		pool:     NewQuerierPool(idx),
+		tables:   NewTablePoolOpts(idx, topts),
+		m:        newSvcMetrics(reg),
+		degraded: idx.DownwardDisabled(),
+	}
 }
 
 // Index returns the shared index the service answers queries on.
 func (s *Service) Index() *ah.Index { return s.pool.Index() }
+
+// Degraded returns the reason the index's one-to-many capability is off,
+// or "" for a fully capable service.
+func (s *Service) Degraded() string { return s.degraded }
 
 // Distance returns the exact shortest-path distance from src to dst, or
 // +Inf when dst is unreachable. Ids outside the index's node range return
@@ -372,6 +401,9 @@ func (s *Service) DistanceTable(sources, targets []graph.NodeID) ([][]float64, e
 // that blew up mid-table cannot re-contribute its previous table's counts
 // (the same rule Distance and Path follow).
 func (s *Service) DistanceTableCtx(ctx context.Context, sources, targets []graph.NodeID) ([][]float64, error) {
+	if s.degraded != "" {
+		return nil, &DegradedError{Reason: s.degraded}
+	}
 	n := s.pool.Index().Graph().NumNodes()
 	for _, list := range [2][]graph.NodeID{sources, targets} {
 		for _, v := range list {

@@ -5,10 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/ah"
+	"repro/internal/faultfs"
 	"repro/internal/gen"
 )
 
@@ -29,20 +29,16 @@ func closeFixture(t *testing.T) string {
 // TestMappedCloseExactlyOnce is the contract test the hot-swapper's
 // refcount relies on: no matter how many times — or from how many
 // goroutines — Close is called, the mapping is munmapped exactly once.
-// The syscall is counted through the munmapFile indirection because a
-// double munmap usually does NOT crash: it either returns EINVAL or, far
-// worse, tears down an unrelated mapping placed at the same address.
+// The syscall is counted through a faultfs injector (empty schedule = pure
+// call counter) because a double munmap usually does NOT crash: it either
+// returns EINVAL or, far worse, tears down an unrelated mapping placed at
+// the same address.
 func TestMappedCloseExactlyOnce(t *testing.T) {
-	if !mmapAvailable {
+	if !faultfs.MmapAvailable {
 		t.Skip("no mmap on this platform")
 	}
-	var munmaps atomic.Int32
-	realMunmap := munmapFile
-	munmapFile = func(data []byte) error {
-		munmaps.Add(1)
-		return realMunmap(data)
-	}
-	defer func() { munmapFile = realMunmap }()
+	in := faultfs.New(faultfs.OS(), nil)
+	defer SetFS(in)()
 
 	m, err := Open(closeFixture(t))
 	if err != nil {
@@ -64,14 +60,14 @@ func TestMappedCloseExactlyOnce(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := munmaps.Load(); got != 1 {
+	if got := in.Calls(faultfs.OpMunmap); got != 1 {
 		t.Fatalf("munmap ran %d times across %d concurrent Closes, want exactly 1", got, goroutines)
 	}
 	// And again sequentially, long after the mapping is gone.
 	if err := m.Close(); err != nil {
 		t.Fatalf("late Close: %v", err)
 	}
-	if got := munmaps.Load(); got != 1 {
+	if got := in.Calls(faultfs.OpMunmap); got != 1 {
 		t.Fatalf("late Close re-ran munmap (%d total)", got)
 	}
 }
@@ -81,7 +77,7 @@ func TestMappedCloseExactlyOnce(t *testing.T) {
 // caller nil-panics at the call site instead of faulting mid-query), and
 // Verify refuses with ErrClosed.
 func TestMappedClosedContract(t *testing.T) {
-	if !mmapAvailable {
+	if !faultfs.MmapAvailable {
 		t.Skip("no mmap on this platform")
 	}
 	m, err := Open(closeFixture(t))

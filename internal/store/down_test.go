@@ -2,7 +2,6 @@ package store
 
 import (
 	"bytes"
-	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -127,15 +126,20 @@ func TestDownwardSectionZeroCopy(t *testing.T) {
 	}
 }
 
-// TestRejectsCorruptDownwardSection flips downward payload bytes, reseals
-// the checksums so the structural validators are what must catch it, and
-// expects rejection.
-func TestRejectsCorruptDownwardSection(t *testing.T) {
+// TestCorruptDownwardSectionDegrades flips downward payload bytes and
+// reseals the checksums — the artifact of a buggy producer, not bit rot —
+// and asserts the blob still decodes, but degraded: point-to-point queries
+// keep their answers, Downward returns nil, and DownwardDisabled carries
+// the structural failure as the reason. Re-encoding such an index drops
+// the untrusted group (the self-heal path) and the re-saved blob loads
+// fully capable, with the structure re-derived in memory.
+func TestCorruptDownwardSectionDegrades(t *testing.T) {
 	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pristine := mustEncode(t, ah.Build(g, ah.Options{}))
+	fresh := ah.Build(g, ah.Options{})
+	pristine := mustEncode(t, fresh)
 
 	cases := []struct {
 		name    string
@@ -157,16 +161,77 @@ func TestRejectsCorruptDownwardSection(t *testing.T) {
 			}
 			blob[off] ^= 0x5c
 			reseal(blob)
-			_, err := Decode(blob)
-			if err == nil {
-				t.Fatal("corrupt downward section decoded")
+			idx, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("checksum-valid corrupt-down blob rejected outright: %v", err)
 			}
-			if errors.Is(err, ErrChecksum) {
-				t.Fatalf("caught by checksum, want structural validation: %v", err)
+			reason := idx.DownwardDisabled()
+			if reason == "" {
+				t.Fatal("corrupt downward section adopted without degrading")
 			}
-			if tc.errLike != "" && !strings.Contains(err.Error(), tc.errLike) {
-				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			if tc.errLike != "" && !strings.Contains(reason, tc.errLike) {
+				t.Fatalf("degraded reason %q does not mention %q", reason, tc.errLike)
+			}
+			if idx.Downward() != nil {
+				t.Fatal("Downward() non-nil on a degraded index")
+			}
+			if got, want := idx.Distance(3, 77), fresh.Distance(3, 77); got != want {
+				t.Fatalf("degraded index p2p answer %v, want %v", got, want)
+			}
+
+			// Self-heal: re-encode drops the group, the result loads clean.
+			healed := mustEncode(t, idx)
+			if len(healed) >= len(blob) {
+				t.Fatalf("healed blob (%d bytes) still carries the downward group (%d)", len(healed), len(blob))
+			}
+			re, err := Decode(healed)
+			if err != nil {
+				t.Fatalf("healed blob rejected: %v", err)
+			}
+			if re.DownwardDisabled() != "" {
+				t.Fatalf("healed blob still degraded: %s", re.DownwardDisabled())
+			}
+			if !downEqual(re.Downward(), fresh.Downward()) {
+				t.Fatal("healed index derives a different downward CSR")
 			}
 		})
+	}
+}
+
+// TestTamperDownwardHelper pins the exported tamper helper the serving and
+// chaos tests build on: the blob it returns is checksum-valid, decodes
+// degraded, and the original is untouched.
+func TestTamperDownwardHelper(t *testing.T) {
+	g, err := gen.RandomGeometric(gen.RandomGeometricConfig{N: 150, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := mustEncode(t, ah.Build(g, ah.Options{}))
+	before := append([]byte(nil), pristine...)
+	bad, err := TamperDownward(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pristine, before) {
+		t.Fatal("TamperDownward mutated its input")
+	}
+	if bytes.Equal(bad, pristine) {
+		t.Fatal("TamperDownward returned the input unchanged")
+	}
+	idx, err := Decode(bad)
+	if err != nil {
+		t.Fatalf("tampered blob rejected (checksums not resealed?): %v", err)
+	}
+	if idx.DownwardDisabled() == "" {
+		t.Fatal("tampered blob decoded fully capable")
+	}
+
+	// Without the group there is nothing to tamper.
+	old, err := encodeV2Sections(ah.Build(g, ah.Options{}), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TamperDownward(old); err == nil {
+		t.Fatal("TamperDownward accepted a blob without the downward group")
 	}
 }

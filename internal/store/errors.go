@@ -1,0 +1,92 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SectionError is the typed wrapper every decode- or verify-path
+// rejection carries: which file (when known), which v2 section, and at
+// what byte offset the blob stopped making sense. Quarantine reason
+// files and slow-query logs render these fields, so an operator staring
+// at a .bad file knows whether the corruption hit the section table, a
+// CSR payload, or the checksum — not just that "decode failed".
+//
+// A SectionError always means the bytes themselves are wrong (IsCorrupt
+// reports true); I/O failures — missing files, permission errors, a disk
+// that refuses to read — are never wrapped in one and keep their
+// fs.PathError shape.
+type SectionError struct {
+	// Path is the index file, "" when the error arose decoding an
+	// in-memory blob.
+	Path string
+	// Section is the v2 section id the error is scoped to, 0 when the
+	// failure is not attributable to one section (header, section table,
+	// or the whole-payload checksum).
+	Section int
+	// Offset is the absolute byte offset of the failing region within
+	// the file, -1 when unknown.
+	Offset int64
+	// Err is the underlying cause; errors.Is still matches the format
+	// sentinels (ErrChecksum, ErrSectionTable, ...) through it.
+	Err error
+}
+
+func (e *SectionError) Error() string {
+	msg := e.Err.Error()
+	where := ""
+	if e.Section > 0 {
+		where = fmt.Sprintf(" [section %d @ %d]", e.Section, e.Offset)
+	} else if e.Offset >= 0 {
+		where = fmt.Sprintf(" [offset %d]", e.Offset)
+	}
+	if e.Path != "" {
+		return fmt.Sprintf("%s: %s%s", e.Path, msg, where)
+	}
+	return msg + where
+}
+
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// secErr wraps err with section scope unless it is already scoped.
+func secErr(section int, offset int64, err error) error {
+	var se *SectionError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &SectionError{Section: section, Offset: offset, Err: err}
+}
+
+// withPath attaches the file path to a decode-originated error. The
+// SectionError is always freshly created by this package, so mutating it
+// in place is safe; non-decode errors (I/O) pass through untouched —
+// os.ReadFile and friends already name the path.
+func withPath(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *SectionError
+	if errors.As(err, &se) && se.Path == "" {
+		se.Path = path
+	}
+	return err
+}
+
+// IsCorrupt reports whether err means the index file's bytes are wrong —
+// bad magic or version, checksum mismatch, truncation, structural
+// invalidity — as opposed to an I/O failure reaching them. The serving
+// layer keys its self-healing on this split: corrupt files are
+// quarantined and never retried (bytes do not heal), I/O failures are
+// retried with backoff.
+func IsCorrupt(err error) bool {
+	var se *SectionError
+	if errors.As(err, &se) {
+		return true
+	}
+	for _, sentinel := range []error{ErrBadMagic, ErrBadVersion, ErrChecksum, ErrTruncated, ErrSectionTable} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// Every file operation this package performs goes through a
+// faultfs.FS, so the chaos harness can swap in a fault injector and
+// prove the whole lifecycle — save, open, verify, reload, quarantine —
+// fails closed under any single-point failure. Production runs the
+// passthrough (faultfs.OS) and pays one atomic load per cold-path call.
+var fsysV atomic.Value // holds faultfs.FS
+
+func init() { fsysV.Store(&fsBox{faultfs.OS()}) }
+
+// fsBox keeps the stored concrete type constant across SetFS calls
+// (atomic.Value requires it).
+type fsBox struct{ fs faultfs.FS }
+
+func activeFS() faultfs.FS { return fsysV.Load().(*fsBox).fs }
+
+// SetFS routes this package's file operations through fs — tests install
+// a faultfs.Injector here — and returns a func restoring the previous
+// routing. Handles opened earlier keep the FS they were opened with, so
+// restoring does not strand an in-flight mapping's Close behind the
+// wrong Munmap.
+func SetFS(fs faultfs.FS) (restore func()) {
+	prev := fsysV.Swap(&fsBox{fs}).(*fsBox)
+	return func() { fsysV.Store(prev) }
+}
+
+// QuarantineReason is the machine-readable JSON document Quarantine
+// writes next to a quarantined index file.
+type QuarantineReason struct {
+	// QuarantinedAt is when the file was moved aside.
+	QuarantinedAt time.Time `json:"quarantined_at"`
+	// From is the path the file was serving under before quarantine.
+	From string `json:"from"`
+	// Error is the rejection that triggered quarantine.
+	Error string `json:"error"`
+	// Section and Offset localise the corruption when the rejection was
+	// a *SectionError (0 / -1 otherwise).
+	Section int   `json:"section,omitempty"`
+	Offset  int64 `json:"offset"`
+}
+
+// BadSuffix and ReasonSuffix name the quarantine artifacts: a rejected
+// index file at <path> is moved to <path>.bad with the rejection
+// documented in <path>.bad.reason.
+const (
+	BadSuffix    = ".bad"
+	ReasonSuffix = ".bad.reason"
+)
+
+// Quarantine moves the index file at path aside to <path>.bad and writes
+// a JSON QuarantineReason to <path>.bad.reason, so a corrupt artifact
+// can neither be re-opened by a retry loop nor silently lost before an
+// operator inspects it. An existing .bad pair from an earlier quarantine
+// is overwritten — the newest rejection is the one worth keeping.
+// Returns the quarantined path. Renaming a file that is currently
+// mmap-served is safe: the mapping survives the rename.
+func Quarantine(path string, cause error) (badPath string, err error) {
+	fs := activeFS()
+	badPath = path + BadSuffix
+	reason := QuarantineReason{
+		QuarantinedAt: time.Now().UTC(),
+		From:          path,
+		Error:         cause.Error(),
+		Offset:        -1,
+	}
+	var se *SectionError
+	if errors.As(cause, &se) {
+		reason.Section = se.Section
+		reason.Offset = se.Offset
+	}
+	if err := fs.Rename(path, badPath); err != nil {
+		return "", fmt.Errorf("store: quarantine %s: %w", path, err)
+	}
+	doc, err := json.MarshalIndent(reason, "", "  ")
+	if err != nil {
+		return badPath, fmt.Errorf("store: quarantine reason: %w", err)
+	}
+	doc = append(doc, '\n')
+	if err := fs.WriteFile(path+ReasonSuffix, doc, 0o644); err != nil {
+		return badPath, fmt.Errorf("store: quarantine reason: %w", err)
+	}
+	return badPath, nil
+}

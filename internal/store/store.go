@@ -34,13 +34,13 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/ah"
+	"repro/internal/faultfs"
 	"repro/internal/obsv"
 )
 
@@ -102,15 +102,16 @@ func Save(path string, idx *ah.Index) error {
 	if err != nil {
 		return err
 	}
+	fsys := activeFS()
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ahix-*")
+	tmp, err := fsys.CreateTemp(dir, ".ahix-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
@@ -127,21 +128,18 @@ func Save(path string, idx *ah.Index) error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return fmt.Errorf("store: sync dir after rename: %w", err)
 	}
 	return nil
 }
-
-// openDir is os.Open, indirected so tests can cover syncDir's error path.
-var openDir = os.Open
 
 // syncDir fsyncs a directory so a just-renamed entry in it becomes
 // durable. Platforms that refuse to sync a directory handle — EINVAL or
@@ -150,13 +148,8 @@ var openDir = os.Open
 // (best-effort durability, the rename itself remains atomic). Any other
 // failure is returned: the caller must not claim durability it cannot
 // verify.
-func syncDir(dir string) error {
-	d, err := openDir(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	err = d.Sync()
+func syncDir(fsys faultfs.FS, dir string) error {
+	err := fsys.SyncDir(dir)
 	if err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) &&
 		!errors.Is(err, fs.ErrPermission) {
 		return err
@@ -167,13 +160,15 @@ func syncDir(dir string) error {
 // Load reads an index previously written by Save — either format version —
 // into process-private memory and returns it ready for queries (wrap it in
 // a serve.Querier / QuerierPool for concurrent use). For the zero-copy
-// shared mapping, use Open instead.
+// shared mapping, use Open instead. Decode rejections carry the file path
+// as a *SectionError.
 func Load(path string) (*ah.Index, error) {
-	blob, err := os.ReadFile(path)
+	blob, err := activeFS().ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return Decode(blob)
+	idx, err := Decode(blob)
+	return idx, withPath(path, err)
 }
 
 // Mapped is an index opened by Open together with the memory backing it.
@@ -188,6 +183,8 @@ func Load(path string) (*ah.Index, error) {
 type Mapped struct {
 	idx    *ah.Index
 	data   []byte
+	path   string
+	fs     faultfs.FS // the FS active at Open time; Close/Verify stay on it
 	mapped bool
 	closed atomic.Bool
 }
@@ -226,15 +223,40 @@ func (m *Mapped) Verify() error {
 		return ErrClosed
 	}
 	start := time.Now()
-	payloadBase, _, err := v2Header(m.data)
+	payloadBase, count, err := v2Header(m.data)
 	if err != nil {
-		return err
+		return withPath(m.path, err)
 	}
 	if err := verifyV2Payload(m.data, payloadBase); err != nil {
-		return err
+		return withPath(m.path, err)
+	}
+	// The on-demand analogue of Load/Decode's downward content check: an
+	// adopted group whose rows fail to mirror the upward-in adjacency under
+	// a valid checksum is a buggy producer's artifact, so the index
+	// degrades (one-to-many off, reason recorded) rather than failing
+	// Verify. Callers run Verify before sharing the index — serve.Hot
+	// installs do — so the mutation cannot race queries.
+	if count == numSections {
+		if idx := m.Index(); idx != nil && idx.DownwardDisabled() == "" {
+			if err := idx.ValidateDownwardMirror(idx.Downward()); err != nil {
+				idx.DisableDownward(err.Error())
+			}
+		}
 	}
 	verifySeconds.ObserveSince(start)
 	return nil
+}
+
+// Degraded returns the reason the opened index cannot serve batched
+// distance tables ("" when it serves everything): a well-checksummed file
+// whose downward-CSR group fails validation opens in degraded mode —
+// point-to-point queries work, tables are refused — instead of being
+// rejected outright. See ah.Index.DownwardDisabled.
+func (m *Mapped) Degraded() string {
+	if idx := m.Index(); idx != nil {
+		return idx.DownwardDisabled()
+	}
+	return ""
 }
 
 // Close releases the file mapping, if any. The index must not be used
@@ -253,7 +275,7 @@ func (m *Mapped) Close() error {
 	}
 	data := m.data
 	m.data, m.idx = nil, nil
-	return munmapFile(data)
+	return m.fs.Munmap(data)
 }
 
 // Open opens an index file for serving. For a v2 file on a platform with
@@ -273,26 +295,27 @@ func Open(path string) (m *Mapped, err error) {
 			openSeconds.ObserveSince(start)
 		}
 	}()
-	if mmapAvailable {
-		if m, ok, err := openMmap(path); ok {
-			return m, err
+	fsys := activeFS()
+	if faultfs.MmapAvailable {
+		if m, ok, err := openMmap(fsys, path); ok {
+			return m, withPath(path, err)
 		}
 	}
 	idx, err := Load(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Mapped{idx: idx}, nil
+	return &Mapped{idx: idx, path: path, fs: fsys}, nil
 }
 
 // openMmap attempts the zero-copy path. ok=false means "not applicable,
 // fall back to Load" (mapping failed, v1 file, big-endian host); ok=true
 // returns the mmap outcome, including validation errors.
-func openMmap(path string) (*Mapped, bool, error) {
+func openMmap(fsys faultfs.FS, path string) (*Mapped, bool, error) {
 	if !hostLittleEndian || forceCopyDecode {
 		return nil, false, nil
 	}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, true, fmt.Errorf("store: %w", err)
 	}
@@ -308,28 +331,34 @@ func openMmap(path string) (*Mapped, bool, error) {
 	if size != int64(int(size)) {
 		return nil, true, fmt.Errorf("store: %d-byte file exceeds the address space", size)
 	}
-	data, err := mmapFile(f, int(size))
+	data, err := fsys.Mmap(f, int(size))
 	if err != nil {
 		// Filesystems without mmap support degrade to the copying path.
 		return nil, false, nil
 	}
+	if len(data) < headerCommon {
+		// An injected or concurrent truncation can shrink the mapping
+		// below what the stat promised; fail typed, not out of bounds.
+		fsys.Munmap(data)
+		return nil, true, ErrTruncated
+	}
 	if string(data[:4]) != magic {
-		munmapFile(data)
+		fsys.Munmap(data)
 		return nil, true, ErrBadMagic
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
 		// v1 needs its derived structures rebuilt into private memory, so
 		// the mapping buys nothing; unknown versions fail in Decode with
 		// the right error either way.
-		munmapFile(data)
+		fsys.Munmap(data)
 		return nil, false, nil
 	}
 	idx, err := decodeV2(data, false)
 	if err != nil {
-		munmapFile(data)
+		fsys.Munmap(data)
 		return nil, true, err
 	}
-	return &Mapped{idx: idx, data: data, mapped: true}, true, nil
+	return &Mapped{idx: idx, data: data, path: path, fs: fsys, mapped: true}, true, nil
 }
 
 // Write streams the encoded index to w.

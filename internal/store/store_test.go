@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ah"
 	"repro/internal/dijkstra"
+	"repro/internal/faultfs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -218,11 +219,12 @@ func TestSaveSurfacesDirSyncError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "idx.ahix")
 
 	sentinel := errors.New("injected dir-open failure")
-	orig := openDir
-	openDir = func(string) (*os.File, error) { return nil, sentinel }
-	defer func() { openDir = orig }()
-
-	if err := Save(path, idx); !errors.Is(err, sentinel) {
+	restore := SetFS(faultfs.New(faultfs.OS(), faultfs.Schedule{
+		{Op: faultfs.OpSyncDir, Call: 1, Kind: faultfs.KindErr, Err: sentinel},
+	}))
+	err = Save(path, idx)
+	restore()
+	if !errors.Is(err, sentinel) {
 		t.Fatalf("Save = %v, want wrapped %v", err, sentinel)
 	}
 	// The rename itself already happened: the artifact is present and
@@ -231,7 +233,6 @@ func TestSaveSurfacesDirSyncError(t *testing.T) {
 		t.Fatalf("artifact unreadable after dir-sync failure: %v", err)
 	}
 
-	openDir = orig
 	if err := Save(path, idx); err != nil {
 		t.Fatalf("Save with real dir sync failed: %v", err)
 	}
@@ -405,7 +406,7 @@ func TestOpenZeroCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if mmapAvailable && !m.Mapped() {
+	if faultfs.MmapAvailable && !m.Mapped() {
 		t.Error("Open did not mmap on a platform with mmap support")
 	}
 	if !bytes.Equal(mustEncode(t, fresh), mustEncode(t, m.Index())) {

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// TamperDownward returns a copy of a v2 blob whose downward-CSR sweep
+// order is scrambled and whose checksums are resealed over the damage —
+// the checksum-valid-but-structurally-wrong artifact a buggy producer
+// would write. Decode answers such a blob with a degraded index (no
+// one-to-many service) rather than rejection; this helper exists so the
+// serving-layer and chaos tests can manufacture the case without
+// duplicating format internals. No production caller.
+func TamperDownward(blob []byte) ([]byte, error) {
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	payloadBase, count, err := v2Header(out)
+	if err != nil {
+		return nil, err
+	}
+	if count != numSections {
+		return nil, fmt.Errorf("store: blob carries no downward-CSR group to tamper")
+	}
+	entry := out[headerLenV2+(secDownOrder-secMeta)*secEntryLen:]
+	off := binary.LittleEndian.Uint64(entry[8:])
+	ln := binary.LittleEndian.Uint64(entry[16:])
+	if ln < 8 {
+		return nil, fmt.Errorf("store: downward order section too small to tamper (%d bytes)", ln)
+	}
+	order := out[uint64(payloadBase)+off:][:ln]
+	// Swapping the first two sweep positions breaks the descending-rank
+	// permutation AdoptDownward insists on, while every byte stays a
+	// plausible node id.
+	var tmp [4]byte
+	copy(tmp[:], order[:4])
+	copy(order[:4], order[4:8])
+	copy(order[4:8], tmp[:])
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(out[16:payloadBase], castagnoli))
+	binary.LittleEndian.PutUint32(out[12:16], crc32.Checksum(out[payloadBase:], castagnoli))
+	return out, nil
+}

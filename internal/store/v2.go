@@ -138,6 +138,10 @@ func encodeV2Sections(idx *ah.Index, withDown bool) ([]byte, error) {
 	m := len(outTo)
 	s := len(sFrom)
 
+	// A degraded index has no trustworthy downward CSR to persist;
+	// dropping the group re-creates the pre-downward layout, and the next
+	// load derives the structure in memory — re-save is the self-heal.
+	withDown = withDown && idx.DownwardDisabled() == ""
 	count := numSections
 	if !withDown {
 		count = numSectionsNoDown
@@ -244,26 +248,26 @@ func (w *v2Writer) f64(id int, xs []float64) {
 // files written before the optional downward-CSR group existed).
 func v2Header(blob []byte) (payloadBase, count int, err error) {
 	if len(blob) < headerLenV2 {
-		return 0, 0, ErrTruncated
+		return 0, 0, secErr(0, int64(len(blob)), ErrTruncated)
 	}
 	bodyLen := binary.LittleEndian.Uint64(blob[24:32])
 	if have := uint64(len(blob) - headerLenV2); have != bodyLen {
 		if have < bodyLen {
-			return 0, 0, fmt.Errorf("%w: have %d body bytes, header declares %d", ErrTruncated, have, bodyLen)
+			return 0, 0, secErr(0, int64(len(blob)), fmt.Errorf("%w: have %d body bytes, header declares %d", ErrTruncated, have, bodyLen))
 		}
-		return 0, 0, fmt.Errorf("store: %d bytes after the declared body", have-bodyLen)
+		return 0, 0, secErr(0, headerLenV2+int64(bodyLen), fmt.Errorf("store: %d bytes after the declared body", have-bodyLen))
 	}
 	count = int(binary.LittleEndian.Uint32(blob[16:20]))
 	if count != numSections && count != numSectionsNoDown {
-		return 0, 0, fmt.Errorf("%w: %d sections, want %d or %d", ErrSectionTable, count, numSectionsNoDown, numSections)
+		return 0, 0, secErr(0, 16, fmt.Errorf("%w: %d sections, want %d or %d", ErrSectionTable, count, numSectionsNoDown, numSections))
 	}
 	payloadBase = headerLenV2 + count*secEntryLen
 	if payloadBase > len(blob) {
-		return 0, 0, fmt.Errorf("%w: table of %d entries exceeds the file", ErrSectionTable, count)
+		return 0, 0, secErr(0, headerLenV2, fmt.Errorf("%w: table of %d entries exceeds the file", ErrSectionTable, count))
 	}
 	wantTable := binary.LittleEndian.Uint32(blob[8:12])
 	if got := crc32.Checksum(blob[16:payloadBase], castagnoli); got != wantTable {
-		return 0, 0, fmt.Errorf("%w (section table): got %08x, want %08x", ErrChecksum, got, wantTable)
+		return 0, 0, secErr(0, 16, fmt.Errorf("%w (section table): got %08x, want %08x", ErrChecksum, got, wantTable))
 	}
 	return payloadBase, count, nil
 }
@@ -273,7 +277,7 @@ func v2Header(blob []byte) (payloadBase, count int, err error) {
 func verifyV2Payload(blob []byte, payloadBase int) error {
 	want := binary.LittleEndian.Uint32(blob[12:16])
 	if got := crc32.Checksum(blob[payloadBase:], castagnoli); got != want {
-		return fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, want)
+		return secErr(0, int64(payloadBase), fmt.Errorf("%w: got %08x, want %08x", ErrChecksum, got, want))
 	}
 	return nil
 }
@@ -310,35 +314,39 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 	// canonical layout (per section count), so every malformed table is
 	// detectable.
 	secs := make([][]byte, count)
+	offs := make([]int64, count) // absolute file offset of each section
 	prevEnd := uint64(0)
 	for i := 0; i < count; i++ {
 		entry := blob[headerLenV2+i*secEntryLen:]
 		id := binary.LittleEndian.Uint64(entry)
 		off := binary.LittleEndian.Uint64(entry[8:])
 		ln := binary.LittleEndian.Uint64(entry[16:])
+		entryOff := int64(headerLenV2 + i*secEntryLen)
 		if id != uint64(secMeta+i) {
-			return nil, fmt.Errorf("%w: entry %d has id %d, want %d", ErrSectionTable, i, id, secMeta+i)
+			return nil, secErr(secMeta+i, entryOff, fmt.Errorf("%w: entry %d has id %d, want %d", ErrSectionTable, i, id, secMeta+i))
 		}
 		if off%8 != 0 {
-			return nil, fmt.Errorf("%w: section %d offset %d not 8-byte aligned", ErrSectionTable, id, off)
+			return nil, secErr(int(id), entryOff, fmt.Errorf("%w: section %d offset %d not 8-byte aligned", ErrSectionTable, id, off))
 		}
 		if off < prevEnd || off-prevEnd >= 8 {
-			return nil, fmt.Errorf("%w: section %d at offset %d, previous section ended at %d", ErrSectionTable, id, off, prevEnd)
+			return nil, secErr(int(id), entryOff, fmt.Errorf("%w: section %d at offset %d, previous section ended at %d", ErrSectionTable, id, off, prevEnd))
 		}
 		if off+ln < off || off+ln > uint64(len(payload)) {
-			return nil, fmt.Errorf("%w: section %d range [%d,%d) exceeds %d payload bytes", ErrSectionTable, id, off, off+ln, len(payload))
+			return nil, secErr(int(id), entryOff, fmt.Errorf("%w: section %d range [%d,%d) exceeds %d payload bytes", ErrSectionTable, id, off, off+ln, len(payload)))
 		}
 		secs[i] = payload[off : off+ln]
+		offs[i] = int64(payloadBase) + int64(off)
 		prevEnd = off + ln
 	}
 	if pad := uint64(len(payload)) - prevEnd; pad >= 8 {
-		return nil, fmt.Errorf("%w: %d bytes after the last section", ErrSectionTable, pad)
+		return nil, secErr(0, int64(payloadBase)+int64(prevEnd), fmt.Errorf("%w: %d bytes after the last section", ErrSectionTable, pad))
 	}
 
 	sec := func(id int) []byte { return secs[id-secMeta] }
+	secOff := func(id int) int64 { return offs[id-secMeta] }
 	meta := sec(secMeta)
 	if len(meta) != 5*8 {
-		return nil, fmt.Errorf("%w: meta section is %d bytes, want 40", ErrSectionTable, len(meta))
+		return nil, secErr(secMeta, secOff(secMeta), fmt.Errorf("%w: meta section is %d bytes, want 40", ErrSectionTable, len(meta)))
 	}
 	var counts [5]uint64
 	for i := range counts {
@@ -346,12 +354,12 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 	}
 	for i, what := range [4]string{"node", "edge", "shortcut", "grid level"} {
 		if counts[i] > math.MaxInt32 {
-			return nil, fmt.Errorf("store: %s count %d exceeds int32 id space", what, counts[i])
+			return nil, secErr(secMeta, secOff(secMeta)+int64(8*i), fmt.Errorf("store: %s count %d exceeds int32 id space", what, counts[i]))
 		}
 	}
 	n, m, s, levels := int(counts[0]), int(counts[1]), int(counts[2]), int(counts[3])
 	if counts[4] > uint64(len(payload))/4 {
-		return nil, fmt.Errorf("store: unpack layout length %d exceeds the payload", counts[4])
+		return nil, secErr(secMeta, secOff(secMeta)+32, fmt.Errorf("store: unpack layout length %d exceeds the payload", counts[4]))
 	}
 	flatLen := int(counts[4])
 
@@ -369,30 +377,16 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 	}
 	for id, ln := range want {
 		if len(sec(id)) != ln {
-			return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrSectionTable, id, len(sec(id)), ln)
+			return nil, secErr(id, secOff(id), fmt.Errorf("%w: section %d is %d bytes, want %d", ErrSectionTable, id, len(sec(id)), ln))
 		}
 	}
 	for _, pair := range [2][3]int{{secUpOutTo, secUpOutW, secUpOutEid}, {secUpInFrom, secUpInW, secUpInEid}} {
 		if len(sec(pair[0]))%4 != 0 {
-			return nil, fmt.Errorf("%w: section %d length %d not a multiple of 4", ErrSectionTable, pair[0], len(sec(pair[0])))
+			return nil, secErr(pair[0], secOff(pair[0]), fmt.Errorf("%w: section %d length %d not a multiple of 4", ErrSectionTable, pair[0], len(sec(pair[0]))))
 		}
 		cnt := len(sec(pair[0])) / 4
 		if len(sec(pair[1])) != 8*cnt || len(sec(pair[2])) != 4*cnt {
-			return nil, fmt.Errorf("%w: upward CSR sections %d/%d/%d disagree on entry count", ErrSectionTable, pair[0], pair[1], pair[2])
-		}
-	}
-	if hasDown {
-		// The downward CSR is a reorder of the upward-in adjacency, so its
-		// entry count is pinned by the up-in sections validated above;
-		// contents are cross-validated against them by AdoptDownward below.
-		nIn := len(sec(secUpInFrom)) / 4
-		for id, ln := range map[int]int{
-			secDownOrder: 4 * n, secDownStart: 4 * (n + 1),
-			secDownFrom: 4 * nIn, secDownW: 8 * nIn, secDownEid: 4 * nIn,
-		} {
-			if len(sec(id)) != ln {
-				return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrSectionTable, id, len(sec(id)), ln)
-			}
+			return nil, secErr(pair[1], secOff(pair[1]), fmt.Errorf("%w: upward CSR sections %d/%d/%d disagree on entry count", ErrSectionTable, pair[0], pair[1], pair[2]))
 		}
 	}
 
@@ -401,16 +395,16 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 		c.int32s(sec(secOutStart)), c.int32s(sec(secOutTo)), c.float64s(sec(secOutWeight)),
 		c.int32s(sec(secInStart)), c.int32s(sec(secInFrom)), c.float64s(sec(secInWeight)), c.int32s(sec(secInEdge)))
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, secErr(0, -1, fmt.Errorf("store: %w", err))
 	}
 	ov, err := graph.OverlayFromShortcuts(g,
 		c.int32s(sec(secSFrom)), c.int32s(sec(secSTo)), c.float64s(sec(secSWeight)),
 		c.int32s(sec(secSLeft)), c.int32s(sec(secSRight)))
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, secErr(0, -1, fmt.Errorf("store: %w", err))
 	}
 	if err := ov.SetUnpackLayout(c.int64s(sec(secFlatStart)), c.int32s(sec(secFlatEids))); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, secErr(secFlatStart, secOff(secFlatStart), fmt.Errorf("store: %w", err))
 	}
 	idx, err := ah.FromPartsWithDerived(g, ov,
 		c.int32s(sec(secRank)), c.int32s(sec(secElev)), levels,
@@ -425,32 +419,52 @@ func decodeV2(blob []byte, verifyPayload bool) (*ah.Index, error) {
 			UpInEid:    c.int32s(sec(secUpInEid)),
 		})
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, secErr(0, -1, fmt.Errorf("store: %w", err))
 	}
 	if hasDown {
 		// Adopt the persisted sweep structure (possibly straight out of a
 		// read-only mapping) instead of letting Downward derive it; blobs
-		// without the group keep the in-memory derivation. Adoption is
-		// structural (bounds) validation only; the paths that verify the
-		// payload checksum also pin the contents to the upward-in mirror,
-		// the same division of labour as the checksum itself.
-		down := &graph.DownCSR{
-			Order: c.int32s(sec(secDownOrder)),
-			Start: c.int32s(sec(secDownStart)),
-			From:  c.int32s(sec(secDownFrom)),
-			W:     c.float64s(sec(secDownW)),
-			Eid:   c.int32s(sec(secDownEid)),
-		}
-		if err := idx.AdoptDownward(down); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-		if verifyPayload {
-			if err := idx.ValidateDownwardMirror(down); err != nil {
-				return nil, fmt.Errorf("store: %w", err)
+		// without the group keep the in-memory derivation. A group that
+		// fails adoption — wrong section sizes, a broken sweep permutation,
+		// rows that do not mirror the upward-in adjacency — while the
+		// checksums it sits under verify is a buggy producer's artifact,
+		// not bit rot: re-deriving would silently trust the same producer's
+		// primary sections, so instead the one-to-many capability is
+		// disabled with the failure as the reason (Index.DownwardDisabled)
+		// and the rest of the index serves. Re-saving a degraded index
+		// drops the bad group, which is the self-heal path.
+		if err := adoptDown(idx, &c, sec, n); err != nil {
+			idx.DisableDownward(err.Error())
+		} else if verifyPayload {
+			if err := idx.ValidateDownwardMirror(idx.Downward()); err != nil {
+				idx.DisableDownward(err.Error())
 			}
 		}
 	}
 	return idx, nil
+}
+
+// adoptDown validates the downward-CSR group's section sizes and hands it
+// to AdoptDownward. The entry count is pinned by the upward-in sections
+// (the structure is a reorder of that adjacency); contents beyond bounds
+// are cross-validated by the caller when the payload checksum runs.
+func adoptDown(idx *ah.Index, c *sliceCaster, sec func(int) []byte, n int) error {
+	nIn := len(sec(secUpInFrom)) / 4
+	for id, ln := range map[int]int{
+		secDownOrder: 4 * n, secDownStart: 4 * (n + 1),
+		secDownFrom: 4 * nIn, secDownW: 8 * nIn, secDownEid: 4 * nIn,
+	} {
+		if len(sec(id)) != ln {
+			return fmt.Errorf("section %d is %d bytes, want %d", id, len(sec(id)), ln)
+		}
+	}
+	return idx.AdoptDownward(&graph.DownCSR{
+		Order: c.int32s(sec(secDownOrder)),
+		Start: c.int32s(sec(secDownStart)),
+		From:  c.int32s(sec(secDownFrom)),
+		W:     c.float64s(sec(secDownW)),
+		Eid:   c.int32s(sec(secDownEid)),
+	})
 }
 
 // forceCopyDecode makes decodeV2 take the element-wise copying path even
