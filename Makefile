@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test race overhead-gate chaos bench bench-record
+.PHONY: check fmt-check vet build test race overhead-gate chaos cluster-chaos cluster-smoke bench bench-record
 
-check: fmt-check vet build test race overhead-gate chaos
+check: fmt-check vet build test race overhead-gate chaos cluster-chaos cluster-smoke
 
 # gofmt over the whole tree (the repo root recurses into every package
 # dir, new ones included); any unformatted file fails the gate.
@@ -36,7 +36,7 @@ test:
 # concurrent histogram hammer (N observers racing the exposition
 # renderer; bucket counts must sum exactly).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./internal/obsv/... ./internal/faultfs/... ./internal/chaos/... ./cmd/ahixd/...
+	$(GO) test -race ./internal/serve/... ./internal/store/... ./internal/par/... ./internal/batch/... ./internal/obsv/... ./internal/faultfs/... ./internal/chaos/... ./internal/netfault/... ./internal/cluster/... ./cmd/ahixd/...
 	$(GO) test -race -run 'BuildWorkersDeterministic' ./internal/ah/
 	$(GO) test -race -run 'ForEachRegion|RegionList' ./internal/gridindex/
 
@@ -56,6 +56,32 @@ chaos:
 	else \
 		cat $$log; rm -f $$log; exit 1; \
 	fi
+
+# The network-fault gate, the TCP sibling of `chaos`: three real ahixd
+# servers behind deterministic netfault proxies, fronted by the cluster
+# router, driven through a >= 40-schedule matrix — every fault kind
+# blanketed over every single replica (router must answer 200 with
+# Dijkstra-exact distances), seeded random compound schedules (errors
+# allowed, wrong answers never), rollouts under fire (clean flips
+# converge the fleet; corrupt candidates abort pre-flip; blackholed /
+# refused / reset / cut flips end rolled_back with every replica
+# restored), and an outright replica crash. Prints the "cluster-chaos: N
+# schedules, V invariant violations" summary on success.
+cluster-chaos:
+	@log=$$(mktemp); \
+	if $(GO) test -count=1 -run TestClusterChaos -v ./cmd/ahixd/ >$$log 2>&1; then \
+		grep -h "^cluster-chaos:" $$log; rm -f $$log; \
+	else \
+		cat $$log; rm -f $$log; exit 1; \
+	fi
+
+# End-to-end fleet smoke: builds the real ahixd and ahixr binaries,
+# starts three replicas and the router on random ports, queries through
+# the router, runs a coordinated two-phase rollout, kills a replica and
+# verifies failover plus rollout refusal, then SIGTERMs the router
+# expecting a clean exit.
+cluster-smoke:
+	$(GO) test ./internal/cluster/ -run TestClusterSmoke -v -count=1
 
 # Metrics must be effectively free on the query hot path: p2p queries on a
 # Service wired to a real obsv registry must run within 5% of one wired to

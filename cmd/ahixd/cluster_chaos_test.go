@@ -1,0 +1,356 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/netfault"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+// chaosFleet is three real in-process ahixd servers, each reachable only
+// through a netfault proxy, fronted by a cluster router — the full
+// replicated deployment on one machine, with every network path
+// fault-injectable.
+type chaosFleet struct {
+	f       *fixture
+	hots    []*serve.Hot
+	direct  []*httptest.Server // replica URLs bypassing the proxies (truth checks)
+	proxies []*netfault.Proxy
+	rt      *cluster.Router
+	router  *httptest.Server
+	rng     *rand.Rand
+}
+
+func startChaosFleet(t *testing.T) *chaosFleet {
+	t.Helper()
+	cf := &chaosFleet{f: makeFixture(t), rng: rand.New(rand.NewSource(42))}
+	var proxied []string
+	for i := 0; i < 3; i++ {
+		reg := obsv.NewRegistry()
+		hot, err := serve.OpenHotWith(cf.f.pathA, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newServer(hot, serverConfig{maxInflight: 32, timeout: 5 * time.Second, reg: reg})
+		ts := httptest.NewServer(s.routes())
+		p, err := netfault.Listen("127.0.0.1:0", ts.Listener.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf.hots = append(cf.hots, hot)
+		cf.direct = append(cf.direct, ts)
+		cf.proxies = append(cf.proxies, p)
+		proxied = append(proxied, "http://"+p.Addr())
+		t.Cleanup(func() { p.Close(); ts.Close(); hot.Close() })
+	}
+	rt, err := cluster.New(cluster.Config{
+		Replicas: proxied,
+		Timeout:  600 * time.Millisecond,
+		Retries:  3,
+		Backoff:  2 * time.Millisecond,
+		// Fresh TCP connection per upstream request: an armed schedule is
+		// indexed by connection arrival order, and pooled connections
+		// would bypass newly armed faults.
+		DisableKeepAlives: true,
+		FlipWindow:        1200 * time.Millisecond,
+		Registry:          obsv.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.rt = rt
+	cf.router = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { cf.router.Close(); rt.Close() })
+	return cf
+}
+
+// disarm clears every proxy's schedule and refreshes router health state
+// so each scheduled scenario starts from a clean, fully-healthy fleet.
+func (cf *chaosFleet) disarm() {
+	for _, p := range cf.proxies {
+		p.Arm(nil)
+	}
+	cf.rt.CheckNow(context.Background())
+}
+
+// query runs one /distance through the router. It never fails the test:
+// chaos outcomes are tallied by the caller.
+func (cf *chaosFleet) query(src, dst int) (code int, d distanceResponse, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/distance?src=%d&dst=%d", cf.router.URL, src, dst))
+	if err != nil {
+		return 0, d, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, d, err
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return resp.StatusCode, d, err
+	}
+	return resp.StatusCode, d, nil
+}
+
+// replicaPath asks a replica directly (no proxy) which index it serves.
+func (cf *chaosFleet) replicaPath(t *testing.T, i int) string {
+	t.Helper()
+	var h struct {
+		Path string `json:"path"`
+	}
+	resp, err := http.Get(cf.direct[i].URL + "/healthz")
+	if err != nil {
+		t.Fatalf("direct healthz replica %d: %v", i, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("direct healthz replica %d: %v", i, err)
+	}
+	return h.Path
+}
+
+// TestClusterChaos drives the replicated deployment through a 42-schedule
+// fault matrix and counts invariant violations:
+//
+//   - part 1 (21): each netfault kind blanketed over each single replica —
+//     the router must still answer 200 with Dijkstra-exact distances.
+//   - part 2 (12): Random(seed,n) schedules over one or two proxies —
+//     explicit errors are allowed, silently wrong answers are not.
+//   - part 3 (8): rollouts under fire — clean flips under latency and
+//     throttle faults must converge the whole fleet; a corrupt candidate
+//     must abort before any flip; a blackholed / refused / reset / cut
+//     flip must end rolled_back with every replica restored. Success with
+//     mixed served indexes is an invariant violation anywhere.
+//   - part 4 (1): one replica crashes outright; the router keeps
+//     answering 200.
+//
+// The final summary line is what `make cluster-chaos` greps.
+func TestClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is not a -short test")
+	}
+	cf := startChaosFleet(t)
+	var schedules, violations int
+	violate := func(format string, args ...any) {
+		violations++
+		t.Errorf(format, args...)
+	}
+
+	truthA := func(src, dst int) float64 { return cf.f.uniA.Distance(graph.NodeID(src-1), graph.NodeID(dst-1)) }
+	truthB := func(src, dst int) float64 { return cf.f.uniB.Distance(graph.NodeID(src-1), graph.NodeID(dst-1)) }
+
+	// checkExact runs n router queries that must all be 200 and match.
+	checkExact := func(label string, n int, truth func(int, int) float64) {
+		for i := 0; i < n; i++ {
+			src, dst := 1+cf.rng.Intn(cf.f.n), 1+cf.rng.Intn(cf.f.n)
+			code, d, err := cf.query(src, dst)
+			if err != nil || code != http.StatusOK {
+				violate("%s: query %d,%d = code %d err %v, want clean 200", label, src, dst, code, err)
+				continue
+			}
+			if !sameCell(d.Distance, truth(src, dst)) {
+				violate("%s: query %d,%d answered %v, want %v", label, src, dst, d.Distance, truth(src, dst))
+			}
+		}
+	}
+
+	// Part 1: every fault kind, blanketed over every single replica.
+	// Exactly one replica is fouled at a time, so failover must make
+	// every single query succeed with the exact answer.
+	for rep := 0; rep < 3; rep++ {
+		for k := netfault.Kind(0); k < netfault.NumKinds; k++ {
+			schedules++
+			cf.disarm()
+			f := netfault.Fault{Conn: 0, Kind: k}
+			switch k {
+			case netfault.KindLatency:
+				f.Delay = 20 * time.Millisecond
+			case netfault.KindSlowRead, netfault.KindSlowWrite:
+				f.Delay, f.Bytes = time.Millisecond, 512
+			case netfault.KindCutMid:
+				// Cut inside the response head so the router sees a
+				// transport error (a mid-body cut would forward a
+				// truncated 200; that case is part 2's concern).
+				f.Bytes = 30
+			}
+			cf.proxies[rep].Arm(netfault.Schedule{f})
+			checkExact(fmt.Sprintf("part1 replica %d %v", rep, k), 6, truthA)
+		}
+	}
+
+	// Part 2: deterministic random schedules over one or two proxies.
+	// Requests may fail loudly — the router is allowed to surface errors
+	// under compound faults — but a 200 with a wrong distance is a
+	// violation, and the same seeds replay the same faults every run.
+	for seed := int64(1); seed <= 12; seed++ {
+		schedules++
+		cf.disarm()
+		cf.proxies[seed%3].Arm(netfault.Random(seed, 3))
+		if seed%2 == 0 {
+			cf.proxies[(seed+1)%3].Arm(netfault.Random(seed+100, 2))
+		}
+		for i := 0; i < 6; i++ {
+			src, dst := 1+cf.rng.Intn(cf.f.n), 1+cf.rng.Intn(cf.f.n)
+			code, d, err := cf.query(src, dst)
+			if err != nil || code != http.StatusOK {
+				continue // explicit failure is an allowed outcome here
+			}
+			if !sameCell(d.Distance, truthA(src, dst)) {
+				violate("part2 seed %d: query %d,%d answered %v, want %v", seed, src, dst, d.Distance, truthA(src, dst))
+			}
+		}
+	}
+
+	// Part 3: rollouts under fire.
+	rollout := func(index string) (int, cluster.RolloutStatus) {
+		resp, err := http.Post(cf.router.URL+"/rollout?index="+index, "", nil)
+		if err != nil {
+			violate("rollout POST failed outright: %v", err)
+			return 0, cluster.RolloutStatus{}
+		}
+		defer resp.Body.Close()
+		var st cluster.RolloutStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			violate("rollout status undecodable: %v", err)
+		}
+		return resp.StatusCode, st
+	}
+	assertFleetOn := func(label, path string) {
+		for i := range cf.direct {
+			if got := cf.replicaPath(t, i); got != path {
+				violate("%s: replica %d serves %s, want %s — fleet mixed", label, i, got, path)
+			}
+		}
+	}
+
+	// 3a: three clean rollouts, each with one replica's network degraded
+	// but functional. All must succeed and converge the fleet, while a
+	// concurrent query stream through the router stays clean.
+	cleanFaults := []netfault.Fault{
+		{Conn: 0, Kind: netfault.KindLatency, Delay: 15 * time.Millisecond},
+		{Conn: 0, Kind: netfault.KindSlowRead, Delay: time.Millisecond, Bytes: 1024},
+		{Conn: 0, Kind: netfault.KindSlowWrite, Delay: time.Millisecond, Bytes: 1024},
+	}
+	cur, curTruth := cf.f.pathA, truthA
+	for i, f := range cleanFaults {
+		schedules++
+		cf.disarm()
+		cf.proxies[i].Arm(netfault.Schedule{f})
+		target, targetTruth := cf.f.pathB, truthB
+		if cur == cf.f.pathB {
+			target, targetTruth = cf.f.pathA, truthA
+		}
+		// Query stream during the flip: must stay 200; either index's
+		// answer is acceptable mid-transition.
+		stop := make(chan struct{})
+		var qErrs atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := 1+rand.Intn(256), 1+rand.Intn(256)
+				code, d, err := cf.query(src, dst)
+				if err != nil || code != http.StatusOK {
+					qErrs.Add(1)
+				} else if !sameCell(d.Distance, curTruth(src, dst)) && !sameCell(d.Distance, targetTruth(src, dst)) {
+					qErrs.Add(1)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+		code, st := rollout(target)
+		close(stop)
+		wg.Wait()
+		if code != http.StatusOK || st.State != cluster.RolloutSuccess {
+			violate("clean rollout %d = %d %s (%s)", i, code, st.State, st.Error)
+		} else {
+			cur, curTruth = target, targetTruth
+		}
+		if n := qErrs.Load(); n > 0 {
+			violate("clean rollout %d: %d failed/wrong queries during the flip", i, n)
+		}
+		assertFleetOn(fmt.Sprintf("clean rollout %d", i), cur)
+		checkExact(fmt.Sprintf("after clean rollout %d", i), 4, curTruth)
+	}
+
+	// 3b: corrupt candidate — phase-1 verify must refuse it everywhere
+	// and abort before a single flip.
+	schedules++
+	cf.disarm()
+	other := cf.f.pathA
+	if cur == cf.f.pathA {
+		other = cf.f.pathB
+	}
+	blob, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-9] ^= 0x20
+	corrupt := cf.f.pathA + ".corrupt"
+	if err := os.WriteFile(corrupt, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, st := rollout(corrupt)
+	if code != http.StatusBadGateway || st.State != cluster.RolloutAborted {
+		violate("corrupt rollout = %d %s, want 502 aborted", code, st.State)
+	}
+	assertFleetOn("corrupt rollout", cur)
+	checkExact("after corrupt rollout", 4, curTruth)
+
+	// 3c: the flip itself fails on one replica — blackholed, refused,
+	// reset, or cut mid-response. Connection order per proxy within a
+	// rollout is deterministic (snapshot=1, verify=2, reload=3), so the
+	// fault targets exactly the flip. Every outcome must be rolled_back
+	// with the fleet fully restored — even when the cut reload actually
+	// applied upstream and only its response was lost.
+	for i, k := range []netfault.Kind{netfault.KindBlackhole, netfault.KindRefuse, netfault.KindReset, netfault.KindCutMid} {
+		schedules++
+		cf.disarm()
+		f := netfault.Fault{Conn: 3, Kind: k}
+		if k == netfault.KindCutMid {
+			f.Bytes = 30
+		}
+		cf.proxies[i%3].Arm(netfault.Schedule{f})
+		target := cf.f.pathA
+		if cur == cf.f.pathA {
+			target = cf.f.pathB
+		}
+		code, st := rollout(target)
+		if code != http.StatusBadGateway || st.State != cluster.RolloutRolledBack {
+			violate("%v flip rollout = %d %s (%s), want 502 rolled_back", k, code, st.State, st.Error)
+		}
+		assertFleetOn(fmt.Sprintf("%v flip rollout", k), cur)
+		checkExact(fmt.Sprintf("after %v flip rollout", k), 4, curTruth)
+	}
+
+	// Part 4: one replica crashes for real (its server dies, the proxy
+	// now has nothing to dial). The router must keep answering.
+	schedules++
+	cf.disarm()
+	cf.direct[1].Close()
+	checkExact("replica crash", 8, curTruth)
+
+	fmt.Printf("cluster-chaos: %d schedules, %d invariant violations\n", schedules, violations)
+	if schedules < 40 {
+		t.Fatalf("chaos matrix shrank to %d schedules; the floor is 40", schedules)
+	}
+}

@@ -12,6 +12,7 @@
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /healthz                        epoch, index path, last-reload outcome
 //	POST /reload?index=PATH              hot-swap to a new index file
+//	POST /verify?index=PATH              open + checksum a file WITHOUT swapping
 //
 // Node ids on the wire are 1-based DIMACS ids, exactly like cmd/ahix;
 // unreachable distances are JSON null. Every query response carries the
@@ -34,6 +35,18 @@
 //   - SIGINT/SIGTERM shut down gracefully: stop accepting, let in-flight
 //     requests finish (bounded by -shutdown-timeout), then close the
 //     mapping.
+//   - POST /verify is the fleet rollout's phase-1 probe: it opens and
+//     fully checksums a candidate index file and reports ok/degraded
+//     without installing anything, so a coordinator (cmd/ahixr) can prove
+//     every replica can serve a new index before any replica flips to it.
+//   - Startup runs a crash-recovery sweep of the index directory:
+//     orphaned ".ahix-*" save temps (a crash between write and rename)
+//     are removed, "<path>.bad" quarantine artifacts are logged and
+//     surfaced as the quarantined_files gauge and a /stats field.
+//   - Slow clients cannot pin resources: beyond ReadHeaderTimeout, the
+//     server enforces -read-timeout, -write-timeout (a stalled reader of
+//     a large /table response has its connection severed, releasing the
+//     limiter slot), -idle-timeout, and -max-header-bytes.
 //   - Flight recorder: /metrics and /stats bypass the limiter so an
 //     operator can see a saturated service; every request is timed into
 //     per-endpoint histograms; query requests carry a per-request trace
@@ -57,6 +70,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +82,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obsv"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -95,12 +110,20 @@ func run(args []string, out io.Writer) error {
 	retryAfter := fs.Int("retry-after", 1, "base of the jittered Retry-After header (seconds) on shed requests")
 	reloadRetries := fs.Int("reload-retries", 3, "install attempts per reload before rolling back to the serving index (transient failures only; corrupt files are quarantined immediately)")
 	reloadBackoff := fs.Duration("reload-backoff", 100*time.Millisecond, "base backoff between reload retries, doubling per attempt")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "max time to read a whole request, body included (slowloris bound; 0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "max time from end of request headers to end of response write (stalled-reader bound; 0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "request header size limit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *index == "" {
 		return errors.New("missing -index")
 	}
+
+	// Crash-recovery sweep before anything can write to the directory:
+	// remove orphaned save temps, surface quarantine artifacts.
+	quarantined := startupSweep(*index, obsv.Default(), os.Stderr)
 
 	hot, err := serve.OpenHotWithOptions(*index, serve.HotOptions{
 		Registry: obsv.Default(),
@@ -118,14 +141,21 @@ func run(args []string, out io.Writer) error {
 		retryAfter:  *retryAfter,
 		logw:        os.Stderr,
 		reg:         obsv.Default(),
+		quarantined: quarantined,
 	})
 
+	tmo := httpTimeouts{
+		read:      *readTimeout,
+		write:     *writeTimeout,
+		idle:      *idleTimeout,
+		maxHeader: *maxHeaderBytes,
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		hot.Close()
 		return err
 	}
-	srv := &http.Server{Handler: s.routes(), ReadHeaderTimeout: 5 * time.Second}
+	srv := hardenedServer(s.routes(), tmo)
 	// The smoke test parses this line to find the picked port.
 	fmt.Fprintf(out, "ahixd: serving %s on http://%s\n", *index, ln.Addr())
 
@@ -144,7 +174,7 @@ func run(args []string, out io.Writer) error {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		psrv := hardenedServer(pmux, tmo)
 		fmt.Fprintf(out, "ahixd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 		go psrv.Serve(pln)
 		defer psrv.Close()
@@ -187,6 +217,55 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// httpTimeouts are the slow-client bounds applied to every listener: a
+// slowloris (drip-feeding a request) or a stalled reader (accepting a
+// large /table response one packet an hour) must cost a connection, not
+// a limiter slot held forever.
+type httpTimeouts struct {
+	read      time.Duration
+	write     time.Duration
+	idle      time.Duration
+	maxHeader int
+}
+
+// hardenedServer builds an http.Server with the full slow-client bound
+// set; ReadHeaderTimeout stays at its historical 5s.
+func hardenedServer(h http.Handler, t httpTimeouts) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+		MaxHeaderBytes:    t.maxHeader,
+	}
+}
+
+// startupSweep runs the crash-recovery sweep over the index file's
+// directory: orphaned save temps are removed, quarantine artifacts are
+// logged (one JSON line on logw) and counted into the quarantined_files
+// gauge. Returns the quarantine count for /stats. Sweep failures are
+// logged, never fatal — a daemon that cannot clean its directory can
+// still serve its index.
+func startupSweep(indexPath string, reg *obsv.Registry, logw io.Writer) int {
+	rep, err := store.SweepDir(filepath.Dir(indexPath))
+	if err != nil {
+		fmt.Fprintf(logw, `{"type":"sweep","error":%q}`+"\n", err.Error())
+		return 0
+	}
+	if len(rep.RemovedTemps) > 0 || len(rep.Quarantined) > 0 || len(rep.RemoveErrors) > 0 {
+		if b, err := json.Marshal(rep); err == nil {
+			fmt.Fprintf(logw, `{"type":"sweep","report":%s}`+"\n", b)
+		}
+	}
+	if !reg.IsNoop() {
+		reg.Gauge("quarantined_files",
+			"Quarantined (.bad) index files found in the index directory at startup.").
+			Set(float64(len(rep.Quarantined)))
+	}
+	return len(rep.Quarantined)
+}
+
 // serverConfig bundles the operational knobs newServer needs; tests
 // override logw (and usually disable the access log) to keep stderr quiet.
 type serverConfig struct {
@@ -197,17 +276,19 @@ type serverConfig struct {
 	retryAfter  int // Retry-After base seconds on shed requests, min 1
 	logw        io.Writer
 	reg         *obsv.Registry
+	quarantined int // .bad files the startup sweep found
 }
 
 // server is the HTTP layer over the hot-swappable serving stack.
 type server struct {
-	hot        *serve.Hot
-	lim        *serve.Limiter
-	timeout    time.Duration
-	slow       time.Duration
-	logging    bool
-	retryAfter int
-	reg        *obsv.Registry
+	hot         *serve.Hot
+	lim         *serve.Limiter
+	timeout     time.Duration
+	slow        time.Duration
+	logging     bool
+	retryAfter  int
+	reg         *obsv.Registry
+	quarantined int
 
 	// panics counts handler panics the recovery middleware absorbed;
 	// panicsM is the registry mirror (nil-safe when unregistered).
@@ -238,6 +319,7 @@ var instrumentedRoutes = []struct {
 	{"/path", true},
 	{"/table", true},
 	{"/reload", true},
+	{"/verify", true},
 	{"/stats", false},
 	{"/healthz", false},
 }
@@ -253,16 +335,17 @@ func newServer(hot *serve.Hot, cfg serverConfig) *server {
 		cfg.retryAfter = 1
 	}
 	s := &server{
-		hot:        hot,
-		lim:        serve.NewLimiterWith(cfg.maxInflight, cfg.reg),
-		timeout:    cfg.timeout,
-		slow:       cfg.slow,
-		logging:    cfg.accessLog,
-		retryAfter: cfg.retryAfter,
-		reg:        cfg.reg,
-		logw:       cfg.logw,
-		reqSec:     make(map[string]*obsv.Histogram),
-		queryHist:  make(map[string]*obsv.Histogram),
+		hot:         hot,
+		lim:         serve.NewLimiterWith(cfg.maxInflight, cfg.reg),
+		timeout:     cfg.timeout,
+		slow:        cfg.slow,
+		logging:     cfg.accessLog,
+		retryAfter:  cfg.retryAfter,
+		reg:         cfg.reg,
+		quarantined: cfg.quarantined,
+		logw:        cfg.logw,
+		reqSec:      make(map[string]*obsv.Histogram),
+		queryHist:   make(map[string]*obsv.Histogram),
 	}
 	if !cfg.reg.IsNoop() {
 		s.panicsM = cfg.reg.Counter("panics_recovered_total", "Handler panics absorbed by the recovery middleware (each answered with a 500).")
@@ -289,6 +372,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/stats", s.instrument("/stats", false, s.handleStats))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
 	mux.HandleFunc("/reload", s.instrument("/reload", true, s.handleReload))
+	mux.HandleFunc("/verify", s.instrument("/verify", true, s.handleVerify))
 	mux.HandleFunc("/metrics", s.handleMetrics) // never limited: scrapes must work while saturated
 	return s.recovered(mux)
 }
@@ -619,6 +703,10 @@ type indexStats struct {
 	LastReloadOK    bool      `json:"last_reload_ok"`
 	LastReloadError string    `json:"last_reload_error,omitempty"`
 	LastReloadAt    time.Time `json:"last_reload_at"`
+	// QuarantinedFiles counts the .bad artifacts the startup sweep found
+	// in the index directory — nonzero means an operator owes the
+	// directory a look.
+	QuarantinedFiles int `json:"quarantined_files"`
 }
 
 // admissionStats is the load-shedding block of /stats.
@@ -652,16 +740,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hs := s.hot.Stats()
 	resp := statsResponse{
 		Index: indexStats{
-			Epoch:           hs.Epoch,
-			Path:            hs.Path,
-			Reloads:         hs.Reloads,
-			Retired:         hs.Retired,
-			ReloadRetries:   hs.Retries,
-			ReloadRollbacks: hs.Rollbacks,
-			Degraded:        hs.Degraded,
-			LastReloadOK:    hs.LastReloadOK,
-			LastReloadError: hs.LastReloadError,
-			LastReloadAt:    hs.LastReloadAt,
+			Epoch:            hs.Epoch,
+			Path:             hs.Path,
+			Reloads:          hs.Reloads,
+			Retired:          hs.Retired,
+			ReloadRetries:    hs.Retries,
+			ReloadRollbacks:  hs.Rollbacks,
+			Degraded:         hs.Degraded,
+			LastReloadOK:     hs.LastReloadOK,
+			LastReloadError:  hs.LastReloadError,
+			LastReloadAt:     hs.LastReloadAt,
+			QuarantinedFiles: s.quarantined,
 		},
 		Admission: admissionStats{
 			Sheds:       s.lim.Sheds(),
@@ -737,6 +826,45 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"epoch": seq, "path": s.hot.Stats().Path})
+}
+
+// verifyResponse is the wire shape of POST /verify: the phase-1 probe of
+// a coordinated fleet rollout.
+type verifyResponse struct {
+	OK       bool   `json:"ok"`
+	Path     string `json:"path"`
+	Degraded string `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleVerify opens and fully checksums a candidate index file without
+// installing it: the serving epoch is untouched whatever the outcome.
+// 200 means this replica could serve the file right now; 422 carries the
+// rejection. A checksum-valid file whose downward group failed validation
+// reports ok with the degraded reason — the rollout coordinator decides
+// whether a degraded target is acceptable. Like /reload it bypasses the
+// query limiter: rollouts must be able to probe a saturated replica.
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	path := r.URL.Query().Get("index")
+	if path == "" {
+		writeErr(w, http.StatusBadRequest, "missing index parameter")
+		return
+	}
+	m, err := store.Open(path)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, verifyResponse{Path: path, Error: err.Error()})
+		return
+	}
+	defer m.Close()
+	if err := m.Verify(); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, verifyResponse{Path: path, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, verifyResponse{OK: true, Path: path, Degraded: m.Degraded()})
 }
 
 // writeRangeErr translates a serve.RangeError into a 400 speaking the

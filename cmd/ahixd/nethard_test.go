@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+// decodeJSON asserts the status code of an already-performed response and
+// decodes its body.
+func decodeJSON(t *testing.T, resp *http.Response, wantCode int, into any) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d (body %s)", resp.Request.Method, resp.Request.URL, resp.StatusCode, wantCode, body)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("body %q: %v", body, err)
+		}
+	}
+}
+
+// newTestHTTPServer serves s.routes() on a real TCP listener through
+// hardenedServer — unlike httptest.NewServer this exercises the
+// production read/write/idle timeout configuration. Returns the base URL.
+func newTestHTTPServer(t *testing.T, s *server, tmo httpTimeouts) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hardenedServer(s.routes(), tmo)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// bigTableRequest returns a raw HTTP/1.1 POST /table request whose
+// response is tens of megabytes: the sources list repeats one id rows
+// times (the engine dedups the computation, but every occurrence gets its
+// own response row), so the response is huge while the query work is one
+// lane-block.
+func bigTableRequest(rows, targets int) string {
+	var b strings.Builder
+	b.WriteString(`{"sources":[`)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("5")
+	}
+	b.WriteString(`],"targets":[`)
+	for i := 1; i <= targets; i++ {
+		if i > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteString("]}")
+	body := b.String()
+	return fmt.Sprintf("POST /table HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		len(body), body)
+}
+
+// waitDrained polls until the limiter has no slots held and the goroutine
+// count is back near the baseline — the "no leak" assertion both network
+// fault tests share.
+func waitDrained(t *testing.T, s *server, base string, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var st statsResponse
+		getJSON(t, base+"/stats", http.StatusOK, &st)
+		if st.Admission.InFlight == 0 && runtime.NumGoroutine() <= baseline+10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after client abuse: in_flight=%d goroutines=%d (baseline %d)",
+				st.Admission.InFlight, runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestTableMidResponseDisconnect severs the connection partway through a
+// streamed multi-megabyte /table response: the handler's write must fail,
+// the limiter slot must come back, and no goroutine may be left behind —
+// the single-daemon version of netfault's KindCutMid, asserted via
+// /stats.
+func TestTableMidResponseDisconnect(t *testing.T) {
+	f := makeFixture(t)
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(f.pathA, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hot.Close() })
+	s := newServer(hot, serverConfig{maxInflight: 4, timeout: 30 * time.Second, reg: reg})
+	base := newTestHTTPServer(t, s, httpTimeouts{write: 10 * time.Second, read: 10 * time.Second})
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(c, bigTableRequest(4000, 256)); err != nil {
+			t.Fatal(err)
+		}
+		// Read a slice of the response so the handler is mid-write, then
+		// vanish.
+		if _, err := io.ReadFull(c, make([]byte, 64<<10)); err != nil {
+			t.Fatalf("reading response prefix: %v", err)
+		}
+		c.Close()
+	}
+	waitDrained(t, s, base, baseline)
+
+	// The daemon is fully healthy afterwards: a clean query works.
+	var d distanceResponse
+	getJSON(t, base+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if d.Distance == nil {
+		t.Fatal("post-disconnect query broken")
+	}
+}
+
+// TestSlowReaderWriteTimeout is the slowloris-response case: a client
+// requests a multi-megabyte table and then never reads. The write
+// timeout must sever the connection — releasing the limiter slot —
+// instead of letting the stalled reader pin it forever.
+func TestSlowReaderWriteTimeout(t *testing.T) {
+	f := makeFixture(t)
+	reg := obsv.NewRegistry()
+	hot, err := serve.OpenHotWith(f.pathA, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hot.Close() })
+	s := newServer(hot, serverConfig{maxInflight: 2, timeout: 30 * time.Second, reg: reg})
+	base := newTestHTTPServer(t, s, httpTimeouts{write: 1500 * time.Millisecond, read: 10 * time.Second})
+	baseline := runtime.NumGoroutine()
+
+	c, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Shrink the client's receive window so the kernel cannot swallow the
+	// response on our behalf; we then simply never read.
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetReadBuffer(16 << 10)
+	}
+	if _, err := io.WriteString(c, bigTableRequest(4000, 256)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without reading a byte, the server's socket buffers fill and its
+	// write blocks until -write-timeout expires and the connection dies.
+	waitDrained(t, s, base, baseline)
+
+	// The severed connection yields at most the few buffered megabytes of
+	// a much larger response. Read with a deadline (draining an orphaned
+	// socket through a 16 KiB window is slow) and check what arrived is
+	// not a complete JSON document.
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	got, _ := io.ReadAll(io.LimitReader(c, 64<<20))
+	if json.Valid(extractBody(got)) {
+		t.Fatalf("stalled reader still received a complete %d-byte response", len(got))
+	}
+
+	// Remaining capacity is intact.
+	var d distanceResponse
+	getJSON(t, base+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if d.Distance == nil {
+		t.Fatal("post-timeout query broken")
+	}
+}
+
+// extractBody strips an HTTP/1.1 response head, returning the raw body
+// bytes (assumes Connection: close framing, no chunking assumptions —
+// good enough to ask "was this complete JSON?").
+func extractBody(raw []byte) []byte {
+	if i := strings.Index(string(raw), "\r\n\r\n"); i >= 0 {
+		return raw[i+4:]
+	}
+	return raw
+}

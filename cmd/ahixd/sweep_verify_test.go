@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+// TestStartupSweep seeds the index directory with crash leftovers — two
+// orphaned save temps and a quarantine pair — and checks the boot sweep
+// removes exactly the temps, logs a report, exports the
+// quarantined_files gauge, and that /stats carries the count.
+func TestStartupSweep(t *testing.T) {
+	f := makeFixture(t)
+	dir := filepath.Dir(f.pathA)
+	seed := func(name, data string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	t1 := seed(".ahix-42", "torn save")
+	t2 := seed(".ahix-43", "torn save 2")
+	bad := seed("old.ahix.bad", "quarantined")
+	seed("old.ahix.bad.reason", `{"error":"checksum"}`)
+
+	reg := obsv.NewRegistry()
+	var logBuf bytes.Buffer
+	n := startupSweep(f.pathA, reg, &logBuf)
+	if n != 1 {
+		t.Fatalf("startupSweep = %d quarantined, want 1", n)
+	}
+	for _, p := range []string{t1, t2} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("temp %s survived the boot sweep", p)
+		}
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("boot sweep touched the quarantine artifact: %v", err)
+	}
+	if !strings.Contains(logBuf.String(), `"type":"sweep"`) || !strings.Contains(logBuf.String(), "old.ahix.bad") {
+		t.Fatalf("sweep log missing report: %s", logBuf.String())
+	}
+	var expo bytes.Buffer
+	reg.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), "quarantined_files 1") {
+		t.Fatalf("exposition missing quarantined_files 1:\n%s", expo.String())
+	}
+
+	// The count flows into /stats via the server config.
+	hot, err := serve.OpenHotWith(f.pathA, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hot.Close()
+	s := newServer(hot, serverConfig{maxInflight: 4, timeout: time.Second, reg: reg, quarantined: n})
+	ts := newTestHTTPServer(t, s, httpTimeouts{})
+	var st statsResponse
+	getJSON(t, ts+"/stats", http.StatusOK, &st)
+	if st.Index.QuarantinedFiles != 1 {
+		t.Fatalf("/stats quarantined_files = %d, want 1", st.Index.QuarantinedFiles)
+	}
+}
+
+// TestVerifyEndpoint drives POST /verify through every outcome: a good
+// file (200, ok, serving epoch untouched), a missing file and a corrupt
+// file (422 with the rejection), and bad requests.
+func TestVerifyEndpoint(t *testing.T) {
+	f := makeFixture(t)
+	_, ts := startServer(t, f, 8, 5*time.Second)
+
+	var v verifyResponse
+	resp, err := http.Post(ts.URL+"/verify?index="+f.pathB, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, http.StatusOK, &v)
+	if !v.OK || v.Path != f.pathB || v.Degraded != "" {
+		t.Fatalf("verify of good file = %+v", v)
+	}
+
+	// Verifying must not have swapped anything: still epoch 1 serving A.
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?src=1&dst=256", http.StatusOK, &d)
+	if d.Epoch != 1 {
+		t.Fatalf("verify bumped the serving epoch to %d", d.Epoch)
+	}
+
+	// Missing file: 422, not ok, error carried.
+	resp, err = http.Post(ts.URL+"/verify?index="+filepath.Join(t.TempDir(), "absent.ahix"), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, http.StatusUnprocessableEntity, &v)
+	if v.OK || v.Error == "" {
+		t.Fatalf("verify of missing file = %+v", v)
+	}
+
+	// Corrupt file: flip a payload byte; open or checksum must reject it.
+	blob, err := os.ReadFile(f.pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-9] ^= 0x40
+	corrupt := filepath.Join(t.TempDir(), "corrupt.ahix")
+	if err := os.WriteFile(corrupt, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/verify?index="+corrupt, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, http.StatusUnprocessableEntity, &v)
+	if v.OK || v.Error == "" {
+		t.Fatalf("verify of corrupt file = %+v", v)
+	}
+	// Verify never quarantines: the file is a candidate, not the serving
+	// index, and the coordinator owns the decision.
+	if _, err := os.Stat(corrupt); err != nil {
+		t.Fatalf("verify moved the candidate file: %v", err)
+	}
+
+	resp, err = http.Post(ts.URL+"/verify", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, http.StatusBadRequest, nil)
+	if resp, err := http.Get(ts.URL + "/verify?index=x"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /verify = %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}

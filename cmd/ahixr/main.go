@@ -1,0 +1,129 @@
+// Command ahixr fronts a fleet of ahixd replicas with one fault-tolerant
+// endpoint.
+//
+// Data plane: every query (e.g. /distance, /path, /table, /stats) is
+// proxied to a healthy replica, round-robin, with bounded failover
+// retries on transport errors and 5xx, optional hedged point reads, and
+// degraded-aware routing (/table skips replicas whose downward group
+// failed validation — they 503 tables but serve point queries fine).
+//
+// Control plane:
+//
+//	GET  /healthz          fleet view: per-replica ok/degraded/down
+//	POST /rollout?index=P  coordinated two-phase index flip across the
+//	                       fleet: verify everywhere, then reload
+//	                       everywhere inside a bounded window; any
+//	                       failure aborts or rolls every replica back
+//	GET  /rollout/status   machine-readable last/current rollout ledger
+//	GET  /metrics          router_* and rollout_* Prometheus series
+//
+// Example:
+//
+//	ahixr -replicas http://10.0.0.1:8040,http://10.0.0.2:8040 -addr :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obsv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ahixr:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the router lifecycle; factored off main so tests can drive it.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ahixr", flag.ContinueOnError)
+	replicas := fs.String("replicas", "", "comma-separated ahixd base URLs (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free one)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt upstream deadline")
+	retries := fs.Int("retries", 2, "additional replicas to try after a failed attempt")
+	backoff := fs.Duration("backoff", 25*time.Millisecond, "base jittered delay between failover attempts")
+	hedge := fs.Duration("hedge", 0, "duplicate slow GETs on a second replica after this delay (0 disables)")
+	checkInterval := fs.Duration("check-interval", 2*time.Second, "background health-check period")
+	flipWindow := fs.Duration("flip-window", 30*time.Second, "bound on each rollout phase per replica")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests at shutdown")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "max time to read a whole client request (slowloris bound; 0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "max response-write time per request (stalled-reader bound; 0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "request header size limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("missing -replicas")
+	}
+
+	rt, err := cluster.New(cluster.Config{
+		Replicas:      urls,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		Backoff:       *backoff,
+		Hedge:         *hedge,
+		CheckInterval: *checkInterval,
+		FlipWindow:    *flipWindow,
+		Registry:      obsv.Default(),
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+	// The smoke test parses this line to find the picked port.
+	fmt.Fprintf(out, "ahixr: routing %d replicas on http://%s\n", len(urls), ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errc
+		fmt.Fprintln(out, "ahixr: shut down cleanly")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

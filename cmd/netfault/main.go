@@ -1,0 +1,106 @@
+// Command netfault is a deterministic TCP fault-injection shim: it
+// proxies one upstream address and applies a schedule of connection
+// faults — refused connects, resets, added latency, slow reads/writes,
+// mid-stream cuts, blackholes. Point a client at the shim instead of the
+// real service and its network starts failing on demand.
+//
+// The schedule is either generated (-seed/-faults, same generator the
+// chaos tests replay bit-for-bit) or given explicitly (-fault, repeatable,
+// "conn:kind[:delay[:bytes]]" — conn 0 hits every connection). With no
+// schedule the shim is a plain pass-through proxy.
+//
+// Example: a flaky mirror of a local ahixd —
+//
+//	netfault -listen 127.0.0.1:9040 -upstream 127.0.0.1:8040 -seed 7 -faults 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/netfault"
+)
+
+// faultFlags collects repeated -fault specs.
+type faultFlags struct{ sched netfault.Schedule }
+
+func (f *faultFlags) String() string { return fmt.Sprint(f.sched) }
+
+func (f *faultFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return fmt.Errorf("want conn:kind[:delay[:bytes]], got %q", spec)
+	}
+	conn, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("conn %q: %v", parts[0], err)
+	}
+	var kind netfault.Kind
+	found := false
+	for k := netfault.Kind(0); k < netfault.NumKinds; k++ {
+		if k.String() == parts[1] {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown fault kind %q", parts[1])
+	}
+	ft := netfault.Fault{Conn: conn, Kind: kind}
+	if len(parts) > 2 {
+		if ft.Delay, err = time.ParseDuration(parts[2]); err != nil {
+			return fmt.Errorf("delay %q: %v", parts[2], err)
+		}
+	}
+	if len(parts) > 3 {
+		if ft.Bytes, err = strconv.Atoi(parts[3]); err != nil {
+			return fmt.Errorf("bytes %q: %v", parts[3], err)
+		}
+	}
+	f.sched = append(f.sched, ft)
+	return nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("netfault", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address to accept client connections on")
+	upstream := fs.String("upstream", "", "address to proxy to (required)")
+	seed := fs.Int64("seed", 0, "generate a deterministic random schedule from this seed")
+	faults := fs.Int("faults", 0, "number of faults in the generated schedule")
+	var explicit faultFlags
+	fs.Var(&explicit, "fault", "explicit fault conn:kind[:delay[:bytes]] (repeatable; overrides -seed)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "netfault: missing -upstream")
+		os.Exit(2)
+	}
+
+	sched := explicit.sched
+	if len(sched) == 0 && *faults > 0 {
+		sched = netfault.Random(*seed, *faults)
+	}
+	p, err := netfault.Listen(*listen, *upstream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfault:", err)
+		os.Exit(1)
+	}
+	p.Arm(sched)
+	fmt.Printf("netfault: proxying %s on %s\n", *upstream, p.Addr())
+	for _, f := range sched {
+		fmt.Printf("netfault: armed %s\n", f)
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	p.Close()
+	fmt.Printf("netfault: done, %d connections, %d faults fired\n", p.Conns(), p.Fired())
+}

@@ -1,0 +1,578 @@
+// Package cluster turns N independent ahixd replicas into one
+// fault-tolerant query endpoint plus one coordinated control plane.
+//
+// The data plane is the Router: an HTTP reverse proxy that health-checks
+// every replica (reusing ahixd's /healthz ok/degraded/unavailable
+// vocabulary), spreads queries round-robin across the healthy ones,
+// fails over with bounded, jitter-backed retries when a replica dies
+// mid-request, and optionally hedges slow point reads with a duplicate
+// attempt on a second replica. Degraded replicas (checksum-valid index
+// whose downward group failed validation — point queries fine, tables
+// 503) keep receiving point traffic but are routed around for /table.
+//
+// The control plane is the rollout coordinator in rollout.go: a
+// two-phase index flip across the whole fleet in the spirit of Calvin's
+// deterministic "agree first, then apply everywhere" discipline — no
+// replica installs an index any sibling could not also install.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// maxReplayBody bounds how much of a request body the router buffers so
+// a failed attempt can be replayed against another replica. Matches the
+// daemon's own /table body limit — anything bigger would be rejected
+// downstream anyway.
+const maxReplayBody = 1 << 22
+
+// Config wires a Router.
+type Config struct {
+	// Replicas are the base URLs of the ahixd fleet ("http://host:port").
+	Replicas []string
+	// Timeout bounds one proxied attempt against one replica, and the
+	// health / snapshot probes. Zero means 5s.
+	Timeout time.Duration
+	// Retries is how many additional replicas to try after the first
+	// attempt fails with a transport error or 5xx. Zero means "try every
+	// candidate once" is still bounded by the fleet size; negative
+	// disables failover.
+	Retries int
+	// Backoff is the base delay between failover attempts; each retry
+	// waits Backoff plus up to 100% jitter. Zero means 25ms.
+	Backoff time.Duration
+	// Hedge, when positive, launches a duplicate attempt on the next
+	// candidate if a GET has not answered within this delay; first
+	// definitive answer wins. Zero disables hedging.
+	Hedge time.Duration
+	// CheckInterval is the background health-check period for Start.
+	// Zero means 2s. Tests usually skip Start and drive CheckNow.
+	CheckInterval time.Duration
+	// FlipWindow bounds each phase of a rollout: every verify and every
+	// flip must answer within it or the rollout aborts / rolls back.
+	// Zero means 30s.
+	FlipWindow time.Duration
+	// Registry receives router_* and rollout_* metrics (obsv.Noop() to
+	// disable, nil means obsv.Default()).
+	Registry *obsv.Registry
+	// DisableKeepAlives forces a fresh TCP connection per upstream
+	// request. The chaos harness needs this so an armed fault schedule
+	// (indexed by connection arrival) applies to the next request instead
+	// of being bypassed by a pooled connection.
+	DisableKeepAlives bool
+	// Client overrides the upstream HTTP client (tests). When set,
+	// DisableKeepAlives is ignored.
+	Client *http.Client
+	// Seed fixes the retry-jitter RNG; 0 picks a fixed default. Jitter
+	// quality is irrelevant to correctness, so a deterministic default
+	// keeps replays stable.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 2 * time.Second
+	}
+	if c.FlipWindow <= 0 {
+		c.FlipWindow = 30 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obsv.Default()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// replica is the router's view of one ahixd instance.
+type replica struct {
+	base string
+
+	mu        sync.Mutex
+	healthy   bool
+	degraded  string // non-empty: tables 503 here, point queries fine
+	epoch     uint64
+	path      string
+	lastErr   string
+	lastCheck time.Time
+}
+
+func (r *replica) snapshot() ReplicaHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	status := "down"
+	if r.healthy {
+		status = "ok"
+		if r.degraded != "" {
+			status = "degraded"
+		}
+	}
+	return ReplicaHealth{
+		URL:       r.base,
+		Status:    status,
+		Degraded:  r.degraded,
+		Epoch:     r.epoch,
+		Path:      r.path,
+		LastError: r.lastErr,
+		LastCheck: r.lastCheck,
+	}
+}
+
+func (r *replica) setHealth(healthy bool, degraded string, epoch uint64, path, errMsg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.healthy = healthy
+	r.degraded = degraded
+	if epoch != 0 {
+		r.epoch = epoch
+	}
+	if path != "" {
+		r.path = path
+	}
+	r.lastErr = errMsg
+	r.lastCheck = time.Now()
+}
+
+// markDown records a transport-level failure observed by the data path —
+// faster than waiting for the next health-check round.
+func (r *replica) markDown(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.healthy = false
+	r.lastErr = err.Error()
+	r.lastCheck = time.Now()
+}
+
+func (r *replica) isHealthy() (ok bool, degraded bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy, r.degraded != ""
+}
+
+// ReplicaHealth is the fleet-status wire shape of one replica.
+type ReplicaHealth struct {
+	URL       string    `json:"url"`
+	Status    string    `json:"status"` // ok | degraded | down
+	Degraded  string    `json:"degraded,omitempty"`
+	Epoch     uint64    `json:"epoch,omitempty"`
+	Path      string    `json:"path,omitempty"`
+	LastError string    `json:"last_error,omitempty"`
+	LastCheck time.Time `json:"last_check,omitempty"`
+}
+
+// routerMetrics groups every router_* series.
+type routerMetrics struct {
+	requests  *obsv.Counter
+	errors    *obsv.Counter
+	retries   *obsv.Counter
+	hedges    *obsv.Counter
+	markDowns *obsv.Counter
+	healthy   *obsv.Gauge
+	latency   *obsv.Histogram
+}
+
+// Router fronts the replica fleet. Zero value is not usable; construct
+// with New.
+type Router struct {
+	cfg    Config
+	reps   []*replica
+	client *http.Client
+	m      routerMetrics
+
+	rr uint64 // round-robin cursor
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	ro rolloutState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Router over the given fleet. Replicas start optimistic
+// (healthy): a router whose health loop has not run yet must still route.
+// Call Start for background health checking or CheckNow for one
+// synchronous round.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas configured")
+	}
+	rt := &Router{
+		cfg:    cfg,
+		client: cfg.Client,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		stop:   make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{
+			Transport: &http.Transport{
+				DisableKeepAlives:   cfg.DisableKeepAlives,
+				MaxIdleConnsPerHost: 16,
+			},
+		}
+	}
+	for _, base := range cfg.Replicas {
+		rt.reps = append(rt.reps, &replica{base: strings.TrimRight(base, "/"), healthy: true})
+	}
+	reg := cfg.Registry
+	rt.m = routerMetrics{
+		requests:  reg.Counter("router_requests_total", "requests proxied to the fleet"),
+		errors:    reg.Counter("router_errors_total", "proxied requests that exhausted every candidate"),
+		retries:   reg.Counter("router_retries_total", "failover attempts after a failed upstream try"),
+		hedges:    reg.Counter("router_hedges_total", "duplicate attempts launched by the hedge timer"),
+		markDowns: reg.Counter("router_markdowns_total", "replicas marked down by data-path transport errors"),
+		healthy:   reg.Gauge("router_healthy_replicas", "replicas currently passing health checks"),
+		latency:   reg.Histogram("router_request_seconds", "end-to-end proxied request latency", obsv.LatencyBuckets),
+	}
+	rt.ro.status.State = RolloutIdle
+	rt.initRolloutMetrics(reg)
+	return rt, nil
+}
+
+// Start launches the background health-check loop. Close stops it.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(rt.cfg.CheckInterval)
+		defer t.Stop()
+		rt.CheckNow(context.Background())
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.CheckNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop and idle upstream connections.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+	if tr, ok := rt.client.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// healthzWire mirrors ahixd's /healthz body.
+type healthzWire struct {
+	Status   string `json:"status"`
+	Epoch    uint64 `json:"epoch"`
+	Path     string `json:"path"`
+	Degraded string `json:"degraded"`
+}
+
+// CheckNow runs one synchronous health-check round over every replica.
+// The background loop calls this; tests call it directly for
+// deterministic health state.
+func (rt *Router) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.reps {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			h, err := rt.fetchHealth(ctx, rep.base)
+			if err != nil {
+				rep.setHealth(false, "", 0, "", err.Error())
+				return
+			}
+			switch h.Status {
+			case "ok":
+				rep.setHealth(true, "", h.Epoch, h.Path, "")
+			case "degraded":
+				rep.setHealth(true, h.Degraded, h.Epoch, h.Path, "")
+			default:
+				rep.setHealth(false, "", h.Epoch, h.Path, "status "+h.Status)
+			}
+		}(rep)
+	}
+	wg.Wait()
+	n := 0
+	for _, rep := range rt.reps {
+		if ok, _ := rep.isHealthy(); ok {
+			n++
+		}
+	}
+	rt.m.healthy.Set(float64(n))
+}
+
+func (rt *Router) fetchHealth(ctx context.Context, base string) (healthzWire, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
+	defer cancel()
+	var h healthzWire
+	// /healthz answers 503 when unavailable but still carries the body.
+	if _, err := rt.getJSON(ctx, base+"/healthz", &h); err != nil && h.Status == "" {
+		return h, err
+	}
+	return h, nil
+}
+
+// candidates returns replicas in attempt order for one request:
+// round-robin rotated, fully-healthy first, degraded ones next (last
+// resort for /table — they will 503 unless they recovered since the last
+// check), down ones last (health state may be stale; trying them beats
+// refusing the request).
+func (rt *Router) candidates(table bool) []*replica {
+	n := len(rt.reps)
+	start := int(atomic.AddUint64(&rt.rr, 1)-1) % n
+	var full, degr, down []*replica
+	for i := 0; i < n; i++ {
+		rep := rt.reps[(start+i)%n]
+		switch ok, deg := rep.isHealthy(); {
+		case ok && (!table || !deg):
+			full = append(full, rep)
+		case ok:
+			degr = append(degr, rep)
+		default:
+			down = append(down, rep)
+		}
+	}
+	return append(append(full, degr...), down...)
+}
+
+// attemptResult is one upstream try.
+type attemptResult struct {
+	resp *http.Response
+	rep  *replica
+	err  error
+}
+
+// definitive reports whether this answer should be forwarded as-is:
+// success or a client-caused error. 5xx (including ahixd's 503 sheds and
+// degraded-table refusals) and transport errors are grounds to fail over.
+func (a attemptResult) definitive() bool {
+	return a.err == nil && a.resp.StatusCode < 500
+}
+
+// ServeHTTP implements the data plane: everything that is not a router
+// control endpoint is proxied with failover.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.m.requests.Inc()
+	start := time.Now()
+	defer rt.m.latency.ObserveSince(start)
+
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxReplayBody))
+		r.Body.Close()
+		if err != nil {
+			http.Error(w, `{"error":"reading request body"}`, http.StatusBadRequest)
+			return
+		}
+	}
+	table := strings.HasPrefix(r.URL.Path, "/table")
+	cands := rt.candidates(table)
+
+	maxAttempts := len(cands)
+	if rt.cfg.Retries >= 0 && rt.cfg.Retries+1 < maxAttempts {
+		maxAttempts = rt.cfg.Retries + 1
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+
+	results := make(chan attemptResult, maxAttempts)
+	next, inflight := 0, 0
+	launch := func() {
+		if next >= maxAttempts {
+			return
+		}
+		rep := cands[next]
+		next++
+		inflight++
+		go func() { results <- rt.tryOnce(r, rep, body) }()
+	}
+	launch()
+
+	var hedge <-chan time.Time
+	if r.Method == http.MethodGet && rt.cfg.Hedge > 0 && maxAttempts > 1 {
+		hedge = time.After(rt.cfg.Hedge)
+	}
+
+	var last attemptResult
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.definitive() {
+				rt.forward(w, res.resp)
+				drainLater(results, inflight)
+				return
+			}
+			if res.resp != nil {
+				// Keep the most recent upstream error response to forward
+				// if every candidate fails; close the one it replaces.
+				if last.resp != nil {
+					discard(last.resp)
+				}
+				last = res
+			} else if last.resp == nil {
+				last = res
+			}
+			if next < maxAttempts {
+				rt.m.retries.Inc()
+				rt.sleepBackoff()
+				launch()
+			}
+		case <-hedge:
+			hedge = nil
+			if next < maxAttempts {
+				rt.m.hedges.Inc()
+				launch()
+			}
+		}
+	}
+
+	rt.m.errors.Inc()
+	if last.resp != nil {
+		rt.forward(w, last.resp)
+		return
+	}
+	msg := "no replica answered"
+	if last.err != nil {
+		msg = last.err.Error()
+	}
+	http.Error(w, fmt.Sprintf(`{"error":%q}`, msg), http.StatusBadGateway)
+}
+
+// tryOnce replays the request against one replica.
+func (rt *Router) tryOnce(r *http.Request, rep *replica, body []byte) attemptResult {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+	u := rep.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, strings.NewReader(string(body)))
+	if err != nil {
+		cancel()
+		return attemptResult{rep: rep, err: err}
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		cancel()
+		rt.m.markDowns.Inc()
+		rep.markDown(err)
+		return attemptResult{rep: rep, err: err}
+	}
+	// cancel must outlive the body read; tie it to body close.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return attemptResult{resp: resp, rep: rep}
+}
+
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// forward copies an upstream response to the client.
+func (rt *Router) forward(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// drainLater closes the losers of a hedged race without blocking the
+// winner's response.
+func drainLater(results <-chan attemptResult, inflight int) {
+	if inflight == 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < inflight; i++ {
+			if res := <-results; res.resp != nil {
+				discard(res.resp)
+			}
+		}
+	}()
+}
+
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func (rt *Router) sleepBackoff() {
+	rt.jmu.Lock()
+	j := time.Duration(rt.rng.Int63n(int64(rt.cfg.Backoff) + 1))
+	rt.jmu.Unlock()
+	time.Sleep(rt.cfg.Backoff + j)
+}
+
+// FleetHealth is the router's own /healthz document.
+type FleetHealth struct {
+	Status   string          `json:"status"` // ok | degraded | unavailable
+	Healthy  int             `json:"healthy"`
+	Total    int             `json:"total"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// Health summarises the fleet: ok if every replica is fully healthy,
+// degraded if at least one answers, unavailable otherwise.
+func (rt *Router) Health() FleetHealth {
+	fh := FleetHealth{Total: len(rt.reps)}
+	for _, rep := range rt.reps {
+		s := rep.snapshot()
+		fh.Replicas = append(fh.Replicas, s)
+		if s.Status != "down" {
+			fh.Healthy++
+		}
+	}
+	sort.Slice(fh.Replicas, func(i, j int) bool { return fh.Replicas[i].URL < fh.Replicas[j].URL })
+	switch {
+	case fh.Healthy == fh.Total && fh.Total > 0 && !rt.anyDegraded():
+		fh.Status = "ok"
+	case fh.Healthy > 0:
+		fh.Status = "degraded"
+	default:
+		fh.Status = "unavailable"
+	}
+	return fh
+}
+
+func (rt *Router) anyDegraded() bool {
+	for _, rep := range rt.reps {
+		if _, deg := rep.isHealthy(); deg {
+			return true
+		}
+	}
+	return false
+}

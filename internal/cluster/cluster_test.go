@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// stubReplica is a scriptable fake ahixd: it speaks the /healthz,
+// /verify, /reload, /distance and /table wire shapes and records calls,
+// so router behavior is testable without building real indexes.
+type stubReplica struct {
+	mu          sync.Mutex
+	path        string
+	epoch       uint64
+	degraded    string
+	failVerify  bool
+	failReload  bool
+	failPath    string // reloads to exactly this path fail
+	verifyHook  func() // run inside /verify before answering
+	sick        bool   // healthz says unavailable
+	sleep       time.Duration
+	verifyCalls int
+	reloadCalls []string
+	queryCalls  int
+	tableCalls  int
+
+	ts *httptest.Server
+}
+
+func newStub(t *testing.T, path string) *stubReplica {
+	s := &stubReplica{path: path, epoch: 1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		status, code := "ok", http.StatusOK
+		if s.degraded != "" {
+			status = "degraded"
+		}
+		if s.sick {
+			status, code = "unavailable", http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{
+			"status": status, "epoch": s.epoch, "path": s.path, "degraded": s.degraded,
+		})
+	})
+	mux.HandleFunc("/verify", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.verifyCalls++
+		hook := s.verifyHook
+		s.mu.Unlock()
+		if hook != nil {
+			hook()
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.failVerify {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"ok": false, "error": "checksum mismatch"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "path": r.URL.Query().Get("index")})
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		idx := r.URL.Query().Get("index")
+		s.reloadCalls = append(s.reloadCalls, idx)
+		if s.failReload || (s.failPath != "" && idx == s.failPath) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "reload failed, still serving previous index"})
+			return
+		}
+		s.path = idx
+		s.epoch++
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": s.epoch, "path": s.path})
+	})
+	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		d := s.sleep
+		s.queryCalls++
+		epoch := s.epoch
+		s.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"distance": 1.5, "epoch": epoch, "served_by": s.path})
+	})
+	mux.HandleFunc("/table", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tableCalls++
+		if s.degraded != "" {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "index degraded"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rows": [][]float64{{1}}, "epoch": s.epoch})
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *stubReplica) set(fn func(*stubReplica)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s)
+}
+
+func (s *stubReplica) get(fn func(*stubReplica) int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s)
+}
+
+func newTestRouter(t *testing.T, cfg Config, stubs ...*stubReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, s := range stubs {
+		cfg.Replicas = append(cfg.Replicas, s.ts.URL)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obsv.NewRegistry()
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Millisecond
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func fetch(t *testing.T, url string, wantCode int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d (body %s)", url, resp.StatusCode, wantCode, raw)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("GET %s body %q: %v", url, raw, err)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	a, b, c := newStub(t, "a.ahix"), newStub(t, "b.ahix"), newStub(t, "c.ahix")
+	_, ts := newTestRouter(t, Config{}, a, b, c)
+	for i := 0; i < 9; i++ {
+		fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	}
+	for _, s := range []*stubReplica{a, b, c} {
+		if n := s.get(func(s *stubReplica) int { return s.queryCalls }); n != 3 {
+			t.Fatalf("replica %s served %d/9 queries, want 3", s.path, n)
+		}
+	}
+}
+
+func TestFailoverOnDeadReplica(t *testing.T) {
+	a, b, c := newStub(t, "a.ahix"), newStub(t, "b.ahix"), newStub(t, "c.ahix")
+	rt, ts := newTestRouter(t, Config{Retries: 2}, a, b, c)
+	b.ts.Close() // crash one replica without telling the router
+
+	// Every request still answers 200: the dead replica costs a retry,
+	// not an error.
+	for i := 0; i < 6; i++ {
+		fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	}
+	// The transport error marked it down, so the fleet view knows.
+	var down int
+	for _, rh := range rt.Health().Replicas {
+		if rh.Status == "down" {
+			down++
+		}
+	}
+	if down != 1 {
+		t.Fatalf("fleet sees %d down replicas, want 1", down)
+	}
+}
+
+func TestFailoverOn5xx(t *testing.T) {
+	// One stub always sheds with 503; router must retry elsewhere.
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "shed"})
+	}))
+	t.Cleanup(shed.Close)
+	b := newStub(t, "b.ahix")
+	rt, err := New(Config{
+		Replicas: []string{shed.URL, b.ts.URL},
+		Timeout:  2 * time.Second, Backoff: time.Millisecond, Retries: 1,
+		Registry: obsv.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < 4; i++ {
+		fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	}
+	if rt.m.retries.Value() == 0 {
+		t.Fatal("no retries recorded despite a shedding replica")
+	}
+}
+
+func TestDegradedReplicaSkippedForTables(t *testing.T) {
+	a, b := newStub(t, "a.ahix"), newStub(t, "b.ahix")
+	b.set(func(s *stubReplica) { s.degraded = "downward group invalid" })
+	rt, ts := newTestRouter(t, Config{Retries: 1}, a, b)
+	rt.CheckNow(context.Background())
+
+	for i := 0; i < 6; i++ {
+		fetch(t, ts.URL+"/table?sources=1&targets=2", http.StatusOK, nil)
+	}
+	if n := b.get(func(s *stubReplica) int { return s.tableCalls }); n != 0 {
+		t.Fatalf("degraded replica saw %d table requests, want 0", n)
+	}
+	// Point queries still reach it.
+	for i := 0; i < 6; i++ {
+		fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	}
+	if n := b.get(func(s *stubReplica) int { return s.queryCalls }); n == 0 {
+		t.Fatal("degraded replica got no point queries; it should serve them")
+	}
+	if got := rt.Health().Status; got != "degraded" {
+		t.Fatalf("fleet status = %q, want degraded", got)
+	}
+}
+
+func TestHedgedRead(t *testing.T) {
+	a, b := newStub(t, "a.ahix"), newStub(t, "b.ahix")
+	a.set(func(s *stubReplica) { s.sleep = 400 * time.Millisecond })
+	b.set(func(s *stubReplica) { s.sleep = 400 * time.Millisecond })
+	rt, ts := newTestRouter(t, Config{Hedge: 30 * time.Millisecond, Retries: 1}, a, b)
+
+	start := time.Now()
+	fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	if rt.m.hedges.Value() != 1 {
+		t.Fatalf("hedges = %d, want 1", rt.m.hedges.Value())
+	}
+	// Both replicas were tried; whichever answered first won, and the
+	// request did not take 2×sleep.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged read took %v", elapsed)
+	}
+	total := a.get(func(s *stubReplica) int { return s.queryCalls }) +
+		b.get(func(s *stubReplica) int { return s.queryCalls })
+	if total != 2 {
+		t.Fatalf("hedge launched %d attempts, want 2", total)
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	a, b := newStub(t, "a.ahix"), newStub(t, "b.ahix")
+	rt, ts := newTestRouter(t, Config{Retries: 3}, a, b)
+	a.ts.Close()
+	b.ts.Close()
+	resp, err := http.Get(ts.URL + "/distance?src=1&dst=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-down fleet answered %d, want 502", resp.StatusCode)
+	}
+	if rt.Health().Status != "unavailable" {
+		t.Fatalf("fleet status = %q, want unavailable", rt.Health().Status)
+	}
+}
+
+func TestPostBodyReplayedOnFailover(t *testing.T) {
+	// First candidate dies; the POST body must reach the second intact.
+	var gotBody string
+	var mu sync.Mutex
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		gotBody = string(raw)
+		mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"rows": [][]float64{{1}}})
+	}))
+	t.Cleanup(good.Close)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	rt, err := New(Config{
+		Replicas: []string{dead.URL, good.URL},
+		Timeout:  2 * time.Second, Backoff: time.Millisecond, Retries: 1,
+		Registry: obsv.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"sources":[1,2],"targets":[3]}`
+	resp, err := http.Post(ts.URL+"/table", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover POST = %d", resp.StatusCode)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotBody != body {
+		t.Fatalf("replayed body = %q, want %q", gotBody, body)
+	}
+}
+
+func TestHealthCheckRecovery(t *testing.T) {
+	a, b := newStub(t, "a.ahix"), newStub(t, "b.ahix")
+	rt, _ := newTestRouter(t, Config{}, a, b)
+	b.set(func(s *stubReplica) { s.sick = true })
+	rt.CheckNow(context.Background())
+	if got := rt.Health(); got.Healthy != 1 || got.Status != "degraded" {
+		t.Fatalf("fleet with one sick replica = %+v", got)
+	}
+	b.set(func(s *stubReplica) { s.sick = false })
+	rt.CheckNow(context.Background())
+	if got := rt.Health(); got.Healthy != 2 || got.Status != "ok" {
+		t.Fatalf("fleet after recovery = %+v", got)
+	}
+}
+
+func TestRouterMetricsExposition(t *testing.T) {
+	reg := obsv.NewRegistry()
+	a := newStub(t, "a.ahix")
+	_, ts := newTestRouter(t, Config{Registry: reg}, a)
+	fetch(t, ts.URL+"/distance?src=1&dst=2", http.StatusOK, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"router_requests_total", "router_healthy_replicas", "rollout_attempts_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("metrics exposition missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+func TestConcurrentProxyRace(t *testing.T) {
+	// Hammer the router from many goroutines while a health loop runs —
+	// the -race gate covers the router's shared state.
+	a, b, c := newStub(t, "a.ahix"), newStub(t, "b.ahix"), newStub(t, "c.ahix")
+	rt, ts := newTestRouter(t, Config{Retries: 2, CheckInterval: 5 * time.Millisecond, Hedge: time.Millisecond}, a, b, c)
+	rt.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get(fmt.Sprintf("%s/distance?src=%d&dst=2", ts.URL, j))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

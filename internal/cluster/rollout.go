@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Rollout states. A rollout that never flipped anything ends "aborted";
+// one that flipped and was fully restored ends "rolled_back"; "failed"
+// means the fleet may be mixed and an operator must look.
+const (
+	RolloutIdle       = "idle"
+	RolloutRunning    = "running"
+	RolloutSuccess    = "success"
+	RolloutAborted    = "aborted"
+	RolloutRolledBack = "rolled_back"
+	RolloutFailed     = "failed"
+)
+
+// ErrRolloutInProgress is returned when a rollout is requested while one
+// is already running; the fleet flips one index at a time.
+var ErrRolloutInProgress = errors.New("cluster: rollout already in progress")
+
+// ReplicaRollout is the per-replica ledger of one rollout.
+type ReplicaRollout struct {
+	URL        string `json:"url"`
+	PrevEpoch  uint64 `json:"prev_epoch"`
+	PrevPath   string `json:"prev_path"`
+	Verified   bool   `json:"verified"`
+	Flipped    bool   `json:"flipped"`
+	NewEpoch   uint64 `json:"new_epoch,omitempty"`
+	Confirmed  bool   `json:"confirmed"`
+	RolledBack bool   `json:"rolled_back,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// RolloutStatus is the machine-readable rollout document served at
+// /rollout/status and returned by every /rollout call.
+type RolloutStatus struct {
+	State      string           `json:"state"`
+	Index      string           `json:"index,omitempty"`
+	StartedAt  time.Time        `json:"started_at,omitempty"`
+	FinishedAt time.Time        `json:"finished_at,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	Replicas   []ReplicaRollout `json:"replicas,omitempty"`
+}
+
+type rolloutState struct {
+	mu      sync.Mutex
+	running bool
+	status  RolloutStatus
+
+	attempts   *obsv.Counter
+	success    *obsv.Counter
+	aborted    *obsv.Counter
+	rolledBack *obsv.Counter
+	failed     *obsv.Counter
+	duration   *obsv.Histogram
+}
+
+func (rt *Router) initRolloutMetrics(reg *obsv.Registry) {
+	rt.ro.attempts = reg.Counter("rollout_attempts_total", "coordinated index rollouts started")
+	rt.ro.success = reg.Counter("rollout_success_total", "rollouts where every replica flipped and confirmed")
+	rt.ro.aborted = reg.Counter("rollout_aborted_total", "rollouts aborted before any flip (verify or snapshot failure)")
+	rt.ro.rolledBack = reg.Counter("rollout_rolled_back_total", "rollouts undone after a flip failure, fleet fully restored")
+	rt.ro.failed = reg.Counter("rollout_failed_total", "rollouts that left the fleet needing operator attention")
+	rt.ro.duration = reg.Histogram("rollout_seconds", "wall time of one coordinated rollout", obsv.DurationBuckets)
+}
+
+// RolloutStatusSnapshot returns the current (or last finished) rollout.
+func (rt *Router) RolloutStatusSnapshot() RolloutStatus {
+	rt.ro.mu.Lock()
+	defer rt.ro.mu.Unlock()
+	st := rt.ro.status
+	st.Replicas = append([]ReplicaRollout(nil), st.Replicas...)
+	return st
+}
+
+// Rollout pushes one index file onto every replica with Calvin-style
+// two-phase discipline:
+//
+//	snapshot — record each replica's currently-served index (the
+//	   rollback target) via /healthz; any unreachable replica aborts the
+//	   rollout before anything changes.
+//	phase 1  — POST /verify on every replica in parallel: each opens and
+//	   fully checksums the candidate without installing it. Any failure
+//	   aborts; the fleet never mixes epochs because nothing flipped.
+//	phase 2  — POST /reload on every replica in parallel, each bounded
+//	   by FlipWindow, then confirm via /healthz that every replica now
+//	   serves the target. If any flip or confirmation fails, every
+//	   replica is reloaded back to its snapshot path and the rollout
+//	   ends "rolled_back" (or "failed" if even restoring did not
+//	   converge).
+//
+// One rollout runs at a time; concurrent calls get ErrRolloutInProgress.
+func (rt *Router) Rollout(ctx context.Context, index string) (RolloutStatus, error) {
+	rt.ro.mu.Lock()
+	if rt.ro.running {
+		rt.ro.mu.Unlock()
+		return RolloutStatus{}, ErrRolloutInProgress
+	}
+	rt.ro.running = true
+	st := RolloutStatus{State: RolloutRunning, Index: index, StartedAt: time.Now()}
+	for _, rep := range rt.reps {
+		st.Replicas = append(st.Replicas, ReplicaRollout{URL: rep.base})
+	}
+	// Publish a copy: runRollout mutates its own ledger while status
+	// readers may snapshot concurrently.
+	pub := st
+	pub.Replicas = append([]ReplicaRollout(nil), st.Replicas...)
+	rt.ro.status = pub
+	rt.ro.mu.Unlock()
+	rt.ro.attempts.Inc()
+	start := time.Now()
+
+	final := rt.runRollout(ctx, index, st)
+	final.FinishedAt = time.Now()
+	rt.ro.duration.ObserveSince(start)
+	switch final.State {
+	case RolloutSuccess:
+		rt.ro.success.Inc()
+	case RolloutAborted:
+		rt.ro.aborted.Inc()
+	case RolloutRolledBack:
+		rt.ro.rolledBack.Inc()
+	default:
+		rt.ro.failed.Inc()
+	}
+
+	rt.ro.mu.Lock()
+	rt.ro.running = false
+	rt.ro.status = final
+	rt.ro.mu.Unlock()
+	return final, nil
+}
+
+func (rt *Router) runRollout(ctx context.Context, index string, st RolloutStatus) RolloutStatus {
+	// Snapshot: every replica must be reachable and serving, or we have
+	// no trustworthy rollback target and must not start.
+	errs := rt.forEachReplica(func(i int, rep *replica) error {
+		h, err := rt.fetchHealth(ctx, rep.base)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if h.Epoch == 0 || h.Path == "" {
+			return fmt.Errorf("snapshot: replica serving nothing (status %q)", h.Status)
+		}
+		st.Replicas[i].PrevEpoch = h.Epoch
+		st.Replicas[i].PrevPath = h.Path
+		return nil
+	}, st.Replicas)
+	if errs > 0 {
+		st.State = RolloutAborted
+		st.Error = "snapshot failed on " + failedList(st.Replicas)
+		return st
+	}
+
+	// Phase 1: verify everywhere. No replica has changed anything yet,
+	// so any failure is a clean abort.
+	errs = rt.forEachReplica(func(i int, rep *replica) error {
+		v, err := rt.postVerify(ctx, rep.base, index)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if !v.OK {
+			return fmt.Errorf("verify rejected: %s", v.Error)
+		}
+		if v.Degraded != "" {
+			// A candidate only a degraded replica could serve is not a
+			// fleet-wide upgrade; treat it like a rejection.
+			return fmt.Errorf("verify: candidate degraded: %s", v.Degraded)
+		}
+		st.Replicas[i].Verified = true
+		return nil
+	}, st.Replicas)
+	if errs > 0 {
+		st.State = RolloutAborted
+		st.Error = "verify failed on " + failedList(st.Replicas)
+		return st
+	}
+
+	// Phase 2: flip everywhere inside the window, then confirm.
+	rt.forEachReplica(func(i int, rep *replica) error {
+		epoch, err := rt.postReload(ctx, rep.base, index)
+		if err != nil {
+			return fmt.Errorf("flip: %w", err)
+		}
+		st.Replicas[i].Flipped = true
+		st.Replicas[i].NewEpoch = epoch
+		return nil
+	}, st.Replicas)
+	confirmFails := rt.forEachReplica(func(i int, rep *replica) error {
+		if st.Replicas[i].Error != "" {
+			return nil // keep the flip error; a confirm would add noise
+		}
+		h, err := rt.fetchHealth(ctx, rep.base)
+		if err != nil {
+			return fmt.Errorf("confirm: %w", err)
+		}
+		if h.Path != index || h.Status != "ok" {
+			return fmt.Errorf("confirm: serving %q (status %q), want %q", h.Path, h.Status, index)
+		}
+		st.Replicas[i].Confirmed = true
+		return nil
+	}, st.Replicas)
+	allConfirmed := true
+	for _, rr := range st.Replicas {
+		if !rr.Confirmed {
+			allConfirmed = false
+		}
+	}
+	if allConfirmed && confirmFails == 0 {
+		st.State = RolloutSuccess
+		rt.CheckNow(ctx) // refresh routing state to the new epoch promptly
+		return st
+	}
+
+	// Roll back: restore every replica to its snapshot path — including
+	// the ones that flipped fine; a fleet must not serve mixed indexes.
+	st.Error = "flip failed on " + failedList(st.Replicas)
+	restoreFails := rt.forEachReplica(func(i int, rep *replica) error {
+		if _, err := rt.postReload(ctx, rep.base, st.Replicas[i].PrevPath); err != nil {
+			return fmt.Errorf("rollback: %w", err)
+		}
+		h, err := rt.fetchHealth(ctx, rep.base)
+		if err != nil {
+			return fmt.Errorf("rollback confirm: %w", err)
+		}
+		if h.Path != st.Replicas[i].PrevPath {
+			return fmt.Errorf("rollback confirm: serving %q, want %q", h.Path, st.Replicas[i].PrevPath)
+		}
+		st.Replicas[i].RolledBack = true
+		return nil
+	}, st.Replicas)
+	if restoreFails == 0 {
+		st.State = RolloutRolledBack
+	} else {
+		st.State = RolloutFailed
+		st.Error += "; rollback incomplete on " + failedList(st.Replicas)
+	}
+	rt.CheckNow(ctx)
+	return st
+}
+
+// forEachReplica runs fn(i, rep) in parallel over the fleet, stores the
+// first error per replica into ledger[i].Error, and returns how many
+// replicas failed.
+func (rt *Router) forEachReplica(fn func(int, *replica) error, ledger []ReplicaRollout) int {
+	var wg sync.WaitGroup
+	errsCh := make(chan int, len(rt.reps))
+	var mu sync.Mutex
+	for i, rep := range rt.reps {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			if err := fn(i, rep); err != nil {
+				mu.Lock()
+				if ledger[i].Error == "" {
+					ledger[i].Error = err.Error()
+				}
+				mu.Unlock()
+				errsCh <- 1
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	close(errsCh)
+	n := 0
+	for range errsCh {
+		n++
+	}
+	return n
+}
+
+func failedList(reps []ReplicaRollout) string {
+	var b bytes.Buffer
+	for _, rr := range reps {
+		if rr.Error == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", rr.URL, rr.Error)
+	}
+	if b.Len() == 0 {
+		return "(none)"
+	}
+	return b.String()
+}
+
+// verifyWire mirrors ahixd's /verify body.
+type verifyWire struct {
+	OK       bool   `json:"ok"`
+	Path     string `json:"path"`
+	Degraded string `json:"degraded"`
+	Error    string `json:"error"`
+}
+
+func (rt *Router) postVerify(ctx context.Context, base, index string) (verifyWire, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.FlipWindow)
+	defer cancel()
+	var v verifyWire
+	code, err := rt.postJSON(ctx, base+"/verify?index="+queryEscape(index), &v)
+	if err != nil {
+		return v, err
+	}
+	if code != http.StatusOK && code != http.StatusUnprocessableEntity {
+		return v, fmt.Errorf("verify: unexpected status %d", code)
+	}
+	return v, nil
+}
+
+func (rt *Router) postReload(ctx context.Context, base, index string) (uint64, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.FlipWindow)
+	defer cancel()
+	var body struct {
+		Epoch uint64 `json:"epoch"`
+		Error string `json:"error"`
+	}
+	code, err := rt.postJSON(ctx, base+"/reload?index="+queryEscape(index), &body)
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK {
+		if body.Error != "" {
+			return 0, fmt.Errorf("reload: %s", body.Error)
+		}
+		return 0, fmt.Errorf("reload: status %d", code)
+	}
+	return body.Epoch, nil
+}
+
+// getJSON / postJSON are the coordinator's tiny HTTP helpers: status code
+// plus decoded body (decode errors surface, status is still returned).
+func (rt *Router) getJSON(ctx context.Context, url string, into any) (int, error) {
+	return rt.doJSON(ctx, http.MethodGet, url, into)
+}
+
+func (rt *Router) postJSON(ctx context.Context, url string, into any) (int, error) {
+	return rt.doJSON(ctx, http.MethodPost, url, into)
+}
+
+func (rt *Router) doJSON(ctx context.Context, method, url string, into any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if into != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, into); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// queryEscape protects index paths (filesystem paths) in query strings.
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// Handler is the router's full HTTP surface: control endpoints plus the
+// proxying data plane for everything else.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fh := rt.Health()
+		code := http.StatusOK
+		if fh.Status == "unavailable" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, fh)
+	})
+	mux.HandleFunc("/rollout", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+			return
+		}
+		index := r.URL.Query().Get("index")
+		if index == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing index parameter"})
+			return
+		}
+		st, err := rt.Rollout(r.Context(), index)
+		if errors.Is(err, ErrRolloutInProgress) {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		code := http.StatusOK
+		if st.State != RolloutSuccess {
+			code = http.StatusBadGateway
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("/rollout/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.RolloutStatusSnapshot())
+	})
+	if !rt.cfg.Registry.IsNoop() {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			rt.cfg.Registry.WritePrometheus(w)
+		})
+	}
+	mux.Handle("/", rt)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

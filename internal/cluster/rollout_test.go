@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRolloutSuccess(t *testing.T) {
+	a, b, c := newStub(t, "old.ahix"), newStub(t, "old.ahix"), newStub(t, "old.ahix")
+	rt, ts := newTestRouter(t, Config{FlipWindow: 2 * time.Second}, a, b, c)
+
+	resp, err := http.Post(ts.URL+"/rollout?index=new.ahix", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	func() {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rollout = %d", resp.StatusCode)
+		}
+		decodeInto(t, resp, &st)
+	}()
+	if st.State != RolloutSuccess {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	for _, s := range []*stubReplica{a, b, c} {
+		s.mu.Lock()
+		if s.path != "new.ahix" || s.verifyCalls != 1 || len(s.reloadCalls) != 1 {
+			t.Fatalf("replica after rollout: path=%s verifies=%d reloads=%v", s.path, s.verifyCalls, s.reloadCalls)
+		}
+		s.mu.Unlock()
+	}
+	for _, rr := range st.Replicas {
+		if !rr.Verified || !rr.Flipped || !rr.Confirmed {
+			t.Fatalf("ledger entry incomplete: %+v", rr)
+		}
+	}
+	// The status endpoint serves the same document afterwards.
+	var again RolloutStatus
+	fetch(t, ts.URL+"/rollout/status", http.StatusOK, &again)
+	if again.State != RolloutSuccess || again.Index != "new.ahix" {
+		t.Fatalf("status endpoint = %+v", again)
+	}
+	_ = rt
+}
+
+func TestRolloutAbortsOnVerifyFailure(t *testing.T) {
+	a, b, c := newStub(t, "old.ahix"), newStub(t, "old.ahix"), newStub(t, "old.ahix")
+	b.set(func(s *stubReplica) { s.failVerify = true })
+	_, ts := newTestRouter(t, Config{FlipWindow: 2 * time.Second}, a, b, c)
+
+	resp, err := http.Post(ts.URL+"/rollout?index=new.ahix", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	decodeInto(t, resp, &st)
+	if resp.StatusCode != http.StatusBadGateway || st.State != RolloutAborted {
+		t.Fatalf("rollout = %d state %s", resp.StatusCode, st.State)
+	}
+	// The abort happened before any flip: nobody was reloaded and every
+	// replica still serves the old index — epochs never mixed.
+	for _, s := range []*stubReplica{a, b, c} {
+		s.mu.Lock()
+		if len(s.reloadCalls) != 0 || s.path != "old.ahix" {
+			t.Fatalf("aborted rollout touched a replica: reloads=%v path=%s", s.reloadCalls, s.path)
+		}
+		s.mu.Unlock()
+	}
+	if !strings.Contains(st.Error, "checksum mismatch") {
+		t.Fatalf("abort error lost the cause: %q", st.Error)
+	}
+}
+
+func TestRolloutRollsBackOnFlipFailure(t *testing.T) {
+	a, b, c := newStub(t, "old.ahix"), newStub(t, "old.ahix"), newStub(t, "old.ahix")
+	c.set(func(s *stubReplica) { s.failReload = true })
+	_, ts := newTestRouter(t, Config{FlipWindow: 2 * time.Second}, a, b, c)
+
+	resp, err := http.Post(ts.URL+"/rollout?index=new.ahix", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	decodeInto(t, resp, &st)
+	// c refuses every reload including the rollback, so the final state
+	// is "failed" — but a and b MUST have been restored regardless.
+	if resp.StatusCode != http.StatusBadGateway || st.State != RolloutFailed {
+		t.Fatalf("rollout = %d state %s (%s), want 502/failed", resp.StatusCode, st.State, st.Error)
+	}
+	for _, s := range []*stubReplica{a, b} {
+		s.mu.Lock()
+		if s.path != "old.ahix" {
+			t.Fatalf("replica left on %s after failed rollout, want old.ahix", s.path)
+		}
+		// flip + rollback
+		if len(s.reloadCalls) != 2 || s.reloadCalls[1] != "old.ahix" {
+			t.Fatalf("reload sequence = %v, want [new.ahix old.ahix]", s.reloadCalls)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func TestRolloutRolledBackCleanly(t *testing.T) {
+	// The flip fails on c only for the new index; the rollback reload to
+	// the old path succeeds — final state must be rolled_back with every
+	// replica restored.
+	a, b, c := newStub(t, "old.ahix"), newStub(t, "old.ahix"), newStub(t, "old.ahix")
+	c.failSpecific(t, "new.ahix")
+	_, ts := newTestRouter(t, Config{FlipWindow: 2 * time.Second}, a, b, c)
+
+	resp, err := http.Post(ts.URL+"/rollout?index=new.ahix", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	decodeInto(t, resp, &st)
+	if st.State != RolloutRolledBack {
+		t.Fatalf("state = %s (%s), want rolled_back", st.State, st.Error)
+	}
+	for _, s := range []*stubReplica{a, b, c} {
+		s.mu.Lock()
+		if s.path != "old.ahix" {
+			t.Fatalf("replica on %s after rollback, want old.ahix", s.path)
+		}
+		s.mu.Unlock()
+	}
+	// No-mixed-epochs invariant: all replicas agree on the served path.
+}
+
+func TestRolloutAbortsOnUnreachableSnapshot(t *testing.T) {
+	a, b := newStub(t, "old.ahix"), newStub(t, "old.ahix")
+	dead := newStub(t, "old.ahix")
+	dead.ts.Close()
+	_, ts := newTestRouter(t, Config{FlipWindow: 2 * time.Second, Timeout: 500 * time.Millisecond}, a, b, dead)
+
+	resp, err := http.Post(ts.URL+"/rollout?index=new.ahix", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	decodeInto(t, resp, &st)
+	if st.State != RolloutAborted {
+		t.Fatalf("state = %s, want aborted when a replica is unreachable", st.State)
+	}
+	for _, s := range []*stubReplica{a, b} {
+		s.mu.Lock()
+		if s.verifyCalls != 0 || len(s.reloadCalls) != 0 {
+			t.Fatalf("abort-before-start still touched a replica: verifies=%d reloads=%v", s.verifyCalls, s.reloadCalls)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func TestRolloutOneAtATime(t *testing.T) {
+	a := newStub(t, "old.ahix")
+	slowVerify := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(slowVerify) }) }
+	t.Cleanup(release) // unblock the handler even if an assertion fails
+	a.hookVerify(func() { <-slowVerify })
+	rt, _ := newTestRouter(t, Config{FlipWindow: 5 * time.Second}, a)
+
+	done := make(chan RolloutStatus, 1)
+	go func() {
+		st, _ := rt.Rollout(context.Background(), "new.ahix")
+		done <- st
+	}()
+	// Wait until the first rollout is inside verify, then collide.
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.RolloutStatusSnapshot().State != RolloutRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first rollout never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for a.get(func(s *stubReplica) int { return s.verifyCalls }) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("verify never reached the stub")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := rt.Rollout(context.Background(), "other.ahix"); err != ErrRolloutInProgress {
+		t.Fatalf("concurrent rollout error = %v, want ErrRolloutInProgress", err)
+	}
+	release()
+	if st := <-done; st.State != RolloutSuccess {
+		t.Fatalf("first rollout = %s (%s)", st.State, st.Error)
+	}
+}
+
+// failSpecific makes reloads fail only for one target path, so the
+// rollback reload (to the previous path) still works.
+func (s *stubReplica) failSpecific(t *testing.T, path string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failPath = path
+}
+
+// hookVerify installs a callback run inside the /verify handler (before
+// answering), used to hold a rollout mid-phase.
+func (s *stubReplica) hookVerify(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.verifyHook = fn
+}
+
+func decodeInto(t *testing.T, resp *http.Response, into any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/ah"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// smokeProc is one exec'd binary whose stdout banner we parse.
+type smokeProc struct {
+	cmd   *exec.Cmd
+	lines chan string
+	errw  *bytes.Buffer
+}
+
+func startProc(t *testing.T, bin string, args ...string) *smokeProc {
+	t.Helper()
+	p := &smokeProc{cmd: exec.Command(bin, args...), errw: &bytes.Buffer{}, lines: make(chan string, 64)}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = p.errw
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.lines <- sc.Text()
+		}
+		close(p.lines)
+	}()
+	return p
+}
+
+func (p *smokeProc) waitLine(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case l, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("process exited before printing %q (stderr: %s)", substr, p.errw.String())
+			}
+			if strings.Contains(l, substr) {
+				return l
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q", substr)
+		}
+	}
+}
+
+func baseURL(t *testing.T, banner string) string {
+	t.Helper()
+	i := strings.Index(banner, "on http://")
+	if i < 0 {
+		t.Fatalf("banner %q has no address", banner)
+	}
+	return "http://" + banner[i+len("on http://"):]
+}
+
+func smokeGet(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if into != nil {
+		if err := jsonUnmarshal(raw, into); err != nil {
+			t.Fatalf("GET %s body %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestClusterSmoke is the end-to-end fleet check `make cluster-smoke`
+// runs: build the real ahixd and ahixr binaries, start three replicas
+// and a router over real TCP, query through the router, run a
+// coordinated rollout, kill one replica, and verify the router keeps
+// answering while a rollout with a dead replica refuses to start.
+func TestClusterSmoke(t *testing.T) {
+	dir := t.TempDir()
+
+	// Two differently-weighted indexes plus Dijkstra truth.
+	cfg := gen.GridCityConfig{
+		Cols: 16, Rows: 16, ArterialEvery: 4, HighwayEvery: 8,
+		RemoveFrac: 0.1, Jitter: 0.3, Seed: 7,
+	}
+	gA, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	gB, err := gen.GridCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathA, pathB := filepath.Join(dir, "a.ahix"), filepath.Join(dir, "b.ahix")
+	if err := store.Save(pathA, ah.Build(gA, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(pathB, ah.Build(gB, ah.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	uniA, uniB := dijkstra.NewSearch(gA), dijkstra.NewSearch(gB)
+
+	ahixd := filepath.Join(dir, "ahixd")
+	ahixr := filepath.Join(dir, "ahixr")
+	if out, err := exec.Command("go", "build", "-o", ahixd, "repro/cmd/ahixd").CombinedOutput(); err != nil {
+		t.Fatalf("go build ahixd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", ahixr, "repro/cmd/ahixr").CombinedOutput(); err != nil {
+		t.Fatalf("go build ahixr: %v\n%s", err, out)
+	}
+
+	// Three replicas on random ports.
+	var reps []*smokeProc
+	var repURLs []string
+	for i := 0; i < 3; i++ {
+		p := startProc(t, ahixd, "-index", pathA, "-addr", "127.0.0.1:0", "-access-log=false")
+		reps = append(reps, p)
+		repURLs = append(repURLs, baseURL(t, p.waitLine(t, "on http://")))
+	}
+
+	// One router in front, with fast health checks and failover.
+	router := startProc(t, ahixr,
+		"-replicas", strings.Join(repURLs, ","),
+		"-addr", "127.0.0.1:0",
+		"-check-interval", "200ms",
+		"-timeout", "2s",
+		"-retries", "2",
+		"-flip-window", "10s",
+	)
+	base := baseURL(t, router.waitLine(t, "on http://"))
+
+	// Queries through the router match Dijkstra truth for index A.
+	type distResp struct {
+		Distance *float64 `json:"distance"`
+	}
+	var d distResp
+	if code := smokeGet(t, base+"/distance?src=1&dst=256", &d); code != http.StatusOK {
+		t.Fatalf("router distance = %d", code)
+	}
+	if want := uniA.Distance(graph.NodeID(0), graph.NodeID(255)); d.Distance == nil || *d.Distance != want {
+		t.Fatalf("router distance = %v, want %v", d.Distance, want)
+	}
+
+	// The fleet view sees three healthy replicas.
+	var fh FleetHealth
+	smokeGet(t, base+"/healthz", &fh)
+	if fh.Status != "ok" || fh.Healthy != 3 {
+		t.Fatalf("fleet health = %+v, want 3 healthy", fh)
+	}
+
+	// Coordinated rollout to index B: verify everywhere, flip everywhere.
+	resp, err := http.Post(base+"/rollout?index="+pathB, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	func() {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if err := jsonUnmarshal(raw, &st); err != nil {
+			t.Fatalf("rollout body %q: %v", raw, err)
+		}
+		if resp.StatusCode != http.StatusOK || st.State != RolloutSuccess {
+			t.Fatalf("rollout = %d %s (%s)", resp.StatusCode, st.State, st.Error)
+		}
+	}()
+	// Every replica now serves B — confirmed directly, not via the router.
+	for i, u := range repURLs {
+		var h struct {
+			Path string `json:"path"`
+		}
+		smokeGet(t, u+"/healthz", &h)
+		if h.Path != pathB {
+			t.Fatalf("replica %d serves %s after rollout, want %s", i, h.Path, pathB)
+		}
+	}
+	if code := smokeGet(t, base+"/distance?src=1&dst=256", &d); code != http.StatusOK {
+		t.Fatalf("post-rollout distance = %d", code)
+	}
+	if want := uniB.Distance(graph.NodeID(0), graph.NodeID(255)); d.Distance == nil || *d.Distance != want {
+		t.Fatalf("post-rollout distance = %v, want %v", d.Distance, want)
+	}
+
+	// Kill one replica outright. The router must keep answering.
+	reps[1].cmd.Process.Kill()
+	reps[1].cmd.Wait()
+	for i := 0; i < 6; i++ {
+		if code := smokeGet(t, base+"/distance?src=1&dst=256", &d); code != http.StatusOK {
+			t.Fatalf("query %d after replica kill = %d", i, code)
+		}
+	}
+	// Health checks notice within a few intervals.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		smokeGet(t, base+"/healthz", &fh)
+		if fh.Healthy == 2 && fh.Status == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never noticed the dead replica: %+v", fh)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// A rollout with a dead replica must refuse to start: no trustworthy
+	// snapshot, no flip, nothing changes.
+	resp, err = http.Post(base+"/rollout?index="+pathA, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if err := jsonUnmarshal(raw, &st); err != nil {
+			t.Fatalf("rollout body %q: %v", raw, err)
+		}
+		if resp.StatusCode != http.StatusBadGateway || st.State != RolloutAborted {
+			t.Fatalf("rollout with dead replica = %d %s, want 502 aborted", resp.StatusCode, st.State)
+		}
+	}()
+	for _, i := range []int{0, 2} {
+		var h struct {
+			Path string `json:"path"`
+		}
+		smokeGet(t, repURLs[i]+"/healthz", &h)
+		if h.Path != pathB {
+			t.Fatalf("aborted rollout moved replica %d to %s", i, h.Path)
+		}
+	}
+
+	// Clean shutdown of the router.
+	if err := router.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	router.waitLine(t, "shut down cleanly")
+	if err := router.cmd.Wait(); err != nil {
+		t.Fatalf("router exit: %v (stderr: %s)", err, router.errw.String())
+	}
+	fmt.Println("cluster-smoke: fleet of 3 + router survived rollout, kill, failover")
+}
+
+func jsonUnmarshal(raw []byte, into any) error {
+	return json.Unmarshal(raw, into)
+}

@@ -1,0 +1,359 @@
+// Package netfault is a deterministic, schedule-driven TCP fault proxy:
+// the network-level sibling of internal/faultfs. A Proxy sits between a
+// client and an upstream (an ahixd replica, in this repository's fleet
+// tests) and misbehaves on schedule — refused connections, injected
+// latency, slow reads and writes, mid-response disconnects, connection
+// resets, blackholes — so the failure modes a router and its retry,
+// hedging, and rollout logic must survive are ordinary, reproducible test
+// cases instead of hopes.
+//
+// The design mirrors faultfs: a Schedule is plain data, each Fault names
+// the 1-based accepted-connection index it fires on (0 = every
+// connection) and a Kind, Random(seed, n) derives a schedule reproducibly
+// from a seed, and the Proxy counts connections exactly, so a failing
+// chaos schedule replays bit-for-bit given the same connection order.
+// Arm replaces the schedule and resets the counters, letting one proxy
+// serve a whole matrix of schedules.
+//
+// The proxy is usable both from tests (Listen on port 0, point a client
+// at Addr) and as a standalone shim via cmd/netfault.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind selects what a Fault does to its connection.
+type Kind uint8
+
+const (
+	// KindRefuse accepts the connection and closes it immediately: the
+	// client sees EOF or ECONNRESET on first use, the same shape a
+	// crashed or not-yet-listening replica produces.
+	KindRefuse Kind = iota
+	// KindReset forwards Bytes bytes of the response, then closes the
+	// client connection with SO_LINGER=0 — an abortive RST mid-response.
+	KindReset
+	// KindLatency sleeps Delay before the upstream dial, then proxies
+	// normally: a slow network path, not a broken one.
+	KindLatency
+	// KindSlowRead throttles the client-to-upstream direction to Bytes
+	// bytes per Delay tick — a slowloris-shaped client as seen by the
+	// upstream.
+	KindSlowRead
+	// KindSlowWrite throttles the upstream-to-client direction to Bytes
+	// bytes per Delay tick — a stalled reader as seen by the upstream, a
+	// dribbling server as seen by the client.
+	KindSlowWrite
+	// KindCutMid forwards Bytes bytes of the response, then closes both
+	// sides cleanly: a mid-response disconnect (server process died, LB
+	// drained) that truncates the body without an RST.
+	KindCutMid
+	// KindBlackhole accepts the connection and never forwards a byte in
+	// either direction: packets go in, nothing comes out, until the
+	// client gives up or the proxy closes.
+	KindBlackhole
+
+	// NumKinds is one past the last kind.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"refuse", "reset", "latency", "slowread", "slowwrite", "cutmid", "blackhole",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Fault is one scheduled misbehaviour: the Conn-th accepted connection
+// (1-based; 0 matches every connection) is treated per Kind. At most one
+// fault applies per connection — the first match in schedule order wins.
+type Fault struct {
+	Conn  int
+	Kind  Kind
+	Delay time.Duration // KindLatency pause; tick length for the slow kinds
+	Bytes int           // response cut point (reset/cutmid); chunk per tick (slow kinds)
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("conn%d:%s(%v,%dB)", f.Conn, f.Kind, f.Delay, f.Bytes)
+}
+
+// Schedule is a set of faults armed together on one Proxy.
+type Schedule []Fault
+
+// Random derives a reproducible n-fault schedule from seed: connection
+// indexes in 0..3 (0 = every connection), all kinds represented, delays
+// kept small (1–10ms) and cut points within the first few KB so random
+// schedules exercise fault handling without stretching test wall-clock.
+// Equal seeds yield equal schedules.
+func Random(seed int64, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = Fault{
+			Conn:  rng.Intn(4),
+			Kind:  Kind(rng.Intn(int(NumKinds))),
+			Delay: time.Duration(1+rng.Intn(10)) * time.Millisecond,
+			Bytes: 1 + rng.Intn(4096),
+		}
+	}
+	return s
+}
+
+// Proxy is a TCP forwarder with a fault schedule. Safe for concurrent
+// use; connection indexes follow accept order, so schedules are
+// deterministic exactly when the caller's connection order is.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+	done     chan struct{}
+
+	mu     sync.Mutex
+	sched  Schedule
+	conns  int
+	fired  int
+	closed bool
+	active map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a proxy on addr (use "127.0.0.1:0" to pick a free port)
+// forwarding every accepted connection to upstream.
+func Listen(addr, upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		done:     make(chan struct{}),
+		active:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, e.g. "127.0.0.1:41873".
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Arm replaces the schedule and resets the connection and fired counters,
+// so the next accepted connection is index 1 again. Connections already
+// in flight keep the behaviour they were accepted with.
+func (p *Proxy) Arm(s Schedule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sched = s
+	p.conns = 0
+	p.fired = 0
+}
+
+// Conns reports how many connections have been accepted since the last
+// Arm (or since Listen).
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conns
+}
+
+// Fired reports how many scheduled faults have applied to a connection
+// since the last Arm.
+func (p *Proxy) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Close stops accepting, severs every active connection (blackholed ones
+// included), and waits for the per-connection goroutines to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	err := p.ln.Close()
+	for c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		p.conns++
+		var fault *Fault
+		for i := range p.sched {
+			f := &p.sched[i]
+			if f.Conn == 0 || f.Conn == p.conns {
+				fault = f
+				p.fired++
+				break
+			}
+		}
+		p.active[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serveConn(c, fault)
+	}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serveConn(c net.Conn, f *Fault) {
+	defer p.wg.Done()
+	defer p.forget(c)
+	defer c.Close()
+
+	if f != nil {
+		switch f.Kind {
+		case KindRefuse:
+			return
+		case KindBlackhole:
+			// Hold the connection open, forwarding nothing, until the
+			// proxy shuts down or the client hangs up.
+			buf := make([]byte, 1)
+			c.SetReadDeadline(time.Time{})
+			go func() {
+				// Drain nothing: a read that only returns on client close
+				// or proxy Close (which closes c) keeps us honest about
+				// never ACKing application bytes onward.
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			<-p.done
+			return
+		case KindLatency:
+			select {
+			case <-time.After(f.Delay):
+			case <-p.done:
+				return
+			}
+		}
+	}
+
+	up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+
+	// Client-to-upstream copy; half-closes the upstream write side on
+	// client EOF so the upstream sees the request end.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		var tick time.Duration
+		var chunk int
+		if f != nil && f.Kind == KindSlowRead {
+			tick, chunk = f.Delay, f.Bytes
+		}
+		p.copyDir(up, c, tick, chunk, -1, false)
+		if t, ok := up.(*net.TCPConn); ok {
+			t.CloseWrite()
+		} else {
+			up.Close()
+		}
+	}()
+
+	// Upstream-to-client copy carries the response-side faults; when it
+	// ends (upstream closed, cut point reached, or error) both sides come
+	// down via the deferred closes.
+	var tick time.Duration
+	var chunk int
+	cut := -1
+	reset := false
+	if f != nil {
+		switch f.Kind {
+		case KindSlowWrite:
+			tick, chunk = f.Delay, f.Bytes
+		case KindCutMid:
+			cut = f.Bytes
+		case KindReset:
+			cut = f.Bytes
+			reset = true
+		}
+	}
+	p.copyDir(c, up, tick, chunk, cut, reset)
+}
+
+// copyDir copies src to dst. tick+chunk throttle the copy to chunk bytes
+// per tick; cut >= 0 stops after cut bytes, with reset choosing an
+// abortive close (SO_LINGER=0 on dst) over a clean one.
+func (p *Proxy) copyDir(dst, src net.Conn, tick time.Duration, chunk int, cut int, reset bool) {
+	bufSize := 32 * 1024
+	if chunk > 0 && chunk < bufSize {
+		bufSize = chunk
+	}
+	buf := make([]byte, bufSize)
+	total := 0
+	for {
+		limit := len(buf)
+		if cut >= 0 && cut-total < limit {
+			limit = cut - total
+		}
+		if limit == 0 {
+			// Cut point reached: an abortive reset sends RST, a clean cut
+			// just closes — either way the response is truncated.
+			if reset {
+				if t, ok := dst.(*net.TCPConn); ok {
+					t.SetLinger(0)
+				}
+			}
+			dst.Close()
+			src.Close()
+			return
+		}
+		n, err := src.Read(buf[:limit])
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			total += n
+		}
+		if err != nil {
+			return
+		}
+		if tick > 0 {
+			select {
+			case <-time.After(tick):
+			case <-p.done:
+				return
+			}
+		}
+	}
+}

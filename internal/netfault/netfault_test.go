@@ -1,0 +1,237 @@
+package netfault
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho returns the address of a TCP server that writes back whatever
+// it reads, one connection at a time, until closed.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func proxyFor(t *testing.T, upstream string) *Proxy {
+	t.Helper()
+	p, err := Listen("127.0.0.1:0", upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestPassthrough proves an unarmed proxy is transparent: bytes round-trip
+// through the echo upstream and connections are counted.
+func TestPassthrough(t *testing.T) {
+	p := proxyFor(t, startEcho(t))
+	c := dial(t, p.Addr())
+	msg := []byte("hello through the shim")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	if p.Conns() != 1 || p.Fired() != 0 {
+		t.Fatalf("conns=%d fired=%d, want 1/0", p.Conns(), p.Fired())
+	}
+}
+
+// TestRefuseAndTargeting arms a refuse fault on connection 2 only: conn 1
+// and conn 3 pass, conn 2 dies on first use.
+func TestRefuseAndTargeting(t *testing.T) {
+	p := proxyFor(t, startEcho(t))
+	p.Arm(Schedule{{Conn: 2, Kind: KindRefuse}})
+
+	roundtrip := func(c net.Conn) error {
+		if _, err := c.Write([]byte("x")); err != nil {
+			return err
+		}
+		one := make([]byte, 1)
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		_, err := io.ReadFull(c, one)
+		return err
+	}
+	if err := roundtrip(dial(t, p.Addr())); err != nil {
+		t.Fatalf("conn 1 should pass: %v", err)
+	}
+	if err := roundtrip(dial(t, p.Addr())); err == nil {
+		t.Fatal("conn 2 should be refused")
+	}
+	if err := roundtrip(dial(t, p.Addr())); err != nil {
+		t.Fatalf("conn 3 should pass: %v", err)
+	}
+	if p.Conns() != 3 || p.Fired() != 1 {
+		t.Fatalf("conns=%d fired=%d, want 3/1", p.Conns(), p.Fired())
+	}
+
+	// Arm resets the counters: the next connection is index 1 again and
+	// passes under a schedule targeting conn 2.
+	p.Arm(Schedule{{Conn: 2, Kind: KindRefuse}})
+	if err := roundtrip(dial(t, p.Addr())); err != nil {
+		t.Fatalf("post-Arm conn 1 should pass: %v", err)
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("post-Arm conns=%d, want 1", p.Conns())
+	}
+}
+
+// TestCutMid proves the response is truncated at the scheduled byte: the
+// client reads exactly Bytes bytes and then EOF.
+func TestCutMid(t *testing.T) {
+	p := proxyFor(t, startEcho(t))
+	p.Arm(Schedule{{Conn: 0, Kind: KindCutMid, Bytes: 10}})
+	c := dial(t, p.Addr())
+	payload := strings.Repeat("abcdefgh", 64) // 512 bytes
+	if _, err := c.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	got, _ := io.ReadAll(c)
+	if len(got) != 10 || string(got) != payload[:10] {
+		t.Fatalf("read %d bytes %q, want the first 10", len(got), got)
+	}
+}
+
+// TestBlackhole proves nothing comes back through a blackholed
+// connection, and that Proxy.Close unsticks it.
+func TestBlackhole(t *testing.T) {
+	p := proxyFor(t, startEcho(t))
+	p.Arm(Schedule{{Conn: 0, Kind: KindBlackhole}})
+	c := dial(t, p.Addr())
+	if _, err := c.Write([]byte("anyone home?")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("read from a blackhole returned data")
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not unstick the blackholed connection")
+	}
+}
+
+// TestSlowWriteAndLatency sanity-checks the timing kinds: both still
+// deliver the full HTTP response, just later.
+func TestSlowWriteAndLatency(t *testing.T) {
+	body := strings.Repeat("0123456789", 200) // 2000 bytes
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+	upstream := strings.TrimPrefix(ts.URL, "http://")
+
+	for _, f := range []Fault{
+		{Conn: 0, Kind: KindSlowWrite, Delay: 2 * time.Millisecond, Bytes: 256},
+		{Conn: 0, Kind: KindLatency, Delay: 20 * time.Millisecond},
+		{Conn: 0, Kind: KindSlowRead, Delay: 2 * time.Millisecond, Bytes: 64},
+	} {
+		p := proxyFor(t, upstream)
+		p.Arm(Schedule{f})
+		start := time.Now()
+		resp, err := http.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(got) != body {
+			t.Fatalf("%v: body mismatch (%d bytes)", f, len(got))
+		}
+		if f.Kind == KindLatency && time.Since(start) < f.Delay {
+			t.Fatalf("latency fault finished in %v, want >= %v", time.Since(start), f.Delay)
+		}
+		p.Close()
+	}
+}
+
+// TestReset proves the abortive close: the client sees an error (RST) or
+// at most the cut prefix, never the full response.
+func TestReset(t *testing.T) {
+	body := strings.Repeat("Z", 1<<16)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+	p := proxyFor(t, strings.TrimPrefix(ts.URL, "http://"))
+	p.Arm(Schedule{{Conn: 0, Kind: KindReset, Bytes: 64}})
+
+	resp, err := http.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		return // reset before the response line parsed: also a pass
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil && len(got) >= len(body) {
+		t.Fatalf("read the full %d-byte body through a reset connection", len(got))
+	}
+}
+
+// TestRandomDeterminism: equal seeds replay bit-for-bit, different seeds
+// differ somewhere.
+func TestRandomDeterminism(t *testing.T) {
+	a, b := Random(42, 8), Random(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Random(42) diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Random(43, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Random(42) == Random(43)")
+	}
+	for _, f := range a {
+		if f.Conn < 0 || f.Conn > 3 || f.Kind >= NumKinds || f.Bytes < 1 {
+			t.Fatalf("Random produced out-of-range fault %v", f)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SweepReport is what SweepDir found in an index directory: the orphaned
+// save temps it removed and the quarantine artifacts it left in place for
+// an operator.
+type SweepReport struct {
+	// RemovedTemps are the ".ahix-*" temp files deleted: leftovers of an
+	// atomic Save that crashed between write and rename. They are never
+	// referenced by anything (the rename is what publishes a save), so
+	// removing them is always safe at startup.
+	RemovedTemps []string `json:"removed_temps,omitempty"`
+	// Quarantined are the "<name>.bad" files found: corrupt indexes an
+	// earlier run moved aside (each with a "<name>.bad.reason" JSON
+	// sidecar). They are deliberately NOT removed — the whole point of
+	// quarantine is that an operator inspects them — only surfaced.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// RemoveErrors are temp files that could not be deleted (counted but
+	// not fatal: a sweep that can't clean is still worth its report).
+	RemoveErrors []string `json:"remove_errors,omitempty"`
+}
+
+// SweepDir is the crash-recovery startup sweep for an index directory:
+// it removes orphaned ".ahix-*" temp files (a Save torn by a crash never
+// published them, and no live handle can reference them) and reports —
+// without touching — "<path>.bad" quarantine artifacts, so a daemon can
+// log them and export a quarantined_files gauge. Call it at startup,
+// before any concurrent Save can create a fresh temp in the same
+// directory. File removal routes through the package's faultfs layer
+// like every other store file operation.
+func SweepDir(dir string) (SweepReport, error) {
+	var rep SweepReport
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	fs := activeFS()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".ahix-"):
+			full := filepath.Join(dir, name)
+			if err := fs.Remove(full); err != nil {
+				rep.RemoveErrors = append(rep.RemoveErrors, full)
+			} else {
+				rep.RemovedTemps = append(rep.RemovedTemps, full)
+			}
+		case strings.HasSuffix(name, BadSuffix):
+			rep.Quarantined = append(rep.Quarantined, filepath.Join(dir, name))
+		}
+	}
+	return rep, nil
+}

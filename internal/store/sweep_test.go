@@ -1,0 +1,100 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// TestSweepDir seeds a dirty index directory — a live index, two orphaned
+// save temps, a quarantine pair, and an unrelated file — and checks the
+// sweep removes exactly the temps, reports exactly the .bad artifact, and
+// leaves everything else (the reason sidecar included) alone.
+func TestSweepDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	live := write("city.ahix", "live index bytes")
+	t1 := write(".ahix-123456", "torn save")
+	t2 := write(".ahix-999", "another torn save")
+	bad := write("old.ahix.bad", "quarantined blob")
+	reason := write("old.ahix.bad.reason", `{"error":"checksum"}`)
+	other := write("notes.txt", "unrelated")
+	if err := os.Mkdir(filepath.Join(dir, ".ahix-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := SweepDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedTemps) != 2 {
+		t.Fatalf("removed %v, want the 2 temps", rep.RemovedTemps)
+	}
+	for _, p := range []string{t1, t2} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("temp %s survived the sweep", p)
+		}
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != bad {
+		t.Fatalf("quarantined = %v, want [%s]", rep.Quarantined, bad)
+	}
+	for _, p := range []string{live, bad, reason, other} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("sweep touched %s: %v", p, err)
+		}
+	}
+	// Directories matching the temp prefix are skipped, not removed.
+	if _, err := os.Stat(filepath.Join(dir, ".ahix-dir")); err != nil {
+		t.Fatalf("sweep touched the .ahix-dir directory: %v", err)
+	}
+
+	// A second sweep of the now-clean directory removes nothing and still
+	// reports the quarantine artifact.
+	rep2, err := SweepDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.RemovedTemps) != 0 || len(rep2.Quarantined) != 1 {
+		t.Fatalf("re-sweep = %+v, want 0 removed / 1 quarantined", rep2)
+	}
+}
+
+// TestSweepDirRemoveFailure routes the sweep through a faultfs injector
+// that fails the first remove: the sweep must not abort — it reports the
+// failure and still removes the other temp.
+func TestSweepDirRemoveFailure(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".ahix-1", ".ahix-2"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restore := SetFS(faultfs.New(faultfs.OS(), faultfs.Schedule{
+		{Op: faultfs.OpRemove, Call: 1, Kind: faultfs.KindErr},
+	}))
+	defer restore()
+
+	rep, err := SweepDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedTemps) != 1 || len(rep.RemoveErrors) != 1 {
+		t.Fatalf("sweep under injected remove failure = %+v, want 1 removed / 1 error", rep)
+	}
+}
+
+// TestSweepDirMissing: a missing directory is an error, not a panic.
+func TestSweepDirMissing(t *testing.T) {
+	if _, err := SweepDir(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("sweep of a missing directory returned nil error")
+	}
+}
